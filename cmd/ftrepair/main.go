@@ -1,0 +1,118 @@
+// Command ftrepair runs one fault-tolerance repair job on a built-in case
+// study and reports synthesis statistics, the verification report, and
+// (optionally) the synthesized per-process protocol.
+//
+// Usage:
+//
+//	ftrepair -case ba -n 3 -alg lazy -verify -protocol
+//
+// Case studies: ba (Byzantine agreement), bafs (Byzantine agreement with
+// fail-stop faults), sc (stabilizing chain), ring (Dijkstra token ring),
+// tmr (triple modular redundancy). Algorithms: lazy, cautious.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/parse"
+	"repro/internal/program"
+	"repro/internal/repair"
+)
+
+func main() {
+	var (
+		caseName  = flag.String("case", "ba", "case study: ba, bafs, sc, ring, or tmr")
+		file      = flag.String("file", "", "load the model from a .ftr file instead of -case")
+		n         = flag.Int("n", 3, "instance size (non-generals / chain cells)")
+		alg       = flag.String("alg", "lazy", "repair algorithm: lazy or cautious")
+		doVerify  = flag.Bool("verify", true, "run the independent verifier on the result")
+		verbose   = flag.Bool("v", false, "log repair progress")
+		protocol  = flag.Bool("protocol", false, "print the synthesized per-process protocol")
+		pure      = flag.Bool("pure", false, "disable the reachability heuristic (pure lazy)")
+		deferCyc  = flag.Bool("defer-cycles", false, "defer cycle-breaking to after Step 2 (ablation)")
+		protLimit = flag.Int("protocol-limit", 24, "max protocol lines per process")
+	)
+	flag.Parse()
+
+	var def *program.Def
+	var err error
+	if *file != "" {
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if def, err = parse.Program(string(src)); err != nil {
+			fatal(err)
+		}
+	} else if def, err = core.CaseStudy(*caseName, *n); err != nil {
+		fatal(err)
+	}
+
+	opts := repair.DefaultOptions()
+	opts.ReachabilityHeuristic = !*pure
+	opts.DeferCycleBreaking = *deferCyc
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	out, err := core.Run(core.Job{
+		Def:       def,
+		Algorithm: core.Algorithm(*alg),
+		Options:   opts,
+		Verify:    *doVerify,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := out.Compiled.Space
+	res := out.Result
+	fmt.Printf("case study:        %s\n", def.Name)
+	fmt.Printf("algorithm:         %s\n", *alg)
+	fmt.Printf("state space:       %.3g states (%d boolean bits)\n",
+		s.CountStates(s.ValidCur()), s.TotalBits())
+	fmt.Printf("reachable states:  %.3g\n", res.Stats.ReachableStates)
+	fmt.Printf("compile time:      %v\n", out.CompileTime)
+	if res.Stats.Total > 0 {
+		fmt.Printf("repair time:       %v\n", res.Stats.Total)
+	}
+	if res.Stats.Step1 > 0 || res.Stats.Step2 > 0 {
+		fmt.Printf("  step 1:          %v\n", res.Stats.Step1)
+		fmt.Printf("  step 2:          %v\n", res.Stats.Step2)
+	}
+	fmt.Printf("outer iterations:  %d\n", res.Stats.OuterIterations)
+	fmt.Printf("invariant:         %.3g states\n", s.CountStates(res.Invariant))
+	fmt.Printf("fault-span:        %.3g states\n", s.CountStates(res.FaultSpan))
+	fmt.Printf("BDD nodes:         %d\n", res.Stats.BDDNodes)
+
+	if out.Report != nil {
+		fmt.Printf("\nverification:\n%s", out.Report)
+		if !out.Report.OK() {
+			fatal(fmt.Errorf("verification failed: %v", out.Report.Failures()))
+		}
+	}
+
+	if *protocol {
+		fmt.Printf("\nsynthesized protocol (restricted to the fault-span):\n")
+		m := s.M
+		inSpan := m.AndN(res.Trans, res.FaultSpan, s.ValidTrans())
+		for _, p := range out.Compiled.Procs {
+			part := p.MaxRealizableSubset(res.Trans)
+			part = m.And(part, inSpan)
+			fmt.Printf("process %s:\n", p.Name)
+			for _, line := range p.DescribeActions(part, *protLimit) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftrepair:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Simulation: run adversarial random executions of Byzantine agreement
+// before and after repair.
+//
+// The symbolic verifier *proves* the repaired program masking
+// fault-tolerant; this example demonstrates it at runtime: under identical
+// fault pressure, the fault-intolerant program reaches agreement/validity
+// violations, while the repaired one never does and always returns to the
+// invariant after faults stop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	n := flag.Int("n", 3, "number of non-general processes")
+	runs := flag.Int("runs", 500, "number of random executions per campaign")
+	flag.Parse()
+
+	def, err := repro.CaseStudy("ba", *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := def.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start every run fully undecided with no Byzantine process.
+	start := []repro.Expr{repro.Eq("b.g", 0)}
+	for j := 0; j < *n; j++ {
+		start = append(start,
+			repro.Eq(fmt.Sprintf("b.%d", j), 0),
+			repro.Eq(fmt.Sprintf("d.%d", j), 2),
+			repro.Eq(fmt.Sprintf("f.%d", j), 0))
+	}
+	startBDD, err := repro.And(start...).Compile(c.Space)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Runs = *runs
+	cfg.MaxFaults = 4
+	cfg.FaultProb = 0.35
+
+	fmt.Printf("campaign: %d runs × %d steps, ≤%d faults per run\n\n",
+		cfg.Runs, cfg.Steps, cfg.MaxFaults)
+
+	before, err := sim.New(c, c.Trans, c.Invariant).WithStart(startBDD).Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-intolerant %s:\n  %s\n\n", def.Name, before)
+
+	c2, res, err := repro.Lazy(def, repro.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start2, err := repro.And(start...).Compile(c2.Space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := sim.New(c2, res.Trans, res.Invariant).WithStart(start2).Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repaired %s:\n  %s\n\n", def.Name, after)
+
+	switch {
+	case before.BadStates == 0:
+		fmt.Println("→ unexpected: the unrepaired program stayed safe in this campaign")
+	case after.BadStates > 0 || after.BadTransitions > 0:
+		fmt.Println("→ unexpected: the repaired program violated safety")
+	default:
+		fmt.Printf("→ the unrepaired program violated safety in %d step(s); the repaired\n", before.BadStates)
+		fmt.Printf("  program stayed safe across %d adversarial executions\n", cfg.Runs)
+	}
+}

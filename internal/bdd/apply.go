@@ -1,0 +1,310 @@
+package bdd
+
+// This file implements the core logical operations: Not, And, Or, Xor, the
+// general if-then-else (ITE) combinator, and the derived operations built on
+// them. All recursions are memoized in direct-mapped caches.
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node {
+	switch f {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.unLookup(opNot, f, 0); ok {
+		return r
+	}
+	n := m.nodes[f]
+	r := m.mk(n.level, m.Not(n.low), m.Not(n.high))
+	m.unStore(opNot, f, 0, r)
+	return r
+}
+
+// And returns the conjunction of f and g.
+func (m *Manager) And(f, g Node) Node {
+	// Terminal cases.
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True:
+		return g
+	case g == True:
+		return f
+	case f == g:
+		return f
+	}
+	if f > g {
+		f, g = g, f // canonical argument order for better cache reuse
+	}
+	if r, ok := m.binLookup(opAnd, f, g); ok {
+		return r
+	}
+	nf, ng := m.nodes[f], m.nodes[g]
+	var r Node
+	switch {
+	case nf.level == ng.level:
+		r = m.mk(nf.level, m.And(nf.low, ng.low), m.And(nf.high, ng.high))
+	case nf.level < ng.level:
+		r = m.mk(nf.level, m.And(nf.low, g), m.And(nf.high, g))
+	default:
+		r = m.mk(ng.level, m.And(f, ng.low), m.And(f, ng.high))
+	}
+	m.binStore(opAnd, f, g, r)
+	return r
+}
+
+// Or returns the disjunction of f and g.
+func (m *Manager) Or(f, g Node) Node {
+	switch {
+	case f == True || g == True:
+		return True
+	case f == False:
+		return g
+	case g == False:
+		return f
+	case f == g:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.binLookup(opOr, f, g); ok {
+		return r
+	}
+	nf, ng := m.nodes[f], m.nodes[g]
+	var r Node
+	switch {
+	case nf.level == ng.level:
+		r = m.mk(nf.level, m.Or(nf.low, ng.low), m.Or(nf.high, ng.high))
+	case nf.level < ng.level:
+		r = m.mk(nf.level, m.Or(nf.low, g), m.Or(nf.high, g))
+	default:
+		r = m.mk(ng.level, m.Or(f, ng.low), m.Or(f, ng.high))
+	}
+	m.binStore(opOr, f, g, r)
+	return r
+}
+
+// Xor returns the exclusive or of f and g.
+func (m *Manager) Xor(f, g Node) Node {
+	switch {
+	case f == False:
+		return g
+	case g == False:
+		return f
+	case f == True:
+		return m.Not(g)
+	case g == True:
+		return m.Not(f)
+	case f == g:
+		return False
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.binLookup(opXor, f, g); ok {
+		return r
+	}
+	nf, ng := m.nodes[f], m.nodes[g]
+	var r Node
+	switch {
+	case nf.level == ng.level:
+		r = m.mk(nf.level, m.Xor(nf.low, ng.low), m.Xor(nf.high, ng.high))
+	case nf.level < ng.level:
+		r = m.mk(nf.level, m.Xor(nf.low, g), m.Xor(nf.high, g))
+	default:
+		r = m.mk(ng.level, m.Xor(f, ng.low), m.Xor(f, ng.high))
+	}
+	m.binStore(opXor, f, g, r)
+	return r
+}
+
+// Diff returns f ∧ ¬g (set difference when BDDs encode sets).
+func (m *Manager) Diff(f, g Node) Node { return m.And(f, m.Not(g)) }
+
+// Imp returns the implication f ⇒ g.
+func (m *Manager) Imp(f, g Node) Node { return m.Or(m.Not(f), g) }
+
+// Iff returns the biconditional f ⇔ g.
+func (m *Manager) Iff(f, g Node) Node { return m.Not(m.Xor(f, g)) }
+
+// ITE returns the if-then-else combinator: (f ∧ g) ∨ (¬f ∧ h).
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal simplifications.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.Not(f)
+	}
+	if r, ok := m.iteLookup(f, g, h); ok {
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	if l := m.nodes[h].level; l < top {
+		top = l
+	}
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.iteStore(f, g, h, r)
+	return r
+}
+
+// cofactor returns the (low, high) cofactors of f with respect to the
+// variable at the given level. If f's root is above that level, f is
+// independent of it and both cofactors are f itself.
+func (m *Manager) cofactor(f Node, level int32) (Node, Node) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.low, n.high
+}
+
+// AndN returns the conjunction of all arguments (True for no arguments).
+func (m *Manager) AndN(fs ...Node) Node {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN returns the disjunction of all arguments (False for no arguments).
+func (m *Manager) OrN(fs ...Node) Node {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// Implies reports whether f ⇒ g holds for all assignments, i.e. the set
+// denoted by f is a subset of the set denoted by g.
+func (m *Manager) Implies(f, g Node) bool {
+	return m.Diff(f, g) == False
+}
+
+// --- cache plumbing -------------------------------------------------------
+
+func (m *Manager) binLookup(op uint32, f, g Node) (Node, bool) {
+	e := &m.bin[hash3(uint64(op), uint64(f), uint64(g))&uint64(len(m.bin)-1)]
+	if e.valid && e.op == op && e.f == f && e.g == g {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMisses++
+	return 0, false
+}
+
+func (m *Manager) binStore(op uint32, f, g, res Node) {
+	e := &m.bin[hash3(uint64(op), uint64(f), uint64(g))&uint64(len(m.bin)-1)]
+	*e = binEntry{f: f, g: g, res: res, op: op, valid: true}
+}
+
+func (m *Manager) unLookup(op uint32, f, param Node) (Node, bool) {
+	e := &m.un[hash3(uint64(op), uint64(f), uint64(param))&uint64(len(m.un)-1)]
+	if e.valid && e.op == op && e.f == f && e.param == param {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMisses++
+	return 0, false
+}
+
+func (m *Manager) unStore(op uint32, f, param, res Node) {
+	e := &m.un[hash3(uint64(op), uint64(f), uint64(param))&uint64(len(m.un)-1)]
+	*e = unEntry{f: f, param: param, res: res, op: op, valid: true}
+}
+
+func (m *Manager) iteLookup(f, g, h Node) (Node, bool) {
+	e := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&uint64(len(m.ite)-1)]
+	if e.valid && e.f == f && e.g == g && e.h == h {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMisses++
+	return 0, false
+}
+
+func (m *Manager) iteStore(f, g, h, res Node) {
+	e := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&uint64(len(m.ite)-1)]
+	*e = iteEntry{f: f, g: g, h: h, res: res, valid: true}
+}
+
+func (m *Manager) relLookup(f, g, cube Node) (Node, bool) {
+	e := &m.rel[hash3(uint64(f), uint64(g), uint64(cube))&uint64(len(m.rel)-1)]
+	if e.valid && e.f == f && e.g == g && e.cube == cube {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMisses++
+	return 0, false
+}
+
+func (m *Manager) relStore(f, g, cube, res Node) {
+	e := &m.rel[hash3(uint64(f), uint64(g), uint64(cube))&uint64(len(m.rel)-1)]
+	*e = relEntry{f: f, g: g, cube: cube, res: res, valid: true}
+}
+
+// Restrict computes Coudert–Madre's generalized cofactor f⇓c ("restrict"):
+// a function that agrees with f on every assignment satisfying the care-set
+// c and is chosen to have a small BDD elsewhere. Useful to compact
+// predicates that are only ever evaluated under an invariant or a
+// reachable-set constraint. c must not be False.
+func (m *Manager) Restrict(f, c Node) Node {
+	switch {
+	case c == True || m.IsTerminal(f):
+		return f
+	case c == False:
+		panic("bdd: Restrict with empty care set")
+	}
+	if r, ok := m.binLookup(opSimplify, f, c); ok {
+		return r
+	}
+	nc := m.nodes[c]
+	nf := m.nodes[f]
+	var r Node
+	switch {
+	case nc.level < nf.level:
+		switch {
+		case nc.low == False:
+			r = m.Restrict(f, nc.high)
+		case nc.high == False:
+			r = m.Restrict(f, nc.low)
+		default:
+			r = m.mk(nc.level, m.Restrict(f, nc.low), m.Restrict(f, nc.high))
+		}
+	case nc.level == nf.level:
+		switch {
+		case nc.low == False:
+			r = m.Restrict(nf.high, nc.high)
+		case nc.high == False:
+			r = m.Restrict(nf.low, nc.low)
+		default:
+			r = m.mk(nf.level, m.Restrict(nf.low, nc.low), m.Restrict(nf.high, nc.high))
+		}
+	default:
+		r = m.mk(nf.level, m.Restrict(nf.low, c), m.Restrict(nf.high, c))
+	}
+	m.binStore(opSimplify, f, c, r)
+	return r
+}

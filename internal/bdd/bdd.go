@@ -1,0 +1,280 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with hash-consing, memoized logical operations, quantification, relational
+// products, and variable replacement.
+//
+// The package is self-contained (standard library only) and serves as the
+// symbolic substrate for the lazy-repair synthesis engine: state predicates
+// and transition predicates of distributed programs are represented as BDDs,
+// exactly as in the BDD-based synthesis tools the paper builds on.
+//
+// A Manager owns all nodes. Node values are only meaningful relative to the
+// Manager that created them. Managers are not safe for concurrent use; create
+// one Manager per goroutine for parallel workloads.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a reference to a BDD node inside a Manager. The constants False and
+// True are the two terminal nodes and are valid in every Manager.
+type Node int32
+
+// Terminal nodes. These are the same in every Manager.
+const (
+	// False is the terminal node for the constant false function.
+	False Node = 0
+	// True is the terminal node for the constant true function.
+	True Node = 1
+)
+
+// terminalLevel orders terminals below every variable.
+const terminalLevel = math.MaxInt32
+
+// node is the internal storage for one BDD node.
+type node struct {
+	level     int32 // variable level (position in the global order)
+	low, high Node  // cofactors: level=false -> low, level=true -> high
+}
+
+// Manager owns a shared, hash-consed node table and the operation caches.
+//
+// All operations on Nodes must go through the Manager that created them.
+type Manager struct {
+	nodes []node // index = Node; 0 and 1 are terminals
+
+	// unique is an open-addressed hash table mapping (level,low,high) to the
+	// node index, guaranteeing structural sharing (hash-consing).
+	unique     []Node // 0 means empty slot
+	uniqueMask uint64
+
+	numVars int
+
+	// Operation caches (direct-mapped).
+	ite  []iteEntry
+	bin  []binEntry
+	un   []unEntry
+	rel  []relEntry
+	sat  map[Node]float64
+	perm []permutation
+
+	// Statistics.
+	stats Stats
+
+	varNames []string
+}
+
+// Stats reports operation and cache counters for a Manager.
+type Stats struct {
+	NodesAllocated int64 // total nodes ever created (excluding terminals)
+	UniqueHits     int64 // mk() calls answered from the unique table
+	CacheHits      int64 // operation cache hits
+	CacheMisses    int64 // operation cache misses
+}
+
+// iteEntry caches ITE(f,g,h) = res.
+type iteEntry struct {
+	f, g, h, res Node
+	valid        bool
+}
+
+// binEntry caches op(f,g) = res for the binary apply operations.
+type binEntry struct {
+	f, g, res Node
+	op        uint32
+	valid     bool
+}
+
+// unEntry caches unary-with-parameter operations: exists, forall, replace,
+// restrictSupport. param is a cube node or a permutation id.
+type unEntry struct {
+	f, param, res Node
+	op            uint32
+	valid         bool
+}
+
+// relEntry caches AndExists(f,g,cube) = res.
+type relEntry struct {
+	f, g, cube, res Node
+	valid           bool
+}
+
+// permutation is a registered level-to-level map used by Replace.
+type permutation struct {
+	mapping []int32 // mapping[level] = new level
+}
+
+// op codes for the binary and unary caches.
+const (
+	opAnd uint32 = iota
+	opOr
+	opXor
+	opNot
+	opExists
+	opForall
+	opReplace
+	opSimplify
+)
+
+const (
+	defaultCacheBits = 20 // 2^20 entries per cache
+	initialNodeCap   = 1 << 20
+)
+
+// New creates an empty Manager with no variables. Call NewVar (or NewVars) to
+// allocate variables; the creation order defines the global variable order.
+func New() *Manager {
+	m := &Manager{
+		nodes: make([]node, 2, initialNodeCap),
+		ite:   make([]iteEntry, 1<<defaultCacheBits),
+		bin:   make([]binEntry, 1<<defaultCacheBits),
+		un:    make([]unEntry, 1<<defaultCacheBits),
+		rel:   make([]relEntry, 1<<defaultCacheBits),
+		sat:   make(map[Node]float64),
+	}
+	m.nodes[False] = node{level: terminalLevel, low: False, high: False}
+	m.nodes[True] = node{level: terminalLevel, low: True, high: True}
+	m.growUnique(1 << 20)
+	return m
+}
+
+// NumVars returns the number of variables allocated in the manager.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the total number of live nodes in the manager, including the
+// two terminals.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Stats returns a snapshot of the manager's operation counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// NewVar allocates a fresh variable at the end of the current order and
+// returns the BDD for that variable (the function that is true iff the
+// variable is true). The optional name is used by String and Dot output.
+func (m *Manager) NewVar(name string) Node {
+	level := int32(m.numVars)
+	m.numVars++
+	// Cached sat counts are relative to the variable count; invalidate them.
+	if len(m.sat) > 0 {
+		m.sat = make(map[Node]float64)
+	}
+	if name == "" {
+		name = fmt.Sprintf("x%d", level)
+	}
+	m.varNames = append(m.varNames, name)
+	return m.mk(level, False, True)
+}
+
+// NewVars allocates n fresh variables with generated names and returns them.
+func (m *Manager) NewVars(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = m.NewVar("")
+	}
+	return out
+}
+
+// Var returns the BDD for the variable at the given level. It panics if no
+// such variable has been allocated.
+func (m *Manager) Var(level int) Node {
+	if level < 0 || level >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, m.numVars))
+	}
+	return m.mk(int32(level), False, True)
+}
+
+// NVar returns the negation of the variable at the given level.
+func (m *Manager) NVar(level int) Node {
+	if level < 0 || level >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, m.numVars))
+	}
+	return m.mk(int32(level), True, False)
+}
+
+// VarName returns the registered name of the variable at the given level.
+func (m *Manager) VarName(level int) string { return m.varNames[level] }
+
+// Level returns the variable level of the root of f, or a value larger than
+// any variable level if f is a terminal.
+func (m *Manager) Level(f Node) int {
+	return int(m.nodes[f].level)
+}
+
+// IsTerminal reports whether f is one of the two constant functions.
+func (m *Manager) IsTerminal(f Node) bool { return f <= True }
+
+// Low returns the low (else) cofactor of f. f must not be a terminal.
+func (m *Manager) Low(f Node) Node { return m.nodes[f].low }
+
+// High returns the high (then) cofactor of f. f must not be a terminal.
+func (m *Manager) High(f Node) Node { return m.nodes[f].high }
+
+// mk returns the canonical node for (level, low, high), creating it if needed.
+func (m *Manager) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	h := hash3(uint64(level), uint64(low), uint64(high)) & m.uniqueMask
+	for {
+		slot := m.unique[h]
+		if slot == 0 {
+			break
+		}
+		n := &m.nodes[slot]
+		if n.level == level && n.low == low && n.high == high {
+			m.stats.UniqueHits++
+			return slot
+		}
+		h = (h + 1) & m.uniqueMask
+	}
+	idx := Node(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	m.unique[h] = idx
+	m.stats.NodesAllocated++
+	if uint64(len(m.nodes))*4 > uint64(len(m.unique))*3 {
+		m.growUnique(uint64(len(m.unique)) * 2)
+	}
+	return idx
+}
+
+// growUnique rebuilds the unique table with the given capacity (power of 2).
+func (m *Manager) growUnique(capacity uint64) {
+	m.unique = make([]Node, capacity)
+	m.uniqueMask = capacity - 1
+	for i := 2; i < len(m.nodes); i++ {
+		n := &m.nodes[i]
+		h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.uniqueMask
+		for m.unique[h] != 0 {
+			h = (h + 1) & m.uniqueMask
+		}
+		m.unique[h] = Node(i)
+	}
+}
+
+// ClearCaches drops all memoized operation results. Node storage is kept.
+// Useful between phases of a long-running synthesis to bound cache staleness.
+func (m *Manager) ClearCaches() {
+	for i := range m.ite {
+		m.ite[i].valid = false
+	}
+	for i := range m.bin {
+		m.bin[i].valid = false
+	}
+	for i := range m.un {
+		m.un[i].valid = false
+	}
+	for i := range m.rel {
+		m.rel[i].valid = false
+	}
+	m.sat = make(map[Node]float64)
+}
+
+// hash3 mixes three words into a table index.
+func hash3(a, b, c uint64) uint64 {
+	h := a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f ^ c*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}

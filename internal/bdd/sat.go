@@ -1,0 +1,294 @@
+package bdd
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements model counting, model enumeration, evaluation and
+// structural inspection of BDDs.
+
+// SatCount returns the number of satisfying assignments of f over all
+// variables currently allocated in the manager. The result is a float64; for
+// the state-space sizes in the paper's tables (up to 10^30) this is exact in
+// shape though not in the last bits.
+func (m *Manager) SatCount(f Node) float64 {
+	return m.SatCountVars(f, m.numVars)
+}
+
+// SatCountVars returns the number of satisfying assignments of f over the
+// first nvars variables of the order. f must not depend on variables at or
+// beyond level nvars.
+func (m *Manager) SatCountVars(f Node, nvars int) float64 {
+	full := m.satRec(f) * math.Pow(2, float64(m.levelOrTop(f)))
+	return full / math.Pow(2, float64(m.numVars-nvars))
+}
+
+// levelOrTop returns f's root level, treating terminals as sitting just
+// below the last variable.
+func (m *Manager) levelOrTop(f Node) int32 {
+	if m.IsTerminal(f) {
+		return int32(m.numVars)
+	}
+	return m.nodes[f].level
+}
+
+// satRec returns the satisfying-assignment count of f over the variables at
+// levels in [level(f), numVars).
+func (m *Manager) satRec(f Node) float64 {
+	if f == False {
+		return 0
+	}
+	if f == True {
+		return 1
+	}
+	if c, ok := m.sat[f]; ok {
+		return c
+	}
+	n := m.nodes[f]
+	cl := m.satRec(n.low) * math.Pow(2, float64(m.levelOrTop(n.low)-n.level-1))
+	ch := m.satRec(n.high) * math.Pow(2, float64(m.levelOrTop(n.high)-n.level-1))
+	c := cl + ch
+	m.sat[f] = c
+	return c
+}
+
+// IsSat reports whether f has at least one satisfying assignment.
+func (m *Manager) IsSat(f Node) bool { return f != False }
+
+// Eval evaluates f under the given total assignment (indexed by level).
+func (m *Manager) Eval(f Node, assignment []bool) bool {
+	for !m.IsTerminal(f) {
+		n := m.nodes[f]
+		if assignment[n.level] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}
+
+// PickCube returns one satisfying assignment of f as a slice indexed by
+// level with values 1 (true), 0 (false) and -1 (don't care). It returns nil
+// if f is unsatisfiable.
+func (m *Manager) PickCube(f Node) []int8 {
+	if f == False {
+		return nil
+	}
+	out := make([]int8, m.numVars)
+	for i := range out {
+		out[i] = -1
+	}
+	for !m.IsTerminal(f) {
+		n := m.nodes[f]
+		if n.low != False {
+			out[n.level] = 0
+			f = n.low
+		} else {
+			out[n.level] = 1
+			f = n.high
+		}
+	}
+	return out
+}
+
+// PickCubeRand is PickCube with randomized branch choices: whenever both
+// cofactors are satisfiable, coin() decides which branch to take, so
+// repeated calls sample different models. Levels not on the chosen path are
+// left as -1 (don't care).
+func (m *Manager) PickCubeRand(f Node, coin func() bool) []int8 {
+	if f == False {
+		return nil
+	}
+	out := make([]int8, m.numVars)
+	for i := range out {
+		out[i] = -1
+	}
+	for !m.IsTerminal(f) {
+		n := m.nodes[f]
+		switch {
+		case n.low == False:
+			out[n.level] = 1
+			f = n.high
+		case n.high == False:
+			out[n.level] = 0
+			f = n.low
+		case coin():
+			out[n.level] = 1
+			f = n.high
+		default:
+			out[n.level] = 0
+			f = n.low
+		}
+	}
+	return out
+}
+
+// AllSat calls visit for every satisfying cube of f. The cube slice is
+// indexed by level with values 1, 0 and -1 (don't care); it is reused across
+// calls, so visit must copy it if it retains it. Enumeration stops early if
+// visit returns false.
+func (m *Manager) AllSat(f Node, visit func(cube []int8) bool) {
+	cube := make([]int8, m.numVars)
+	for i := range cube {
+		cube[i] = -1
+	}
+	m.allSatRec(f, cube, visit)
+}
+
+func (m *Manager) allSatRec(f Node, cube []int8, visit func([]int8) bool) bool {
+	if f == False {
+		return true
+	}
+	if f == True {
+		return visit(cube)
+	}
+	n := m.nodes[f]
+	cube[n.level] = 0
+	if !m.allSatRec(n.low, cube, visit) {
+		cube[n.level] = -1
+		return false
+	}
+	cube[n.level] = 1
+	if !m.allSatRec(n.high, cube, visit) {
+		cube[n.level] = -1
+		return false
+	}
+	cube[n.level] = -1
+	return true
+}
+
+// Support returns the levels of the variables f depends on, in order.
+func (m *Manager) Support(f Node) []int {
+	seen := make(map[Node]bool)
+	levels := make(map[int32]bool)
+	var rec func(Node)
+	rec = func(g Node) {
+		if m.IsTerminal(g) || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		levels[n.level] = true
+		rec(n.low)
+		rec(n.high)
+	}
+	rec(f)
+	out := make([]int, 0, len(levels))
+	for l := range levels {
+		out = append(out, int(l))
+	}
+	insertionSortAsc(out)
+	return out
+}
+
+func insertionSortAsc(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// NodeCount returns the number of distinct nodes in the DAG rooted at f,
+// including terminals reachable from it.
+func (m *Manager) NodeCount(f Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(g Node) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if m.IsTerminal(g) {
+			return
+		}
+		n := m.nodes[g]
+		rec(n.low)
+		rec(n.high)
+	}
+	rec(f)
+	return len(seen)
+}
+
+// String renders f as a disjunction of cubes (up to a small limit), mainly
+// for debugging and tests.
+func (m *Manager) String(f Node) string {
+	switch f {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	}
+	var sb strings.Builder
+	count := 0
+	const limit = 16
+	m.AllSat(f, func(cube []int8) bool {
+		if count == limit {
+			sb.WriteString(" ∨ …")
+			return false
+		}
+		if count > 0 {
+			sb.WriteString(" ∨ ")
+		}
+		sb.WriteString("(")
+		first := true
+		for lvl, v := range cube {
+			if v == -1 {
+				continue
+			}
+			if !first {
+				sb.WriteString("∧")
+			}
+			first = false
+			if v == 0 {
+				sb.WriteString("¬")
+			}
+			sb.WriteString(m.varNames[lvl])
+		}
+		sb.WriteString(")")
+		count++
+		return true
+	})
+	return sb.String()
+}
+
+// Dot renders the DAG rooted at f in Graphviz DOT format.
+func (m *Manager) Dot(f Node, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [shape=circle];\n")
+	sb.WriteString("  F [shape=box,label=\"0\"]; T [shape=box,label=\"1\"];\n")
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	label := func(g Node) string {
+		switch g {
+		case False:
+			return "F"
+		case True:
+			return "T"
+		}
+		return fmt.Sprintf("n%d", g)
+	}
+	rec = func(g Node) {
+		if m.IsTerminal(g) || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", g, m.varNames[n.level])
+		fmt.Fprintf(&sb, "  n%d -> %s [style=dashed];\n", g, label(n.low))
+		fmt.Fprintf(&sb, "  n%d -> %s;\n", g, label(n.high))
+		rec(n.low)
+		rec(n.high)
+	}
+	rec(f)
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,224 @@
+// Package casestudies builds the repair-problem instances evaluated in the
+// paper: Byzantine agreement (Table I), Byzantine agreement with fail-stop
+// faults, and the stabilizing chain (Table II), each parameterized by size.
+package casestudies
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// Bot is the "undecided" value ⊥ of the decision variables d.j ∈ {0, 1, ⊥}.
+const Bot = 2
+
+// BA builds the Byzantine-agreement instance with n non-general processes
+// (Section VI of the paper).
+//
+// Variables: the general g has b.g ∈ {0,1} (whether it is Byzantine) and
+// d.g ∈ {0,1} (its decision); every non-general j has b.j ∈ {0,1},
+// d.j ∈ {0,1,⊥} and f.j ∈ {0,1} (whether its decision is finalized).
+//
+// Read/write restrictions: non-general j reads every decision variable plus
+// its own b.j and f.j, and writes d.j and f.j.
+//
+// Fault-intolerant actions of j:
+//
+//	d.j = ⊥ ∧ f.j = 0  →  d.j := d.g
+//	d.j ≠ ⊥ ∧ f.j = 0  →  f.j := 1
+//
+// Faults: one process (general included) may become Byzantine if no process
+// is; a Byzantine process may perturb its decision arbitrarily.
+func BA(n int) *program.Def {
+	if n < 1 {
+		panic("casestudies: BA requires at least one non-general")
+	}
+	d := &program.Def{Name: fmt.Sprintf("BA(%d)", n)}
+
+	bg, dg := "b.g", "d.g"
+	d.Vars = append(d.Vars,
+		symbolic.VarSpec{Name: bg, Domain: 2},
+		symbolic.VarSpec{Name: dg, Domain: 2},
+	)
+	bj := func(j int) string { return fmt.Sprintf("b.%d", j) }
+	dj := func(j int) string { return fmt.Sprintf("d.%d", j) }
+	fj := func(j int) string { return fmt.Sprintf("f.%d", j) }
+	for j := 0; j < n; j++ {
+		d.Vars = append(d.Vars,
+			symbolic.VarSpec{Name: bj(j), Domain: 2},
+			symbolic.VarSpec{Name: dj(j), Domain: 3},
+			symbolic.VarSpec{Name: fj(j), Domain: 2},
+		)
+	}
+
+	// Processes with their read/write restrictions and actions.
+	for j := 0; j < n; j++ {
+		read := []string{dg, bj(j), fj(j)}
+		for k := 0; k < n; k++ {
+			read = append(read, dj(k))
+		}
+		d.Processes = append(d.Processes, &program.Process{
+			Name:  fmt.Sprintf("p%d", j),
+			Read:  read,
+			Write: []string{dj(j), fj(j)},
+			Actions: []program.Action{
+				{
+					Name:    "copy",
+					Guard:   expr.And(expr.Eq(dj(j), Bot), expr.Eq(fj(j), 0)),
+					Updates: []program.Update{program.Copy(dj(j), dg)},
+				},
+				{
+					Name:    "finalize",
+					Guard:   expr.And(expr.Ne(dj(j), Bot), expr.Eq(fj(j), 0)),
+					Updates: []program.Update{program.Set(fj(j), 1)},
+				},
+			},
+		})
+	}
+
+	// Faults. noByz: no process is Byzantine yet.
+	noByz := []expr.Expr{expr.Eq(bg, 0)}
+	for j := 0; j < n; j++ {
+		noByz = append(noByz, expr.Eq(bj(j), 0))
+	}
+	d.Faults = append(d.Faults, program.Action{
+		Name:    "byz-g",
+		Guard:   expr.And(noByz...),
+		Updates: []program.Update{program.Set(bg, 1)},
+	}, program.Action{
+		Name:    "perturb-g",
+		Guard:   expr.Eq(bg, 1),
+		Updates: []program.Update{program.Choose(dg, 0, 1)},
+	})
+	for j := 0; j < n; j++ {
+		d.Faults = append(d.Faults, program.Action{
+			Name:    fmt.Sprintf("byz-%d", j),
+			Guard:   expr.And(noByz...),
+			Updates: []program.Update{program.Set(bj(j), 1)},
+		}, program.Action{
+			Name:    fmt.Sprintf("perturb-%d", j),
+			Guard:   expr.Eq(bj(j), 1),
+			Updates: []program.Update{program.Choose(dj(j), 0, 1)},
+		})
+	}
+
+	d.Invariant = baInvariant(n)
+	d.BadStates = baBadStates(n)
+	d.BadTrans = baBadTrans(n)
+	return d
+}
+
+// baInvariant describes the legitimate states, following the formulation in
+// the symbolic-synthesis literature: at most one process (the general
+// included) is Byzantine, and every non-Byzantine non-general follows the
+// general — its decision is either ⊥ or the general's *current* decision,
+// and finalized implies decided. Note this is closed under the copy action
+// even when the general is Byzantine; a perturbation of d.g moves already-
+// decided followers outside the invariant, and recovery re-converges them.
+func baInvariant(n int) expr.Expr {
+	bg, dg := "b.g", "d.g"
+	bj := func(j int) string { return fmt.Sprintf("b.%d", j) }
+	dj := func(j int) string { return fmt.Sprintf("d.%d", j) }
+	fj := func(j int) string { return fmt.Sprintf("f.%d", j) }
+
+	follows := func(j int) expr.Expr {
+		return expr.And(
+			expr.Or(expr.Eq(dj(j), Bot), expr.EqVar(dj(j), dg)),
+			expr.Implies(expr.Eq(fj(j), 1), expr.Ne(dj(j), Bot)),
+		)
+	}
+
+	// Case A: nobody Byzantine, everyone follows.
+	caseA := []expr.Expr{expr.Eq(bg, 0)}
+	for j := 0; j < n; j++ {
+		caseA = append(caseA, expr.Eq(bj(j), 0), follows(j))
+	}
+
+	// Case B: exactly one Byzantine non-general k; the others follow.
+	var caseBs []expr.Expr
+	for k := 0; k < n; k++ {
+		cb := []expr.Expr{expr.Eq(bg, 0), expr.Eq(bj(k), 1)}
+		for j := 0; j < n; j++ {
+			if j == k {
+				continue
+			}
+			cb = append(cb, expr.Eq(bj(j), 0), follows(j))
+		}
+		caseBs = append(caseBs, expr.And(cb...))
+	}
+
+	// Case C: Byzantine general; the (honest) non-generals are mutually
+	// consistent on some value v — decided means d.j = v, finalized implies
+	// decided. Consistency cannot refer to the general's current decision:
+	// d.g flips under the Byzantine perturbation while finalized decisions
+	// are frozen. States where an undecided follower can no longer act
+	// consistently simply rest (Definition 5 permits finite maximal
+	// computations; with a flip-flopping Byzantine general, termination is
+	// not guaranteed — only safety and recovery are).
+	agreesOn := func(j, v int) expr.Expr {
+		return expr.And(
+			expr.Or(expr.Eq(dj(j), Bot), expr.Eq(dj(j), v)),
+			expr.Implies(expr.Eq(fj(j), 1), expr.Eq(dj(j), v)),
+		)
+	}
+	var caseCs []expr.Expr
+	for v := 0; v <= 1; v++ {
+		cc := []expr.Expr{expr.Eq(bg, 1)}
+		for j := 0; j < n; j++ {
+			cc = append(cc, expr.Eq(bj(j), 0), agreesOn(j, v))
+		}
+		caseCs = append(caseCs, expr.And(cc...))
+	}
+
+	all := []expr.Expr{expr.And(caseA...)}
+	all = append(all, caseBs...)
+	all = append(all, caseCs...)
+	return expr.Or(all...)
+}
+
+// baBadStates encodes the safety bad states: validity (a finalized non-
+// Byzantine non-general disagreeing with a non-Byzantine general) and
+// agreement (two finalized non-Byzantine non-generals disagreeing).
+func baBadStates(n int) expr.Expr {
+	bg, dg := "b.g", "d.g"
+	bj := func(j int) string { return fmt.Sprintf("b.%d", j) }
+	dj := func(j int) string { return fmt.Sprintf("d.%d", j) }
+	fj := func(j int) string { return fmt.Sprintf("f.%d", j) }
+
+	var bad []expr.Expr
+	for j := 0; j < n; j++ {
+		// Validity violation.
+		bad = append(bad, expr.And(
+			expr.Eq(bg, 0), expr.Eq(bj(j), 0), expr.Eq(fj(j), 1),
+			expr.Not(expr.EqVar(dj(j), dg)),
+		))
+		// Agreement violation.
+		for k := j + 1; k < n; k++ {
+			bad = append(bad, expr.And(
+				expr.Eq(bj(j), 0), expr.Eq(bj(k), 0),
+				expr.Eq(fj(j), 1), expr.Eq(fj(k), 1),
+				expr.NeVar(dj(j), dj(k)),
+			))
+		}
+	}
+	return expr.Or(bad...)
+}
+
+// baBadTrans prohibits changing or retracting a finalized decision of a
+// non-Byzantine process.
+func baBadTrans(n int) expr.Expr {
+	bj := func(j int) string { return fmt.Sprintf("b.%d", j) }
+	dj := func(j int) string { return fmt.Sprintf("d.%d", j) }
+	fj := func(j int) string { return fmt.Sprintf("f.%d", j) }
+
+	var bad []expr.Expr
+	for j := 0; j < n; j++ {
+		bad = append(bad, expr.And(
+			expr.Eq(bj(j), 0), expr.Eq(fj(j), 1),
+			expr.Or(expr.Changed(dj(j)), expr.Changed(fj(j))),
+		))
+	}
+	return expr.Or(bad...)
+}

@@ -1,0 +1,99 @@
+package casestudies
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// BAFS builds Byzantine agreement with fail-stop faults for n non-generals:
+// the BA(n) model extended with a liveness variable up.j per non-general.
+// Faults may either make one process Byzantine (as in BA) or crash one
+// non-general (up.j := 0); at most one process is faulty in total. A crashed
+// process takes no steps: its actions are guarded by up.j = 1, and the
+// safety specification prohibits any change to a crashed process's decision
+// variables, which also forces synthesized recovery to respect the crash.
+func BAFS(n int) *program.Def {
+	if n < 1 {
+		panic("casestudies: BAFS requires at least one non-general")
+	}
+	base := BA(n)
+	d := &program.Def{Name: fmt.Sprintf("BAFS(%d)", n)}
+
+	upj := func(j int) string { return fmt.Sprintf("up.%d", j) }
+	bj := func(j int) string { return fmt.Sprintf("b.%d", j) }
+	dj := func(j int) string { return fmt.Sprintf("d.%d", j) }
+	fj := func(j int) string { return fmt.Sprintf("f.%d", j) }
+
+	// Variables: BA's plus up.j per non-general.
+	d.Vars = append(d.Vars, base.Vars...)
+	for j := 0; j < n; j++ {
+		d.Vars = append(d.Vars, symbolic.VarSpec{Name: upj(j), Domain: 2})
+	}
+
+	// Processes: BA's with up.j readable by its owner and every action
+	// guarded by being up.
+	for j, p := range base.Processes {
+		np := &program.Process{
+			Name:  p.Name,
+			Read:  append(append([]string{}, p.Read...), upj(j)),
+			Write: p.Write,
+		}
+		for _, a := range p.Actions {
+			np.Actions = append(np.Actions, program.Action{
+				Name:    a.Name,
+				Guard:   expr.And(a.Guard, expr.Eq(upj(j), 1)),
+				Updates: a.Updates,
+			})
+		}
+		d.Processes = append(d.Processes, np)
+	}
+
+	// Faults: at most one faulty process overall — either one Byzantine
+	// (general included) or one crashed non-general.
+	noFault := []expr.Expr{expr.Eq("b.g", 0)}
+	for j := 0; j < n; j++ {
+		noFault = append(noFault, expr.Eq(bj(j), 0), expr.Eq(upj(j), 1))
+	}
+	d.Faults = append(d.Faults, program.Action{
+		Name:    "byz-g",
+		Guard:   expr.And(noFault...),
+		Updates: []program.Update{program.Set("b.g", 1)},
+	}, program.Action{
+		Name:    "perturb-g",
+		Guard:   expr.Eq("b.g", 1),
+		Updates: []program.Update{program.Choose("d.g", 0, 1)},
+	})
+	for j := 0; j < n; j++ {
+		d.Faults = append(d.Faults, program.Action{
+			Name:    fmt.Sprintf("byz-%d", j),
+			Guard:   expr.And(noFault...),
+			Updates: []program.Update{program.Set(bj(j), 1)},
+		}, program.Action{
+			Name:    fmt.Sprintf("perturb-%d", j),
+			Guard:   expr.Eq(bj(j), 1),
+			Updates: []program.Update{program.Choose(dj(j), 0, 1)},
+		}, program.Action{
+			Name:    fmt.Sprintf("crash-%d", j),
+			Guard:   expr.And(noFault...),
+			Updates: []program.Update{program.Set(upj(j), 0)},
+		})
+	}
+
+	// Invariant and bad states carry over from BA (up.j unconstrained: a
+	// crashed process's frozen decision is legitimate as long as it is
+	// consistent). Bad transitions additionally freeze crashed processes.
+	d.Invariant = base.Invariant
+	d.BadStates = base.BadStates
+	frozen := make([]expr.Expr, 0, n)
+	for j := 0; j < n; j++ {
+		frozen = append(frozen, expr.And(
+			expr.Eq(upj(j), 0),
+			expr.Or(expr.Changed(dj(j)), expr.Changed(fj(j))),
+		))
+	}
+	d.BadTrans = expr.Or(base.BadTrans, expr.Or(frozen...))
+	return d
+}

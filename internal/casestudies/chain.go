@@ -1,0 +1,87 @@
+package casestudies
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// ChainDomain is the per-cell value domain of the stabilizing chain. With 10
+// values per cell, SC(n) has 10^n states, matching the 10^19–10^30 ladder of
+// the paper's Table II.
+const ChainDomain = 10
+
+// SC builds the stabilizing-chain instance with n cells x.0 … x.(n-1).
+//
+// Process i (for i ≥ 1) reads x.(i-1) and x.i and writes x.i; cell x.0 is
+// owned by the environment and no process writes it. The legitimate states
+// are those where every cell equals its left neighbour (hence all equal
+// x.0). The fault-intolerant program has no actions at all — it merely rests
+// in the invariant — and transient faults corrupt arbitrary single cells.
+// Repair must therefore *discover* the copy-from-left stabilization
+// protocol, and Step 2 must discard every recovery candidate whose
+// read-restriction group is incomplete (anything that peeks beyond the left
+// neighbour).
+//
+// The safety specification says a cell may only ever be rewritten to its
+// left neighbour's current value. To exempt the faults themselves from this
+// constraint, every fault toggles a parity variable fc that no process can
+// read or write; a transition counts as a (bad) program write only if it
+// leaves fc unchanged.
+func SC(n int) *program.Def {
+	if n < 2 {
+		panic("casestudies: SC requires at least two cells")
+	}
+	d := &program.Def{Name: fmt.Sprintf("SC(%d)", n)}
+
+	cell := func(i int) string { return fmt.Sprintf("x.%d", i) }
+	d.Vars = append(d.Vars, symbolic.VarSpec{Name: "fc", Domain: 2})
+	for i := 0; i < n; i++ {
+		d.Vars = append(d.Vars, symbolic.VarSpec{Name: cell(i), Domain: ChainDomain})
+	}
+
+	for i := 1; i < n; i++ {
+		d.Processes = append(d.Processes, &program.Process{
+			Name:  fmt.Sprintf("p%d", i),
+			Read:  []string{cell(i - 1), cell(i)},
+			Write: []string{cell(i)},
+		})
+	}
+
+	// Transient faults: corrupt any single cell to any value, toggling the
+	// fault-parity variable.
+	anyValue := make([]int, ChainDomain)
+	for v := range anyValue {
+		anyValue[v] = v
+	}
+	for i := 0; i < n; i++ {
+		for parity := 0; parity <= 1; parity++ {
+			d.Faults = append(d.Faults, program.Action{
+				Name:  fmt.Sprintf("corrupt-%d-p%d", i, parity),
+				Guard: expr.Eq("fc", parity),
+				Updates: []program.Update{
+					program.Choose(cell(i), anyValue...),
+					program.Set("fc", 1-parity),
+				},
+			})
+		}
+	}
+
+	var eqs []expr.Expr
+	for i := 1; i < n; i++ {
+		eqs = append(eqs, expr.EqVar(cell(i), cell(i-1)))
+	}
+	d.Invariant = expr.And(eqs...)
+
+	var badWrites []expr.Expr
+	for i := 1; i < n; i++ {
+		badWrites = append(badWrites, expr.And(
+			expr.Changed(cell(i)),
+			expr.Not(expr.NextEqVar(cell(i), cell(i-1))),
+		))
+	}
+	d.BadTrans = expr.And(expr.Unchanged("fc"), expr.Or(badWrites...))
+	return d
+}

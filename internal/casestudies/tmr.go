@@ -1,0 +1,119 @@
+package casestudies
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// TMR builds the triple-modular-redundancy example classic to this synthesis
+// line of work: three input replicas feed one voter that must publish a
+// final output. The fault corrupts at most one replica *before or after*
+// the voter reads, so the fault-intolerant voter — which simply copies the
+// first replica — can publish a corrupted value. Repair must synthesize
+// majority voting.
+//
+// Variables: in.0, in.1, in.2 ∈ {0,1} (replicas), out ∈ {0,1,⊥},
+// done ∈ {0,1}. The voter reads everything and writes out and done.
+//
+// Fault-intolerant voter:
+//
+//	out = ⊥ ∧ done = 0 → out := in.0
+//	out ≠ ⊥ ∧ done = 0 → done := 1
+//
+// Faults: corrupt one replica (at most one in total, tracked by the hit
+// flag).
+//
+// Safety: a finalized output must equal the majority of the replicas —
+// since at most one replica is corrupted, the majority is the true input —
+// and a finalized output never changes.
+func TMR() *program.Def {
+	d := &program.Def{Name: "TMR"}
+	in := func(i int) string { return fmt.Sprintf("in.%d", i) }
+	d.Vars = append(d.Vars,
+		symbolic.VarSpec{Name: in(0), Domain: 2},
+		symbolic.VarSpec{Name: in(1), Domain: 2},
+		symbolic.VarSpec{Name: in(2), Domain: 2},
+		symbolic.VarSpec{Name: "out", Domain: 3}, // 2 = ⊥
+		symbolic.VarSpec{Name: "done", Domain: 2},
+		symbolic.VarSpec{Name: "hit", Domain: 2}, // a replica was corrupted
+	)
+
+	d.Processes = []*program.Process{{
+		Name:  "voter",
+		Read:  []string{in(0), in(1), in(2), "out", "done"},
+		Write: []string{"out", "done"},
+		Actions: []program.Action{
+			{
+				Name:    "publish",
+				Guard:   expr.And(expr.Eq("out", Bot), expr.Eq("done", 0)),
+				Updates: []program.Update{program.Copy("out", in(0))},
+			},
+			{
+				Name:    "finalize",
+				Guard:   expr.And(expr.Ne("out", Bot), expr.Eq("done", 0)),
+				Updates: []program.Update{program.Set("done", 1)},
+			},
+		},
+	}}
+
+	for i := 0; i < 3; i++ {
+		d.Faults = append(d.Faults, program.Action{
+			Name:    fmt.Sprintf("corrupt-%d", i),
+			Guard:   expr.Eq("hit", 0),
+			Updates: []program.Update{program.Choose(in(i), 0, 1), program.Set("hit", 1)},
+		})
+	}
+
+	// majority(v): at least two replicas hold v.
+	majority := func(v int) expr.Expr {
+		return expr.Or(
+			expr.And(expr.Eq(in(0), v), expr.Eq(in(1), v)),
+			expr.And(expr.Eq(in(0), v), expr.Eq(in(2), v)),
+			expr.And(expr.Eq(in(1), v), expr.Eq(in(2), v)),
+		)
+	}
+
+	// Legitimate states: no corruption yet, replicas unanimous, and the
+	// output — once published — matches them. States with a corrupted
+	// replica are fault-span territory: there the repair must *invent*
+	// majority voting, which it could not do inside the invariant (no new
+	// behavior is allowed there).
+	unanimous := func(v int) expr.Expr {
+		return expr.And(expr.Eq(in(0), v), expr.Eq(in(1), v), expr.Eq(in(2), v))
+	}
+	// The hit flag is permanent, so recovery after a corruption must land in
+	// hit=1 states: the *completed* configurations where the finalized
+	// output equals the majority are also legitimate (and rest there).
+	d.Invariant = expr.Or(
+		expr.And(
+			expr.Eq("hit", 0),
+			expr.Or(
+				expr.And(unanimous(0), expr.Or(expr.Eq("out", Bot), expr.Eq("out", 0))),
+				expr.And(unanimous(1), expr.Or(expr.Eq("out", Bot), expr.Eq("out", 1))),
+			),
+			expr.Implies(expr.Eq("done", 1), expr.Ne("out", Bot)),
+		),
+		expr.And(
+			expr.Eq("hit", 1), expr.Eq("done", 1),
+			expr.Or(
+				expr.And(expr.Eq("out", 0), majority(0)),
+				expr.And(expr.Eq("out", 1), majority(1)),
+			),
+		),
+	)
+
+	// Bad: finalized output disagreeing with the majority.
+	d.BadStates = expr.And(
+		expr.Eq("done", 1),
+		expr.Not(expr.Or(
+			expr.And(expr.Eq("out", 0), majority(0)),
+			expr.And(expr.Eq("out", 1), majority(1)),
+		)),
+	)
+	// Bad: changing a finalized output.
+	d.BadTrans = expr.And(expr.Eq("done", 1), expr.Or(expr.Changed("out"), expr.Changed("done")))
+	return d
+}

@@ -1,0 +1,130 @@
+package casestudies
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// TokenRing builds Dijkstra's K-state self-stabilizing token ring with n
+// processes and counter domain k (use k ≥ n for stabilization), as a repair
+// problem: the ring program circulates a single privilege in its legitimate
+// states; transient faults corrupt counters arbitrarily, possibly creating
+// several privileges. Repair must certify (and, where the original program
+// lacks transitions, complete) recovery to the single-privilege states.
+//
+// Topology and restrictions: process 0 (the "root") reads x.(n-1) and x.0
+// and writes x.0; process i ≥ 1 reads x.(i-1) and x.i and writes x.i.
+//
+// Actions (Dijkstra's protocol): the root, when privileged
+// (x.0 = x.(n-1)), advances its counter modulo k; process i ≥ 1, when
+// privileged (x.i ≠ x.(i-1)), copies its left neighbour.
+//
+// The safety specification pins the protocol shape — the root may only
+// advance-when-privileged, others may only copy — using the same
+// fault-parity exemption as the stabilizing chain. This case study extends
+// the paper's evaluation with the canonical stabilization benchmark; it
+// also exercises repair on a program that is *already* fault-tolerant
+// (Dijkstra's theorem), which lazy repair must recognize and preserve.
+func TokenRing(n, k int) *program.Def {
+	if n < 2 {
+		panic("casestudies: TokenRing requires at least two processes")
+	}
+	if k < 2 {
+		panic("casestudies: TokenRing requires counter domain of at least 2")
+	}
+	d := &program.Def{Name: fmt.Sprintf("TR(%d,%d)", n, k)}
+
+	cell := func(i int) string { return fmt.Sprintf("x.%d", i) }
+	d.Vars = append(d.Vars, symbolic.VarSpec{Name: "fc", Domain: 2})
+	for i := 0; i < n; i++ {
+		d.Vars = append(d.Vars, symbolic.VarSpec{Name: cell(i), Domain: k})
+	}
+
+	// Root: advance when privileged.
+	var rootActs []program.Action
+	for v := 0; v < k; v++ {
+		rootActs = append(rootActs, program.Action{
+			Name:    fmt.Sprintf("advance-%d", v),
+			Guard:   expr.And(expr.Eq(cell(0), v), expr.Eq(cell(n-1), v)),
+			Updates: []program.Update{program.Set(cell(0), (v+1)%k)},
+		})
+	}
+	d.Processes = append(d.Processes, &program.Process{
+		Name:    "p0",
+		Read:    []string{cell(n - 1), cell(0)},
+		Write:   []string{cell(0)},
+		Actions: rootActs,
+	})
+	for i := 1; i < n; i++ {
+		d.Processes = append(d.Processes, &program.Process{
+			Name:  fmt.Sprintf("p%d", i),
+			Read:  []string{cell(i - 1), cell(i)},
+			Write: []string{cell(i)},
+			Actions: []program.Action{{
+				Name:    "copy",
+				Guard:   expr.NeVar(cell(i), cell(i-1)),
+				Updates: []program.Update{program.Copy(cell(i), cell(i-1))},
+			}},
+		})
+	}
+
+	// Transient faults corrupt any single counter, toggling the parity.
+	anyValue := make([]int, k)
+	for v := range anyValue {
+		anyValue[v] = v
+	}
+	for i := 0; i < n; i++ {
+		for parity := 0; parity <= 1; parity++ {
+			d.Faults = append(d.Faults, program.Action{
+				Name:  fmt.Sprintf("corrupt-%d-p%d", i, parity),
+				Guard: expr.Eq("fc", parity),
+				Updates: []program.Update{
+					program.Choose(cell(i), anyValue...),
+					program.Set("fc", 1-parity),
+				},
+			})
+		}
+	}
+
+	// Privileges: root iff x.0 = x.(n-1); process i iff x.i ≠ x.(i-1).
+	priv := make([]expr.Expr, n)
+	priv[0] = expr.EqVar(cell(0), cell(n-1))
+	for i := 1; i < n; i++ {
+		priv[i] = expr.NeVar(cell(i), cell(i-1))
+	}
+	// Invariant: exactly one privilege.
+	var exactlyOne []expr.Expr
+	for j := 0; j < n; j++ {
+		conj := []expr.Expr{priv[j]}
+		for l := 0; l < n; l++ {
+			if l != j {
+				conj = append(conj, expr.Not(priv[l]))
+			}
+		}
+		exactlyOne = append(exactlyOne, expr.And(conj...))
+	}
+	d.Invariant = expr.Or(exactlyOne...)
+
+	// Protocol-shape safety, with the fault-parity exemption: the root may
+	// change x.0 only when privileged and only by advancing; process i ≥ 1
+	// may change x.i only to its left neighbour's value.
+	var rootAdvance []expr.Expr
+	for v := 0; v < k; v++ {
+		rootAdvance = append(rootAdvance, expr.And(
+			expr.Eq(cell(0), v), expr.Eq(cell(n-1), v),
+			expr.NextEq(cell(0), (v+1)%k)))
+	}
+	badWrites := []expr.Expr{
+		expr.And(expr.Changed(cell(0)), expr.Not(expr.Or(rootAdvance...))),
+	}
+	for i := 1; i < n; i++ {
+		badWrites = append(badWrites, expr.And(
+			expr.Changed(cell(i)),
+			expr.Not(expr.NextEqVar(cell(i), cell(i-1)))))
+	}
+	d.BadTrans = expr.And(expr.Unchanged("fc"), expr.Or(badWrites...))
+	return d
+}

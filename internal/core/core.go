@@ -1,0 +1,111 @@
+// Package core orchestrates repair jobs: it compiles a distributed-program
+// definition, runs the selected repair algorithm (lazy or cautious),
+// optionally verifies the output against the paper's definitions, and
+// gathers timing statistics in the shape of the paper's tables.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/casestudies"
+	"repro/internal/program"
+	"repro/internal/repair"
+	"repro/internal/verify"
+)
+
+// Algorithm selects a repair algorithm.
+type Algorithm string
+
+// The implemented repair algorithms.
+const (
+	// LazyRepair is the paper's two-step Algorithm 1.
+	LazyRepair Algorithm = "lazy"
+	// CautiousRepair is the baseline that maintains realizability at every
+	// intermediate step (Section IV).
+	CautiousRepair Algorithm = "cautious"
+)
+
+// Job describes one repair run.
+type Job struct {
+	Def       *program.Def
+	Algorithm Algorithm
+	Options   repair.Options
+	// Verify runs the independent checker on the result.
+	Verify bool
+}
+
+// Outcome is the result of a Job.
+type Outcome struct {
+	Compiled *program.Compiled
+	Result   *repair.Result
+	Report   *verify.Report // nil unless Job.Verify
+
+	CompileTime time.Duration
+}
+
+// Run executes a repair job.
+func Run(job Job) (*Outcome, error) {
+	t0 := time.Now()
+	compiled, err := job.Def.Compile()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Compiled: compiled, CompileTime: time.Since(t0)}
+
+	var res *repair.Result
+	switch job.Algorithm {
+	case LazyRepair, "":
+		res, err = repair.Lazy(compiled, job.Options)
+	case CautiousRepair:
+		res, err = repair.Cautious(compiled, job.Options)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", job.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Result = res
+
+	if job.Verify {
+		out.Report = verify.Result(compiled, res)
+	}
+	return out, nil
+}
+
+// CaseStudy builds one of the paper's case studies by name:
+// "ba" (Byzantine agreement, n non-generals), "bafs" (Byzantine agreement
+// with fail-stop faults), "sc" (stabilizing chain, n cells), or "ring"
+// (Dijkstra's K-state token ring, n processes with counter domain n+1 — the
+// extension benchmark).
+func CaseStudy(name string, n int) (*program.Def, error) {
+	switch name {
+	case "ba":
+		if n < 1 {
+			return nil, fmt.Errorf("core: ba requires n ≥ 1")
+		}
+		return casestudies.BA(n), nil
+	case "bafs":
+		if n < 1 {
+			return nil, fmt.Errorf("core: bafs requires n ≥ 1")
+		}
+		return casestudies.BAFS(n), nil
+	case "sc":
+		if n < 2 {
+			return nil, fmt.Errorf("core: sc requires n ≥ 2")
+		}
+		return casestudies.SC(n), nil
+	case "ring":
+		if n < 2 {
+			return nil, fmt.Errorf("core: ring requires n ≥ 2")
+		}
+		return casestudies.TokenRing(n, n+1), nil
+	case "tmr":
+		return casestudies.TMR(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown case study %q (want ba, bafs, sc, ring, or tmr)", name)
+	}
+}
+
+// CaseStudyNames lists the available case-study names.
+func CaseStudyNames() []string { return []string{"ba", "bafs", "sc", "ring", "tmr"} }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/repair"
+)
+
+func TestRunLazyWithVerify(t *testing.T) {
+	def, err := CaseStudy("sc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(Job{Def: def, Algorithm: LazyRepair, Options: repair.DefaultOptions(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report == nil || !out.Report.OK() {
+		t.Fatalf("verification missing or failed: %v", out.Report)
+	}
+	if out.CompileTime <= 0 {
+		t.Fatal("compile time not recorded")
+	}
+	if out.Result.Stats.Total <= 0 {
+		t.Fatal("repair time not recorded")
+	}
+}
+
+func TestRunDefaultAlgorithmIsLazy(t *testing.T) {
+	def, _ := CaseStudy("ba", 2)
+	out, err := Run(Job{Def: def, Options: repair.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report != nil {
+		t.Fatal("verify was not requested")
+	}
+}
+
+func TestRunCautious(t *testing.T) {
+	def, _ := CaseStudy("ba", 2)
+	out, err := Run(Job{Def: def, Algorithm: CautiousRepair, Options: repair.DefaultOptions(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Report.OK() {
+		t.Fatalf("cautious result failed verification:\n%s", out.Report)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	def, _ := CaseStudy("ba", 2)
+	if _, err := Run(Job{Def: def, Algorithm: "magic"}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestCaseStudyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		ok   bool
+	}{
+		{"ba", 3, true},
+		{"bafs", 2, true},
+		{"sc", 4, true},
+		{"ba", 0, false},
+		{"bafs", 0, false},
+		{"sc", 1, false},
+		{"ring", 3, true},
+		{"ring", 1, false},
+		{"tmr", 0, true},
+		{"xx", 3, false},
+	}
+	for _, tc := range cases {
+		_, err := CaseStudy(tc.name, tc.n)
+		if (err == nil) != tc.ok {
+			t.Errorf("CaseStudy(%q, %d): err=%v, want ok=%v", tc.name, tc.n, err, tc.ok)
+		}
+	}
+	if len(CaseStudyNames()) != 5 {
+		t.Error("expected five case studies")
+	}
+}

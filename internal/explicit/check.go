@@ -1,0 +1,121 @@
+package explicit
+
+import "fmt"
+
+// CheckMasking performs graph-based masking fault-tolerance checks on an
+// explicit program (Definition 15), mirroring the symbolic verifier with
+// plain graph algorithms. It returns a list of violations (empty when the
+// program is masking f-tolerant from the invariant with the given span).
+func (sys *System) CheckMasking(trans map[Trans]bool, invariant, span map[State]bool) []string {
+	var out []string
+
+	// Invariant closure.
+	for t := range trans {
+		if invariant[t.From] && !invariant[t.To] {
+			out = append(out, fmt.Sprintf("invariant not closed: %v", t))
+			break
+		}
+	}
+	// Span closure under program and fault.
+	closed := func(set map[Trans]bool, kind string) {
+		for t := range set {
+			if span[t.From] && !span[t.To] {
+				out = append(out, fmt.Sprintf("span not closed under %s: %v", kind, t))
+				return
+			}
+		}
+	}
+	closed(trans, "program")
+	closed(sys.Fault, "fault")
+
+	// Safety from the invariant under faults.
+	reach := sys.Reachable(invariant, trans, sys.Fault)
+	for s := range reach {
+		if sys.BadStates[s] {
+			out = append(out, fmt.Sprintf("reachable bad state %d", s))
+			break
+		}
+	}
+	for t := range trans {
+		if reach[t.From] && sys.BadTrans[t] {
+			out = append(out, fmt.Sprintf("reachable bad program transition %v", t))
+			break
+		}
+	}
+	for t := range sys.Fault {
+		if reach[t.From] && sys.BadTrans[t] {
+			out = append(out, fmt.Sprintf("reachable bad fault transition %v", t))
+			break
+		}
+	}
+
+	// Recovery: outside the invariant (within the span) there must be no
+	// deadlock and no cycle.
+	outside := make(map[State]bool)
+	for s := range span {
+		if !invariant[s] {
+			outside[s] = true
+		}
+	}
+	adj := make(map[State][]State)
+	for t := range trans {
+		if outside[t.From] {
+			adj[t.From] = append(adj[t.From], t.To)
+		}
+	}
+	for s := range outside {
+		if len(adj[s]) == 0 {
+			out = append(out, fmt.Sprintf("deadlock outside invariant at state %d", s))
+			break
+		}
+	}
+	// Cycle detection among outside states via iterative DFS coloring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[State]int8)
+	var cycle bool
+	for start := range outside {
+		if color[start] != white || cycle {
+			continue
+		}
+		type frame struct {
+			s State
+			i int
+		}
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		for len(stack) > 0 && !cycle {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.i < len(adj[f.s]) {
+				next := adj[f.s][f.i]
+				f.i++
+				if !outside[next] {
+					continue
+				}
+				switch color[next] {
+				case gray:
+					cycle = true
+				case white:
+					color[next] = gray
+					stack = append(stack, frame{next, 0})
+					advanced = true
+				}
+				if cycle || advanced {
+					break
+				}
+			}
+			if !advanced && !cycle {
+				color[f.s] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	if cycle {
+		out = append(out, "livelock: cycle outside invariant")
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package explicit is an enumerative (explicit-state) mirror of the symbolic
+// engine. It materializes the state space of a compiled program as a graph,
+// implements the read-restriction group computation and the *literal*
+// Algorithm 2 of the paper — one transition picked per iteration, with the
+// ExpandGroup optimization — and provides graph-based checks of masking
+// fault-tolerance.
+//
+// Its purpose is validation: tests assert that the explicit algorithms agree
+// with the symbolic ones on small instances, so the symbolic closed forms
+// (DESIGN.md §4) are cross-checked against the paper's pseudocode.
+package explicit
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+)
+
+// State is an explicit state: the index obtained by mixed-radix encoding of
+// the variable values (first declared variable is the least significant
+// digit).
+type State int
+
+// Trans is one explicit transition.
+type Trans struct {
+	From, To State
+}
+
+// System is the enumerated form of a compiled program.
+type System struct {
+	C *program.Compiled
+
+	NumStates int
+	radix     []int // domain sizes in declaration order
+
+	// Proc[j] holds process j's transitions; Fault holds fault transitions.
+	Proc  []map[Trans]bool
+	Fault map[Trans]bool
+
+	Invariant map[State]bool
+	BadStates map[State]bool
+	BadTrans  map[Trans]bool
+}
+
+// MaxStates bounds enumeration; FromCompiled fails beyond it.
+const MaxStates = 1 << 22
+
+// FromCompiled enumerates the compiled program into an explicit System.
+func FromCompiled(c *program.Compiled) (*System, error) {
+	total := 1
+	radix := make([]int, len(c.Space.Vars))
+	for i, v := range c.Space.Vars {
+		radix[i] = v.Domain
+		if total > MaxStates/v.Domain {
+			return nil, fmt.Errorf("explicit: state space exceeds %d states", MaxStates)
+		}
+		total *= v.Domain
+	}
+	sys := &System{
+		C:         c,
+		NumStates: total,
+		radix:     radix,
+		Fault:     make(map[Trans]bool),
+		Invariant: make(map[State]bool),
+		BadStates: make(map[State]bool),
+		BadTrans:  make(map[Trans]bool),
+	}
+	for range c.Procs {
+		sys.Proc = append(sys.Proc, make(map[Trans]bool))
+	}
+
+	sys.fillStates(c.Invariant, sys.Invariant)
+	sys.fillStates(c.BadStates, sys.BadStates)
+	for j, p := range c.Procs {
+		sys.fillTrans(p.Trans, sys.Proc[j])
+	}
+	sys.fillTrans(c.Fault, sys.Fault)
+	sys.fillTrans(c.BadTrans, sys.BadTrans)
+	return sys, nil
+}
+
+// Values decodes a state into per-variable values (declaration order).
+func (sys *System) Values(s State) []int {
+	out := make([]int, len(sys.radix))
+	v := int(s)
+	for i, r := range sys.radix {
+		out[i] = v % r
+		v /= r
+	}
+	return out
+}
+
+// Encode is the inverse of Values.
+func (sys *System) Encode(vals []int) State {
+	v := 0
+	for i := len(vals) - 1; i >= 0; i-- {
+		v = v*sys.radix[i] + vals[i]
+	}
+	return State(v)
+}
+
+// fillStates enumerates the models of a state predicate into set.
+func (sys *System) fillStates(f bdd.Node, set map[State]bool) {
+	s := sys.C.Space
+	m := s.M
+	m.AllSat(m.And(f, s.ValidCur()), func(cube []int8) bool {
+		sys.expandStates(cube, set)
+		return true
+	})
+}
+
+// expandStates expands the don't-care current-state bits of a cube.
+func (sys *System) expandStates(cube []int8, set map[State]bool) {
+	s := sys.C.Space
+	vals := make([]int, len(s.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(s.Vars) {
+			set[sys.Encode(vals)] = true
+			return
+		}
+		v := s.Vars[i]
+		for _, val := range expandValue(cube, v.CurLevels(), v.DecodeCube(cube), v.Domain) {
+			vals[i] = val
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// fillTrans enumerates the models of a transition predicate into set.
+func (sys *System) fillTrans(f bdd.Node, set map[Trans]bool) {
+	s := sys.C.Space
+	m := s.M
+	m.AllSat(m.And(f, s.ValidTrans()), func(cube []int8) bool {
+		sys.expandTrans(cube, set)
+		return true
+	})
+}
+
+func (sys *System) expandTrans(cube []int8, set map[Trans]bool) {
+	s := sys.C.Space
+	from := make([]int, len(s.Vars))
+	to := make([]int, len(s.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(s.Vars) {
+			set[Trans{sys.Encode(from), sys.Encode(to)}] = true
+			return
+		}
+		v := s.Vars[i]
+		for _, cv := range expandValue(cube, v.CurLevels(), v.DecodeCube(cube), v.Domain) {
+			for _, nv := range expandValue(cube, v.NextLevels(), v.DecodeNextCube(cube), v.Domain) {
+				from[i], to[i] = cv, nv
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+}
+
+// expandValue enumerates the variable values compatible with a cube: the
+// base value with every combination of the don't-care bits, filtered to the
+// domain.
+func expandValue(cube []int8, levels []int, base, domain int) []int {
+	var freeBits []int
+	for b, lvl := range levels {
+		if cube[lvl] == -1 {
+			freeBits = append(freeBits, b)
+		}
+	}
+	if len(freeBits) == 0 {
+		return []int{base}
+	}
+	var out []int
+	for pattern := 0; pattern < 1<<len(freeBits); pattern++ {
+		val := base
+		for k, b := range freeBits {
+			if pattern&(1<<k) != 0 {
+				val |= 1 << b
+			}
+		}
+		if val < domain {
+			out = append(out, val)
+		}
+	}
+	return out
+}
+
+// AllProg returns the union of the process transition sets.
+func (sys *System) AllProg() map[Trans]bool {
+	out := make(map[Trans]bool)
+	for _, pt := range sys.Proc {
+		for t := range pt {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// Reachable returns the states reachable from init via the given transition
+// sets.
+func (sys *System) Reachable(init map[State]bool, sets ...map[Trans]bool) map[State]bool {
+	adj := make(map[State][]State)
+	for _, set := range sets {
+		for t := range set {
+			adj[t.From] = append(adj[t.From], t.To)
+		}
+	}
+	reached := make(map[State]bool, len(init))
+	var stack []State
+	for s := range init {
+		reached[s] = true
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range adj[s] {
+			if !reached[t] {
+				reached[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return reached
+}
+
+// FillStates enumerates the models of a symbolic state predicate into set.
+func (sys *System) FillStates(f bdd.Node, set map[State]bool) { sys.fillStates(f, set) }
+
+// FillTrans enumerates the models of a symbolic transition predicate into set.
+func (sys *System) FillTrans(f bdd.Node, set map[Trans]bool) { sys.fillTrans(f, set) }

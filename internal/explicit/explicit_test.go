@@ -1,0 +1,296 @@
+package explicit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/casestudies"
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/repair"
+	"repro/internal/symbolic"
+)
+
+// hiddenModel mirrors the repair package's test model: one hidden variable a
+// the process cannot read.
+func hiddenModel() *program.Def {
+	return &program.Def{
+		Name: "hidden",
+		Vars: []symbolic.VarSpec{{Name: "a", Domain: 2}, {Name: "y", Domain: 2}},
+		Processes: []*program.Process{
+			{Name: "p", Read: []string{"y"}, Write: []string{"y"}},
+		},
+		Faults: []program.Action{{
+			Name:    "corrupt",
+			Guard:   expr.And(expr.Eq("a", 0), expr.Eq("y", 0)),
+			Updates: []program.Update{program.Set("a", 1), program.Set("y", 1)},
+		}},
+		Invariant: expr.Eq("y", 0),
+		BadTrans:  expr.And(expr.Eq("a", 0), expr.NextEq("a", 0), expr.Changed("y")),
+	}
+}
+
+func mustSystem(t *testing.T, d *program.Def) (*System, *program.Compiled) {
+	t.Helper()
+	c := d.MustCompile()
+	sys, err := FromCompiled(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, c
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sys, _ := mustSystem(t, casestudies.SC(3))
+	for s := 0; s < sys.NumStates; s++ {
+		if got := sys.Encode(sys.Values(State(s))); got != State(s) {
+			t.Fatalf("round trip failed for state %d -> %d", s, got)
+		}
+	}
+}
+
+func TestEnumerationMatchesSymbolicCounts(t *testing.T) {
+	for _, d := range []*program.Def{hiddenModel(), casestudies.BA(2), casestudies.SC(3)} {
+		sys, c := mustSystem(t, d)
+		s := c.Space
+		if got, want := float64(len(sys.Invariant)), s.CountStates(c.Invariant); got != want {
+			t.Errorf("%s: invariant %v != symbolic %v", d.Name, got, want)
+		}
+		if got, want := float64(len(sys.Fault)), s.CountTransitions(c.Fault); got != want {
+			t.Errorf("%s: faults %v != symbolic %v", d.Name, got, want)
+		}
+		total := 0.0
+		for j, p := range c.Procs {
+			if got, want := float64(len(sys.Proc[j])), s.CountTransitions(p.Trans); got != want {
+				t.Errorf("%s: proc %s %v != symbolic %v", d.Name, p.Name, got, want)
+			}
+			total += float64(len(sys.Proc[j]))
+		}
+		_ = total
+		if got, want := float64(len(sys.BadTrans)), s.CountTransitions(c.BadTrans); got != want {
+			t.Errorf("%s: bad transitions %v != symbolic %v", d.Name, got, want)
+		}
+	}
+}
+
+func TestReachableMatchesSymbolic(t *testing.T) {
+	for _, d := range []*program.Def{hiddenModel(), casestudies.BA(2), casestudies.SC(3)} {
+		sys, c := mustSystem(t, d)
+		s := c.Space
+		exp := sys.Reachable(sys.Invariant, sys.AllProg(), sys.Fault)
+		sym := s.ReachableParts(c.Invariant, c.PartsWithFaults(bdd.True))
+		if got, want := float64(len(exp)), s.CountStates(sym); got != want {
+			t.Errorf("%s: explicit reach %v != symbolic %v", d.Name, got, want)
+		}
+	}
+}
+
+// symbolicTransSet enumerates a symbolic transition predicate into a map.
+func symbolicTransSet(sys *System, f bdd.Node) map[Trans]bool {
+	out := make(map[Trans]bool)
+	sys.fillTrans(f, out)
+	return out
+}
+
+func TestGroupMatchesSymbolic(t *testing.T) {
+	sys, c := mustSystem(t, hiddenModel())
+	s := c.Space
+	m := s.M
+	p := c.Procs[0]
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		from := State(rng.Intn(sys.NumStates))
+		to := State(rng.Intn(sys.NumStates))
+		tr := Trans{from, to}
+		if !sys.WriteLegal(p, tr) {
+			continue
+		}
+		// Build the symbolic transition.
+		fv, tv := sys.Values(from), sys.Values(to)
+		names := map[string]int{"a": fv[0], "y": fv[1]}
+		next := map[string]int{"a": tv[0], "y": tv[1]}
+		sTr, err := s.Transition(names, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		symGroup := symbolicTransSet(sys, m.And(p.Group(sTr), s.ValidTrans()))
+		expGroup := sys.Group(p, tr)
+		if len(symGroup) != len(expGroup) {
+			t.Fatalf("group size mismatch: explicit %d symbolic %d", len(expGroup), len(symGroup))
+		}
+		for _, g := range expGroup {
+			if !symGroup[g] {
+				t.Fatalf("explicit group member %v not in symbolic group", g)
+			}
+		}
+	}
+}
+
+func TestLiteralRealizeMatchesSymbolic(t *testing.T) {
+	for _, d := range []*program.Def{hiddenModel(), casestudies.BA(2), casestudies.SC(3)} {
+		sys, c := mustSystem(t, d)
+		s := c.Space
+		m := s.M
+		mask, err := repair.AddMasking(c, c.Invariant, c.BadTrans, repair.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		symbolicResult := repair.Realize(c, mask.Trans, mask.FaultSpan)
+
+		delta := symbolicTransSet(sys, mask.Trans)
+		span := make(map[State]bool)
+		sys.fillStates(mask.FaultSpan, span)
+		expResult, stats := sys.Realize(delta, span, true)
+
+		want := symbolicTransSet(sys, m.And(symbolicResult, s.ValidTrans()))
+		if len(expResult) != len(want) {
+			t.Fatalf("%s: literal Algorithm 2 produced %d transitions, symbolic %d",
+				d.Name, len(expResult), len(want))
+		}
+		for tr := range expResult {
+			if !want[tr] {
+				t.Fatalf("%s: literal result has %v, symbolic does not", d.Name, tr)
+			}
+		}
+		if stats.Iterations == 0 {
+			t.Fatalf("%s: expected nonzero iterations", d.Name)
+		}
+	}
+}
+
+func TestExpandGroupReducesIterations(t *testing.T) {
+	// Experiment E7: on Byzantine agreement, ExpandGroup merges groups that
+	// differ only in a readable-but-unwritten variable's value (e.g. a
+	// finalize action insensitive to another process's decision), reducing
+	// pick-loop iterations without changing the result.
+	sys, c := mustSystem(t, casestudies.BA(2))
+	mask, err := repair.AddMasking(c, c.Invariant, c.BadTrans, repair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := symbolicTransSet(sys, mask.Trans)
+	span := make(map[State]bool)
+	sys.fillStates(mask.FaultSpan, span)
+
+	with, withStats := sys.Realize(delta, span, true)
+	without, withoutStats := sys.Realize(delta, span, false)
+
+	if len(with) != len(without) {
+		t.Fatalf("ExpandGroup changed the result: %d vs %d", len(with), len(without))
+	}
+	for tr := range with {
+		if !without[tr] {
+			t.Fatal("ExpandGroup changed the result set")
+		}
+	}
+	if withStats.Expansions == 0 {
+		t.Fatal("expected successful expansions on Byzantine agreement")
+	}
+	if withStats.Iterations >= withoutStats.Iterations {
+		t.Fatalf("ExpandGroup did not reduce iterations: %d vs %d",
+			withStats.Iterations, withoutStats.Iterations)
+	}
+
+	// On the chain the expansion never applies (the expanded variants write
+	// a value the specification forbids), and the result is unchanged.
+	sysC, cC := mustSystem(t, casestudies.SC(3))
+	maskC, err := repair.AddMasking(cC, cC.Invariant, cC.BadTrans, repair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaC := symbolicTransSet(sysC, maskC.Trans)
+	spanC := make(map[State]bool)
+	sysC.fillStates(maskC.FaultSpan, spanC)
+	_, statsC := sysC.Realize(deltaC, spanC, true)
+	if statsC.Expansions != 0 {
+		t.Fatalf("chain should produce no expansions, got %d", statsC.Expansions)
+	}
+}
+
+func TestExpandGroupRejectsWrittenVariable(t *testing.T) {
+	sys, c := mustSystem(t, hiddenModel())
+	p := c.Procs[0]
+	// Group of y:1→0 with a=1 (unreadable a unchanged).
+	base := Trans{sys.Encode([]int{1, 1}), sys.Encode([]int{1, 0})}
+	group := sys.Group(p, base)
+	// Expanding over y itself (index 1) must refuse: y changes.
+	if got := sys.ExpandGroup(1, group); len(got) != len(group) {
+		t.Fatalf("ExpandGroup over a written variable must not grow: %d vs %d", len(got), len(group))
+	}
+}
+
+func TestCheckMaskingOnRepairedProgram(t *testing.T) {
+	for _, d := range []*program.Def{hiddenModel(), casestudies.BA(2), casestudies.SC(3)} {
+		sys, c := mustSystem(t, d)
+		res, err := repair.Lazy(c, repair.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		trans := symbolicTransSet(sys, res.Trans)
+		inv := make(map[State]bool)
+		sys.fillStates(res.Invariant, inv)
+		span := make(map[State]bool)
+		sys.fillStates(res.FaultSpan, span)
+		if violations := sys.CheckMasking(trans, inv, span); len(violations) != 0 {
+			t.Errorf("%s: explicit masking check failed: %v", d.Name, violations)
+		}
+	}
+}
+
+func TestCheckMaskingDetectsViolations(t *testing.T) {
+	sys, c := mustSystem(t, hiddenModel())
+	res, err := repair.Lazy(c, repair.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := make(map[State]bool)
+	sys.fillStates(res.Invariant, inv)
+	span := make(map[State]bool)
+	sys.fillStates(res.FaultSpan, span)
+
+	// Empty program: recovery states deadlock.
+	if v := sys.CheckMasking(map[Trans]bool{}, inv, span); len(v) == 0 {
+		t.Fatal("empty program should fail the masking check")
+	}
+	// Self-loop outside the invariant: livelock.
+	var outside State = -1
+	for s := range span {
+		if !inv[s] {
+			outside = s
+			break
+		}
+	}
+	if outside >= 0 {
+		bad := map[Trans]bool{{outside, outside}: true}
+		found := false
+		for _, v := range sys.CheckMasking(bad, inv, span) {
+			if v == "livelock: cycle outside invariant" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("self-loop outside invariant should be reported as livelock")
+		}
+	}
+}
+
+func TestWriteLegal(t *testing.T) {
+	sys, c := mustSystem(t, hiddenModel())
+	p := c.Procs[0]
+	// Changing y only: legal. Changing a: illegal.
+	if !sys.WriteLegal(p, Trans{sys.Encode([]int{0, 1}), sys.Encode([]int{0, 0})}) {
+		t.Fatal("y-only change should be write-legal")
+	}
+	if sys.WriteLegal(p, Trans{sys.Encode([]int{0, 1}), sys.Encode([]int{1, 1})}) {
+		t.Fatal("a change should not be write-legal")
+	}
+}
+
+func TestFromCompiledTooLarge(t *testing.T) {
+	// 30 cells of domain 10 is far beyond the enumeration cap.
+	c := casestudies.SC(30).MustCompile()
+	if _, err := FromCompiled(c); err == nil {
+		t.Fatal("expected state-space-too-large error")
+	}
+}

@@ -1,0 +1,190 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/symbolic"
+)
+
+func space(t *testing.T) *symbolic.Space {
+	t.Helper()
+	return symbolic.MustNew([]symbolic.VarSpec{
+		{Name: "x", Domain: 3},
+		{Name: "y", Domain: 3},
+		{Name: "b", Domain: 2},
+	})
+}
+
+func compile(t *testing.T, s *symbolic.Space, e Expr) bdd.Node {
+	t.Helper()
+	n, err := e.Compile(s)
+	if err != nil {
+		t.Fatalf("compile %s: %v", e, err)
+	}
+	return n
+}
+
+func TestEqCompile(t *testing.T) {
+	s := space(t)
+	n := compile(t, s, Eq("x", 2))
+	if n != s.VarByName("x").EqConst(2) {
+		t.Fatal("Eq compiles to wrong node")
+	}
+}
+
+func TestNeIsComplementWithinDomain(t *testing.T) {
+	s := space(t)
+	eq := compile(t, s, Eq("x", 1))
+	ne := compile(t, s, Ne("x", 1))
+	m := s.M
+	if m.And(eq, ne) != bdd.False {
+		t.Fatal("Eq and Ne overlap")
+	}
+	// Within the valid space they partition states.
+	if got := s.CountStates(m.Or(eq, ne)); got != s.CountStates(bdd.True) {
+		t.Fatalf("Eq ∪ Ne misses states: %v", got)
+	}
+}
+
+func TestEqVar(t *testing.T) {
+	s := space(t)
+	n := compile(t, s, EqVar("x", "y"))
+	// 3 equal pairs × 2 values of b.
+	if got := s.CountStates(n); got != 6 {
+		t.Fatalf("CountStates(x=y) = %v, want 6", got)
+	}
+}
+
+func TestLt(t *testing.T) {
+	s := space(t)
+	n := compile(t, s, Lt("x", 2))
+	// x ∈ {0,1}: 2 × 3 × 2 = 12.
+	if got := s.CountStates(n); got != 12 {
+		t.Fatalf("CountStates(x<2) = %v, want 12", got)
+	}
+	if compile(t, s, Lt("x", 0)) != bdd.False {
+		t.Fatal("x<0 should be false")
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	s := space(t)
+	m := s.M
+	a := compile(t, s, Eq("x", 0))
+	b := compile(t, s, Eq("y", 1))
+	if compile(t, s, And(Eq("x", 0), Eq("y", 1))) != m.And(a, b) {
+		t.Fatal("And wrong")
+	}
+	if compile(t, s, Or(Eq("x", 0), Eq("y", 1))) != m.Or(a, b) {
+		t.Fatal("Or wrong")
+	}
+	if compile(t, s, Implies(Eq("x", 0), Eq("y", 1))) != m.Imp(a, b) {
+		t.Fatal("Implies wrong")
+	}
+	if compile(t, s, And()) != bdd.True || compile(t, s, Or()) != bdd.False {
+		t.Fatal("empty connectives wrong")
+	}
+	if compile(t, s, True) != bdd.True || compile(t, s, False) != bdd.False {
+		t.Fatal("constants wrong")
+	}
+}
+
+func TestChangedUnchanged(t *testing.T) {
+	s := space(t)
+	m := s.M
+	ch := compile(t, s, Changed("x"))
+	un := compile(t, s, Unchanged("x"))
+	if m.And(ch, un) != bdd.False || m.Or(ch, un) != bdd.True {
+		t.Fatal("Changed/Unchanged should partition the transition space")
+	}
+	if un != s.VarByName("x").Unchanged() {
+		t.Fatal("Unchanged compiles to wrong node")
+	}
+}
+
+func TestNextEq(t *testing.T) {
+	s := space(t)
+	n := compile(t, s, NextEq("x", 1))
+	if n != s.VarByName("x").NextEqConst(1) {
+		t.Fatal("NextEq compiles to wrong node")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s := space(t)
+	bad := []Expr{
+		Eq("nope", 0),
+		Eq("x", 9),
+		EqVar("x", "nope"),
+		EqVar("nope", "x"),
+		NextEq("nope", 0),
+		NextEq("x", 3),
+		Changed("nope"),
+		Lt("nope", 1),
+		And(Eq("x", 0), Eq("nope", 0)),
+		Or(Eq("nope", 0)),
+		Not(Eq("nope", 0)),
+		Implies(Eq("nope", 0), True),
+		Implies(True, Eq("nope", 0)),
+	}
+	for _, e := range bad {
+		if _, err := e.Compile(s); err == nil {
+			t.Errorf("expected error compiling %s", e)
+		}
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	e := And(Eq("x", 0), Or(EqVar("y", "b"), Changed("x")), Implies(True, Ne("y", 1)))
+	vars := e.Vars(nil)
+	want := map[string]int{"x": 0, "y": 0, "b": 0}
+	for _, v := range vars {
+		want[v]++
+	}
+	for name, n := range want {
+		if n == 0 {
+			t.Errorf("Vars missed %s (got %v)", name, vars)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Eq("x", 1), Not(EqVar("x", "y")), Implies(Changed("b"), NextEq("b", 1)))
+	s := e.String()
+	for _, sub := range []string{"x=1", "x=y", "changed(b)", "b'=1", "⇒"} {
+		if !containsStr(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNextEqVar(t *testing.T) {
+	s := space(t)
+	n := compile(t, s, NextEqVar("x", "y"))
+	if n != s.VarByName("x").NextEq(s.VarByName("y")) {
+		t.Fatal("NextEqVar compiles to wrong node")
+	}
+	if _, err := NextEqVar("x", "zz").Compile(s); err == nil {
+		t.Fatal("unknown rhs should error")
+	}
+	if _, err := NextEqVar("zz", "x").Compile(s); err == nil {
+		t.Fatal("unknown lhs should error")
+	}
+	vars := NextEqVar("x", "y").Vars(nil)
+	if len(vars) != 2 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if NextEqVar("x", "y").String() != "x'=y" {
+		t.Fatalf("String = %q", NextEqVar("x", "y").String())
+	}
+}

@@ -1,0 +1,118 @@
+// Package parse reads distributed-program definitions from a small
+// declarative text format, so repair problems can be written without Go:
+//
+//	program traffic
+//
+//	var light : 0..2
+//	var btn   : bool
+//
+//	process controller
+//	  read  light btn
+//	  write light
+//	  action go   : light = 0 & btn = 1 -> light := 1
+//	  action stop : light = 1           -> light := 0
+//
+//	fault glitch : light = 1 -> light := 2
+//	fault press  : true      -> btn := 0 | 1
+//
+//	invariant light < 2
+//	badstate  light = 2 & btn = 0
+//	badtrans  changed(light) & light' = 2
+//
+// Multiple `invariant` lines are conjoined; multiple `badstate`/`badtrans`
+// lines are disjoined. Expressions support =, !=, <, & (and), | (or),
+// ! (not), parentheses, `true`, `false`, variable–variable comparison
+// (x = y), next-state forms (x' = 1, x' = y), and changed(x)/unchanged(x).
+// Assignments support constants (x := 1), copies (x := y), and
+// nondeterministic choice (x := 0 | 2).
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent  // identifiers, possibly with dots: d.0, x.12
+	tokNumber // decimal integer
+	tokPrime  // ' attached to the preceding identifier (lexed together)
+	tokSymbol // punctuation: = != < & | ! ( ) : , .. -> :=
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex splits the input into tokens. Comments run from '#' to end of line.
+// Newlines are significant (they terminate clauses), so they are tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == '#':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\n':
+			toks = append(toks, token{tokNewline, "\n", line})
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '.') {
+				// ".." is the range operator, not part of an identifier.
+				if input[j] == '.' && j+1 < n && input[j+1] == '.' {
+					break
+				}
+				j++
+			}
+			text := strings.TrimSuffix(input[i:j], ".")
+			j = i + len(text)
+			toks = append(toks, token{tokIdent, text, line})
+			i = j
+			if i < n && input[i] == '\'' {
+				toks = append(toks, token{tokPrime, "'", line})
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], line})
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch {
+			case two == ":=" || two == "!=" || two == ".." || two == "->":
+				toks = append(toks, token{tokSymbol, two, line})
+				i += 2
+			case strings.ContainsRune("=<&|!():,", rune(c)):
+				toks = append(toks, token{tokSymbol, string(c), line})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

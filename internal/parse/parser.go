@@ -1,0 +1,499 @@
+package parse
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/expr"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// Program parses a model definition from the text format (see the package
+// comment) into a program.Def ready to compile.
+func Program(input string) (*program.Def, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	def  *program.Def
+	vars map[string]int // name -> domain (for validation)
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().kind == tokNewline {
+		p.pos++
+	}
+}
+
+// expectSymbol consumes the given symbol or fails.
+func (p *parser) expectSymbol(sym string) error {
+	t := p.cur()
+	if t.kind != tokSymbol || t.text != sym {
+		return p.errf("expected %q, found %q", sym, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+// expectIdent consumes and returns an identifier.
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// keyword reports whether the current token is the given bare word.
+func (p *parser) keyword(word string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == word
+}
+
+// program parses the whole file.
+func (p *parser) program() (*program.Def, error) {
+	p.def = &program.Def{}
+	p.vars = make(map[string]int)
+	var invariants, badStates, badTrans []expr.Expr
+
+	p.skipNewlines()
+	if !p.keyword("program") {
+		return nil, p.errf("file must start with 'program <name>'")
+	}
+	p.pos++
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	p.def.Name = name
+
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf("expected a declaration keyword, found %q", t.text)
+		}
+		switch t.text {
+		case "var":
+			if err := p.varDecl(); err != nil {
+				return nil, err
+			}
+		case "process":
+			if err := p.processDecl(); err != nil {
+				return nil, err
+			}
+		case "fault":
+			p.pos++
+			act, err := p.actionDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			p.def.Faults = append(p.def.Faults, *act)
+		case "invariant":
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			invariants = append(invariants, e)
+		case "badstate":
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			badStates = append(badStates, e)
+		case "badtrans":
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			badTrans = append(badTrans, e)
+		default:
+			return nil, p.errf("unknown declaration %q", t.text)
+		}
+	}
+
+	if len(invariants) == 0 {
+		p.def.Invariant = expr.True
+	} else {
+		p.def.Invariant = expr.And(invariants...)
+	}
+	if len(badStates) > 0 {
+		p.def.BadStates = expr.Or(badStates...)
+	}
+	if len(badTrans) > 0 {
+		p.def.BadTrans = expr.Or(badTrans...)
+	}
+	return p.def, nil
+}
+
+// varDecl parses: var NAME : lo..hi   |   var NAME : bool
+func (p *parser) varDecl() error {
+	p.pos++ // 'var'
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.vars[name]; dup {
+		return p.errf("variable %q redeclared", name)
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return err
+	}
+	domain := 0
+	if p.keyword("bool") {
+		p.pos++
+		domain = 2
+	} else {
+		lo, err := p.number()
+		if err != nil {
+			return err
+		}
+		if lo != 0 {
+			return p.errf("variable ranges must start at 0")
+		}
+		if err := p.expectSymbol(".."); err != nil {
+			return err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return err
+		}
+		if hi < 1 {
+			return p.errf("variable %q needs at least two values", name)
+		}
+		domain = hi + 1
+	}
+	p.vars[name] = domain
+	p.def.Vars = append(p.def.Vars, symbolic.VarSpec{Name: name, Domain: domain})
+	return nil
+}
+
+func (p *parser) number() (int, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, found %q", t.text)
+	}
+	p.pos++
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad number %q", t.text)
+	}
+	return v, nil
+}
+
+// processDecl parses a process block: the header line, then read/write/
+// action clauses until the next top-level keyword.
+func (p *parser) processDecl() error {
+	p.pos++ // 'process'
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	proc := &program.Process{Name: name}
+	for {
+		p.skipNewlines()
+		switch {
+		case p.keyword("read"):
+			p.pos++
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			proc.Read = append(proc.Read, names...)
+		case p.keyword("write"):
+			p.pos++
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			proc.Write = append(proc.Write, names...)
+		case p.keyword("action"):
+			p.pos++
+			act, err := p.actionDecl(false)
+			if err != nil {
+				return err
+			}
+			proc.Actions = append(proc.Actions, *act)
+		default:
+			if len(proc.Read) == 0 {
+				return p.errf("process %q has no read clause", name)
+			}
+			p.def.Processes = append(p.def.Processes, proc)
+			return nil
+		}
+	}
+}
+
+// identList parses identifiers up to the end of the line.
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for p.cur().kind == tokIdent {
+		out = append(out, p.next().text)
+	}
+	if len(out) == 0 {
+		return nil, p.errf("expected at least one variable name")
+	}
+	return out, nil
+}
+
+// actionDecl parses: NAME? : guard -> assignments
+// For faults the name is required to look the same; the leading keyword was
+// already consumed by the caller.
+func (p *parser) actionDecl(isFault bool) (*program.Action, error) {
+	act := &program.Action{}
+	if p.cur().kind == tokIdent {
+		act.Name = p.next().text
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return nil, err
+	}
+	guard, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	act.Guard = guard
+	if err := p.expectSymbol("->"); err != nil {
+		return nil, err
+	}
+	for {
+		upd, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		act.Updates = append(act.Updates, *upd)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return act, nil
+}
+
+// assignment parses: NAME := const (| const)*   |   NAME := NAME
+func (p *parser) assignment() (*program.Update, error) {
+	target, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.vars[target]; !ok {
+		return nil, p.errf("assignment to undeclared variable %q", target)
+	}
+	if err := p.expectSymbol(":="); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokIdent {
+		from := p.next().text
+		if _, ok := p.vars[from]; !ok {
+			return nil, p.errf("copy from undeclared variable %q", from)
+		}
+		u := program.Copy(target, from)
+		return &u, nil
+	}
+	var values []int
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		values = append(values, v)
+		if p.cur().kind == tokSymbol && p.cur().text == "|" {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if len(values) == 1 {
+		u := program.Set(target, values[0])
+		return &u, nil
+	}
+	u := program.Choose(target, values...)
+	return &u, nil
+}
+
+// --- expression grammar ------------------------------------------------
+//
+//	expression := term ('|' term)*
+//	term       := factor ('&' factor)*
+//	factor     := '!' factor | '(' expression ')' | atom
+//	atom       := 'true' | 'false'
+//	            | 'changed' '(' NAME ')' | 'unchanged' '(' NAME ')'
+//	            | NAME ''? ('=' | '!=' | '<') (NUMBER | NAME)
+
+func (p *parser) expression() (expr.Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	parts := []expr.Expr{left}
+	for p.cur().kind == tokSymbol && p.cur().text == "|" {
+		p.pos++
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return expr.Or(parts...), nil
+}
+
+func (p *parser) term() (expr.Expr, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	parts := []expr.Expr{left}
+	for p.cur().kind == tokSymbol && p.cur().text == "&" {
+		p.pos++
+		right, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return expr.And(parts...), nil
+}
+
+func (p *parser) factor() (expr.Expr, error) {
+	t := p.cur()
+	if t.kind == tokSymbol && t.text == "!" {
+		p.pos++
+		inner, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(inner), nil
+	}
+	if t.kind == tokSymbol && t.text == "(" {
+		p.pos++
+		inner, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (expr.Expr, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected an atom, found %q", t.text)
+	}
+	switch t.text {
+	case "true":
+		p.pos++
+		return expr.True, nil
+	case "false":
+		p.pos++
+		return expr.False, nil
+	case "changed", "unchanged":
+		p.pos++
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.vars[name]; !ok {
+			return nil, p.errf("undeclared variable %q", name)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if t.text == "changed" {
+			return expr.Changed(name), nil
+		}
+		return expr.Unchanged(name), nil
+	}
+
+	name := p.next().text
+	if _, ok := p.vars[name]; !ok {
+		return nil, p.errf("undeclared variable %q", name)
+	}
+	primed := false
+	if p.cur().kind == tokPrime {
+		primed = true
+		p.pos++
+	}
+	op := p.cur()
+	if op.kind != tokSymbol || (op.text != "=" && op.text != "!=" && op.text != "<") {
+		return nil, p.errf("expected comparison after %q", name)
+	}
+	p.pos++
+
+	rhs := p.cur()
+	switch rhs.kind {
+	case tokNumber:
+		v, _ := strconv.Atoi(rhs.text)
+		p.pos++
+		switch {
+		case primed && op.text == "=":
+			return expr.NextEq(name, v), nil
+		case primed && op.text == "!=":
+			return expr.Not(expr.NextEq(name, v)), nil
+		case primed:
+			return nil, p.errf("'<' is not supported on primed variables")
+		case op.text == "=":
+			return expr.Eq(name, v), nil
+		case op.text == "!=":
+			return expr.Ne(name, v), nil
+		default:
+			return expr.Lt(name, v), nil
+		}
+	case tokIdent:
+		other := p.next().text
+		if _, ok := p.vars[other]; !ok {
+			return nil, p.errf("undeclared variable %q", other)
+		}
+		switch {
+		case primed && op.text == "=":
+			return expr.NextEqVar(name, other), nil
+		case primed && op.text == "!=":
+			return expr.Not(expr.NextEqVar(name, other)), nil
+		case primed:
+			return nil, p.errf("'<' is not supported on primed variables")
+		case op.text == "=":
+			return expr.EqVar(name, other), nil
+		case op.text == "!=":
+			return expr.NeVar(name, other), nil
+		default:
+			return nil, p.errf("'<' between variables is not supported")
+		}
+	default:
+		return nil, p.errf("expected a number or variable after %q", op.text)
+	}
+}

@@ -1,0 +1,85 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+)
+
+// DescribeActions renders the given transition set, restricted to what
+// process p can execute, as human-readable guarded commands over the
+// process's readable variables. Each line has the form
+//
+//	when d.g=1 ∧ d.0=⊥ → d.0:=1
+//
+// Unreadable variables are projected away (they are unchanged by
+// definition), so the rendering is exactly the process's local protocol. At
+// most limit lines are returned; a trailing "…" line signals truncation.
+func (p *CompiledProc) DescribeActions(delta bdd.Node, limit int) []string {
+	s := p.space
+	m := s.M
+	core := m.AndN(delta, p.WriteOK, p.SameUnread, s.ValidTrans())
+	proj := m.Exists(core, p.unreadCube)
+
+	// Drop self-loops: they carry no protocol content.
+	proj = m.Diff(proj, s.Identity())
+
+	var out []string
+	seen := make(map[string]bool)
+	truncated := false
+	m.AllSat(proj, func(cube []int8) bool {
+		if len(out) >= limit {
+			truncated = true
+			return false
+		}
+		var guards, updates []string
+		for _, v := range s.Vars {
+			if !p.Read[v.Name] {
+				continue
+			}
+			cur, curOK := decodeFull(cube, v.CurLevels())
+			next, nextOK := decodeFull(cube, v.NextLevels())
+			if curOK {
+				guards = append(guards, fmt.Sprintf("%s=%d", v.Name, cur))
+			}
+			if p.Write[v.Name] && nextOK && (!curOK || next != cur) {
+				updates = append(updates, fmt.Sprintf("%s:=%d", v.Name, next))
+			}
+		}
+		if len(updates) == 0 {
+			return true
+		}
+		guard := "true"
+		if len(guards) > 0 {
+			guard = strings.Join(guards, " ∧ ")
+		}
+		line := fmt.Sprintf("when %s → %s", guard, strings.Join(updates, ", "))
+		if !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+		return true
+	})
+	sort.Strings(out)
+	if truncated {
+		out = append(out, "…")
+	}
+	return out
+}
+
+// decodeFull decodes a value from a cube, reporting whether every bit was
+// determined (no don't-cares).
+func decodeFull(cube []int8, levels []int) (int, bool) {
+	val := 0
+	for b, lvl := range levels {
+		switch cube[lvl] {
+		case 1:
+			val |= 1 << b
+		case -1:
+			return 0, false
+		}
+	}
+	return val, true
+}

@@ -1,0 +1,431 @@
+// Package program models distributed programs in the paper's sense: a finite
+// set of finite-domain variables and a set of processes, each with read and
+// write restrictions and a set of guarded-command actions. Programs compile
+// to symbolic (BDD) transition predicates, and the package provides the
+// read-restriction group operator that defines realizability
+// (Section III-B of the paper).
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/symbolic"
+)
+
+// UpdateKind distinguishes the forms of assignment an action can make.
+type UpdateKind int
+
+const (
+	// SetConst assigns a constant: v := c.
+	SetConst UpdateKind = iota
+	// CopyVar assigns another variable's current value: v := w.
+	CopyVar
+	// ChooseConst assigns nondeterministically one of several constants:
+	// v := c1 | c2 | …  (used e.g. for Byzantine perturbation).
+	ChooseConst
+)
+
+// Update is a single assignment performed by an action.
+type Update struct {
+	Kind  UpdateKind
+	Var   string
+	Val   int    // SetConst
+	From  string // CopyVar
+	Among []int  // ChooseConst
+}
+
+// Set returns the update v := val.
+func Set(v string, val int) Update { return Update{Kind: SetConst, Var: v, Val: val} }
+
+// Copy returns the update v := from.
+func Copy(v, from string) Update { return Update{Kind: CopyVar, Var: v, From: from} }
+
+// Choose returns the nondeterministic update v := among[0] | among[1] | …
+func Choose(v string, among ...int) Update {
+	return Update{Kind: ChooseConst, Var: v, Among: among}
+}
+
+// Action is a guarded command: when Guard holds, perform Updates atomically;
+// all variables without an update stay unchanged.
+type Action struct {
+	Name    string
+	Guard   expr.Expr
+	Updates []Update
+}
+
+// Process declares one process of a distributed program: the variables it
+// may read, the variables it may write (W ⊆ R per Definition 17), and its
+// actions.
+type Process struct {
+	Name    string
+	Read    []string
+	Write   []string
+	Actions []Action
+}
+
+// Def is the complete declarative definition of a repair problem instance:
+// the distributed program, its fault actions, the invariant (set of
+// legitimate states), and the safety specification (bad states Sf_bs and bad
+// transitions Sf_bt).
+type Def struct {
+	Name      string
+	Vars      []symbolic.VarSpec
+	Processes []*Process
+	// Faults are transitions not subject to read/write restrictions
+	// (Definition 12).
+	Faults []Action
+	// Invariant is the set of legitimate states S.
+	Invariant expr.Expr
+	// BadStates is Sf_bs: states no computation may reach.
+	BadStates expr.Expr
+	// BadTrans is Sf_bt: transitions no computation may take. It may use
+	// transition-level predicates (Changed, NextEq).
+	BadTrans expr.Expr
+	// Liveness holds the optional leads-to properties L ↝ T of the
+	// specification (Definition 8). The repair algorithms preserve safety
+	// and recovery by construction; leads-to properties are checked by the
+	// verifier on the repaired program (see verify.Result).
+	Liveness []LeadsTo
+}
+
+// LeadsTo is one leads-to property L ↝ T: every computation that visits an
+// L-state must later visit a T-state (Definition 8).
+type LeadsTo struct {
+	Name string
+	From expr.Expr // L
+	To   expr.Expr // T
+}
+
+// CompiledLeadsTo is the symbolic form of a LeadsTo.
+type CompiledLeadsTo struct {
+	Name     string
+	From, To bdd.Node
+}
+
+// CompiledProc is the symbolic form of one process.
+type CompiledProc struct {
+	Name  string
+	Read  map[string]bool
+	Write map[string]bool
+
+	// Trans is δ_j: the process's transitions (write restrictions hold by
+	// construction).
+	Trans bdd.Node
+	// WriteOK is the set of transitions that respect the process's write
+	// restriction: every variable outside W_j unchanged.
+	WriteOK bdd.Node
+	// SameUnread is the set of transitions leaving every unreadable
+	// variable unchanged. Since W ⊆ R this is implied by WriteOK.
+	SameUnread bdd.Node
+
+	unreadCube bdd.Node // cube of the unreadable variables' cur+next bits
+	space      *symbolic.Space
+}
+
+// Compiled is the symbolic form of a Def: everything the repair algorithms
+// operate on.
+type Compiled struct {
+	Def   *Def
+	Space *symbolic.Space
+	Procs []*CompiledProc
+
+	// Trans is δ_P: the union of all process transitions (without the
+	// Definition-18 stutter; see WithStutter).
+	Trans bdd.Node
+	// Fault is the union of all fault transitions.
+	Fault bdd.Node
+	// FaultParts holds each fault action's transitions separately, for
+	// disjunctively-partitioned image computation.
+	FaultParts []bdd.Node
+	// AnyWrite is the union of the processes' write-legal transition
+	// universes: transitions at least one process could perform without
+	// violating its write restriction. Write restrictions are cheap to
+	// enforce (a conjunction per process), so Step 1 of lazy repair keeps
+	// them while ignoring the expensive read restrictions.
+	AnyWrite bdd.Node
+
+	Invariant bdd.Node // S
+	BadStates bdd.Node // Sf_bs
+	BadTrans  bdd.Node // Sf_bt
+	Liveness  []CompiledLeadsTo
+}
+
+// Compile validates the definition and lowers it to BDDs.
+func (d *Def) Compile() (*Compiled, error) {
+	space, err := symbolic.New(d.Vars)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Def: d, Space: space, Trans: bdd.False, Fault: bdd.False, AnyWrite: bdd.False}
+	m := space.M
+
+	for _, p := range d.Processes {
+		cp, err := compileProcess(space, p)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: %w", d.Name, err)
+		}
+		c.Procs = append(c.Procs, cp)
+		c.Trans = m.Or(c.Trans, cp.Trans)
+		c.AnyWrite = m.Or(c.AnyWrite, m.And(cp.WriteOK, space.ValidTrans()))
+	}
+	for i, fa := range d.Faults {
+		tr, err := compileAction(space, fa, nil)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: fault %d (%s): %w", d.Name, i, fa.Name, err)
+		}
+		c.Fault = m.Or(c.Fault, tr)
+		c.FaultParts = append(c.FaultParts, tr)
+	}
+
+	if c.Invariant, err = compilePred(space, d.Invariant, bdd.True); err != nil {
+		return nil, fmt.Errorf("program %s: invariant: %w", d.Name, err)
+	}
+	c.Invariant = m.And(c.Invariant, space.ValidCur())
+	if c.BadStates, err = compilePred(space, d.BadStates, bdd.False); err != nil {
+		return nil, fmt.Errorf("program %s: bad states: %w", d.Name, err)
+	}
+	c.BadStates = m.And(c.BadStates, space.ValidCur())
+	if c.BadTrans, err = compilePred(space, d.BadTrans, bdd.False); err != nil {
+		return nil, fmt.Errorf("program %s: bad transitions: %w", d.Name, err)
+	}
+	c.BadTrans = m.And(c.BadTrans, space.ValidTrans())
+	for i, lt := range d.Liveness {
+		from, err := compilePred(space, lt.From, bdd.False)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: liveness %d (%s): %w", d.Name, i, lt.Name, err)
+		}
+		to, err := compilePred(space, lt.To, bdd.False)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: liveness %d (%s): %w", d.Name, i, lt.Name, err)
+		}
+		c.Liveness = append(c.Liveness, CompiledLeadsTo{
+			Name: lt.Name,
+			From: m.And(from, space.ValidCur()),
+			To:   m.And(to, space.ValidCur()),
+		})
+	}
+	return c, nil
+}
+
+// MustCompile is Compile but panics on error.
+func (d *Def) MustCompile() *Compiled {
+	c, err := d.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func compilePred(s *symbolic.Space, e expr.Expr, dflt bdd.Node) (bdd.Node, error) {
+	if e == nil {
+		return dflt, nil
+	}
+	return e.Compile(s)
+}
+
+func compileProcess(s *symbolic.Space, p *Process) (*CompiledProc, error) {
+	cp := &CompiledProc{
+		Name:  p.Name,
+		Read:  make(map[string]bool, len(p.Read)),
+		Write: make(map[string]bool, len(p.Write)),
+		space: s,
+	}
+	for _, name := range p.Read {
+		if s.VarByName(name) == nil {
+			return nil, fmt.Errorf("process %s: unknown read variable %q", p.Name, name)
+		}
+		cp.Read[name] = true
+	}
+	for _, name := range p.Write {
+		if s.VarByName(name) == nil {
+			return nil, fmt.Errorf("process %s: unknown write variable %q", p.Name, name)
+		}
+		if !cp.Read[name] {
+			return nil, fmt.Errorf("process %s: writes %q without reading it (W ⊆ R required)", p.Name, name)
+		}
+		cp.Write[name] = true
+	}
+
+	m := s.M
+	cp.WriteOK, cp.SameUnread = bdd.True, bdd.True
+	var unreadLevels []int
+	for _, v := range s.Vars {
+		if !cp.Write[v.Name] {
+			cp.WriteOK = m.And(cp.WriteOK, v.Unchanged())
+		}
+		if !cp.Read[v.Name] {
+			cp.SameUnread = m.And(cp.SameUnread, v.Unchanged())
+			unreadLevels = append(unreadLevels, v.CurLevels()...)
+			unreadLevels = append(unreadLevels, v.NextLevels()...)
+		}
+	}
+	cp.unreadCube = m.Cube(unreadLevels)
+
+	cp.Trans = bdd.False
+	for i, a := range p.Actions {
+		tr, err := compileAction(s, a, cp)
+		if err != nil {
+			return nil, fmt.Errorf("process %s: action %d (%s): %w", p.Name, i, a.Name, err)
+		}
+		cp.Trans = m.Or(cp.Trans, tr)
+	}
+	return cp, nil
+}
+
+// compileAction lowers a guarded command to a transition predicate. When cp
+// is non-nil the action is checked against the process's read/write
+// restrictions; fault actions pass cp == nil and are unrestricted.
+func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, error) {
+	m := s.M
+	guard := bdd.True
+	if a.Guard != nil {
+		var err error
+		if guard, err = a.Guard.Compile(s); err != nil {
+			return bdd.False, err
+		}
+		if cp != nil {
+			for _, name := range a.Guard.Vars(nil) {
+				if !cp.Read[name] {
+					return bdd.False, fmt.Errorf("guard reads %q outside read set", name)
+				}
+			}
+		}
+	}
+
+	rel := bdd.True
+	assigned := make(map[string]bool, len(a.Updates))
+	for _, u := range a.Updates {
+		v := s.VarByName(u.Var)
+		if v == nil {
+			return bdd.False, fmt.Errorf("update targets unknown variable %q", u.Var)
+		}
+		if assigned[u.Var] {
+			return bdd.False, fmt.Errorf("variable %q assigned twice", u.Var)
+		}
+		assigned[u.Var] = true
+		if cp != nil && !cp.Write[u.Var] {
+			return bdd.False, fmt.Errorf("update writes %q outside write set", u.Var)
+		}
+		switch u.Kind {
+		case SetConst:
+			if u.Val < 0 || u.Val >= v.Domain {
+				return bdd.False, fmt.Errorf("value %d outside domain of %q", u.Val, u.Var)
+			}
+			rel = m.And(rel, v.NextEqConst(u.Val))
+		case CopyVar:
+			w := s.VarByName(u.From)
+			if w == nil {
+				return bdd.False, fmt.Errorf("update copies unknown variable %q", u.From)
+			}
+			if cp != nil && !cp.Read[u.From] {
+				return bdd.False, fmt.Errorf("update reads %q outside read set", u.From)
+			}
+			rel = m.And(rel, v.NextEq(w))
+		case ChooseConst:
+			if len(u.Among) == 0 {
+				return bdd.False, fmt.Errorf("empty choice for %q", u.Var)
+			}
+			choice := bdd.False
+			for _, val := range u.Among {
+				if val < 0 || val >= v.Domain {
+					return bdd.False, fmt.Errorf("value %d outside domain of %q", val, u.Var)
+				}
+				choice = m.Or(choice, v.NextEqConst(val))
+			}
+			rel = m.And(rel, choice)
+		default:
+			return bdd.False, fmt.Errorf("unknown update kind %d", u.Kind)
+		}
+	}
+
+	// Frame: variables without an update stay unchanged.
+	for _, v := range s.Vars {
+		if !assigned[v.Name] {
+			rel = m.And(rel, v.Unchanged())
+		}
+	}
+	return m.AndN(guard, rel, s.ValidTrans()), nil
+}
+
+// Group computes the read-restriction group closure group_j(δ): the union of
+// the groups of all transitions in δ (Section III-B). Only the write-legal,
+// unreadable-preserving part of δ contributes (the rest could never belong
+// to this process).
+func (p *CompiledProc) Group(delta bdd.Node) bdd.Node {
+	m := p.space.M
+	core := m.And(delta, p.SameUnread)
+	projected := m.Exists(core, p.unreadCube)
+	return m.AndN(projected, p.SameUnread, p.space.ValidTrans())
+}
+
+// MaxRealizableSubset returns the largest subset of delta that process p can
+// realize: transitions that respect the write restriction and whose entire
+// group is contained in delta. This is the closed form of the Algorithm-2
+// inner loop (see DESIGN.md §4).
+func (p *CompiledProc) MaxRealizableSubset(delta bdd.Node) bdd.Node {
+	m := p.space.M
+	candidate := m.AndN(delta, p.WriteOK, p.space.ValidTrans())
+	// A candidate transition is kept unless some member of its group is
+	// missing from the candidate set.
+	missing := m.And(m.Not(candidate), m.AndN(p.SameUnread, p.WriteOK, p.space.ValidTrans()))
+	return m.Diff(candidate, p.Group(missing))
+}
+
+// Realizable reports whether delta is realizable by process p: write-legal
+// and closed under grouping (Definition 19).
+func (p *CompiledProc) Realizable(delta bdd.Node) bool {
+	m := p.space.M
+	d := m.And(delta, p.space.ValidTrans())
+	if !m.Implies(d, p.WriteOK) {
+		return false
+	}
+	return m.Implies(p.Group(d), d)
+}
+
+// ProcParts returns the per-process transition relations, each optionally
+// conjoined with restrict, as partitions for image computation.
+func (c *Compiled) ProcParts(restrict bdd.Node) []bdd.Node {
+	m := c.Space.M
+	out := make([]bdd.Node, 0, len(c.Procs))
+	for _, p := range c.Procs {
+		out = append(out, m.And(p.Trans, restrict))
+	}
+	return out
+}
+
+// PartsWithFaults returns the per-process transition relations (conjoined
+// with restrict) followed by the per-fault-action relations — the full
+// disjunctive partitioning of δ_P ∪ f.
+func (c *Compiled) PartsWithFaults(restrict bdd.Node) []bdd.Node {
+	return append(c.ProcParts(restrict), c.FaultParts...)
+}
+
+// Deadlocks returns the states (within ValidCur) that have no outgoing
+// transition in delta.
+func (c *Compiled) Deadlocks(delta bdd.Node) bdd.Node {
+	m := c.Space.M
+	hasNext := m.AndExists(delta, c.Space.ValidTrans(), c.Space.NextCube())
+	return m.Diff(c.Space.ValidCur(), hasNext)
+}
+
+// WithStutter returns delta plus self-loops at its deadlock states — the
+// Definition-18 semantics of a distributed program's transition relation.
+func (c *Compiled) WithStutter(delta bdd.Node) bdd.Node {
+	m := c.Space.M
+	return m.Or(delta, m.And(c.Deadlocks(delta), c.Space.Identity()))
+}
+
+// ProgramRealizable reports whether delta (without stutter) is realizable by
+// the whole program per Definition 20: it decomposes into per-process
+// realizable transition sets.
+func (c *Compiled) ProgramRealizable(delta bdd.Node) bool {
+	m := c.Space.M
+	d := m.And(delta, c.Space.ValidTrans())
+	union := bdd.False
+	for _, p := range c.Procs {
+		union = m.Or(union, p.MaxRealizableSubset(d))
+	}
+	return m.Implies(d, union)
+}

@@ -1,0 +1,141 @@
+package repair
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/program"
+)
+
+// Masking is the output of Step 1 (Add-Masking): a fault-tolerant but not
+// necessarily realizable program.
+type Masking struct {
+	// Trans is the intermediate program's transitions (realizability
+	// constraints ignored).
+	Trans bdd.Node
+	// Invariant is S1, the repaired invariant.
+	Invariant bdd.Node
+	// FaultSpan is T1, the certified fault-span.
+	FaultSpan bdd.Node
+	// Iterations counts the shrink-fixpoint iterations.
+	Iterations int
+}
+
+// AddMasking implements Step 1 of the lazy-repair algorithm: the
+// polynomial-time Add-Masking algorithm of Kulkarni–Arora, tailored (per
+// Section V-A) to the subset of the state space reachable by the
+// fault-intolerant program in the presence of faults when
+// opts.ReachabilityHeuristic is set.
+//
+// invariant is the current set of legitimate states S (it shrinks across
+// Algorithm 1's outer iterations), and badTrans is the current Sf_bt (it
+// grows as Algorithm 1 feeds back deadlock information). Bad states Sf_bs
+// and the fault actions come from the compiled program.
+//
+// The returned program ignores read/write restrictions; Realize (Step 2)
+// turns it into a realizable one.
+func AddMasking(c *program.Compiled, invariant, badTrans bdd.Node, opts Options) (*Masking, error) {
+	m := c.Space.M
+	s := c.Space
+
+	ms, mt := ComputeMsMt(c, badTrans)
+	notMT := m.Not(mt)
+
+	// First guesses for invariant and fault-span.
+	s1 := m.Diff(invariant, ms)
+	if s1 == bdd.False {
+		return nil, ErrNotRepairable
+	}
+	universe := s.ValidCur()
+	if opts.ReachabilityHeuristic {
+		// States reached by the fault-intolerant program in the presence of
+		// faults. Transitions the current specification already prohibits
+		// (mt) are excluded: across Algorithm 1's outer iterations the
+		// specification grows, and states only reachable through banned
+		// behavior must drop out of the universe for the loop to converge.
+		universe = s.ReachableParts(invariant, c.PartsWithFaults(notMT))
+	}
+	t1 := m.Diff(universe, ms)
+
+	iterations := 0
+	var availInside, availOutside bdd.Node
+	var rec bdd.Node
+	for {
+		iterations++
+
+		// All transitions the fault-tolerant program may use: inside the
+		// invariant only original transitions that keep the invariant
+		// closed; outside, any (possibly new) transition that stays in the
+		// fault-span and is not prohibited. Write restrictions are kept
+		// even in Step 1 (c.AnyWrite) — they cost one conjunction; the
+		// complexity the paper defers to Step 2 comes from the read
+		// restrictions (grouping).
+		availInside, availOutside = bdd.False, bdd.False
+		availParts := make([]bdd.Node, 0, 2*len(c.Procs))
+		insideCtx := m.AndN(s1, s.Prime(s1), notMT)
+		// Self-loops make no recovery progress and would put every state in
+		// the cyclic core, so they are never offered as recovery.
+		outsideCtx := m.AndN(t1, s.Prime(t1), m.Not(s1), notMT, m.Not(s.Identity()), s.ValidTrans())
+		for _, p := range c.Procs {
+			in := m.And(p.Trans, insideCtx)
+			out := m.And(p.WriteOK, outsideCtx)
+			availInside = m.Or(availInside, in)
+			availOutside = m.Or(availOutside, out)
+			availParts = append(availParts, in, out)
+		}
+
+		// Remove fault-span states from which recovery to the invariant is
+		// impossible.
+		t2 := m.And(t1, s.BackwardReachableParts(s1, availParts))
+		// Remove fault-span states from which faults escape the span.
+		for {
+			escape := preimageAny(c, m.Diff(s.ValidCur(), t2), c.FaultParts)
+			next := m.Diff(t2, escape)
+			if next == t2 {
+				break
+			}
+			t2 = next
+		}
+		// Keep the invariant inside the span and deadlock-free.
+		s2 := m.And(s1, t2)
+		if s2 == bdd.False {
+			return nil, ErrNotRepairable
+		}
+
+		if s2 != s1 || t2 != t1 {
+			s1, t1 = s2, t2
+			continue
+		}
+
+		// The shrink fixpoint is stable; construct the recovery transitions
+		// (original behavior inside the invariant is availInside). By
+		// default cycles are broken here, maximally: every transition of
+		// the acyclic part of the recovery relation is kept — removing any
+		// would needlessly break read-restriction groups in Step 2 — and
+		// only the cyclic core is filtered to rank-decreasing transitions.
+		// Span states left without guaranteed recovery are pruned and the
+		// fixpoint re-runs. With DeferCycleBreaking, recovery stays maximal
+		// here and the lazy driver eliminates cycles group-awarely after
+		// Step 2.
+		if opts.DeferCycleBreaking {
+			rec = availOutside
+			break
+		}
+		outsideParts := make([]bdd.Node, 0, len(availParts)/2)
+		for i := 1; i < len(availParts); i += 2 {
+			outsideParts = append(outsideParts, availParts[i])
+		}
+		var ranked bdd.Node
+		rec, ranked = LayeredRecovery(c, s1, t1, outsideParts)
+		if ranked != t1 {
+			t1 = ranked
+			continue
+		}
+		break
+	}
+
+	return &Masking{
+		Trans:     m.Or(availInside, rec),
+		Invariant: s1,
+		FaultSpan: t1,
+		Iterations: iterations,
+	}, nil
+}

@@ -1,0 +1,215 @@
+package repair
+
+import (
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+)
+
+// Cautious implements the baseline repair approach of the prior tool
+// (Section IV): at every intermediate step the model is kept realizable, so
+// every transition removal removes the transition's whole read-restriction
+// group, and every recovery addition adds a whole group — after checking
+// that no member of the group is harmful. The per-step group computations
+// inside the main fixpoint are what make this approach expensive; lazy
+// repair defers them to a single pass at the end.
+//
+// Two of the prior tool's heuristics are reproduced:
+//
+//   - A group containing a safety-violating member is still acceptable if
+//     that member's source state is unreachable in the fault-intolerant
+//     program in the presence of faults (the Section-IV heuristic). A final
+//     soundness pass re-checks the bet against the repaired program's true
+//     reachable set and revokes it where it failed.
+//   - Recovery groups are added layer by layer, and a group is accepted only
+//     if every member strictly decreases the distance to the invariant —
+//     keeping the span cycle-free without a separate cycle-resolution phase.
+func Cautious(c *program.Compiled, opts Options) (*Result, error) {
+	m := c.Space.M
+	s := c.Space
+	start := time.Now()
+	var stats Stats
+
+	ms, mt := ComputeMsMt(c, c.BadTrans)
+
+	reach := s.ReachableParts(c.Invariant, c.PartsWithFaults(bdd.True))
+	stats.ReachableStates = s.CountStates(reach)
+	// The Section-IV heuristic: prohibited transitions whose source the
+	// fault-intolerant program cannot reach are tolerated (for now).
+	mtHard := m.And(mt, reach)
+
+	// Cautious repair works over the full state space.
+	span := m.Diff(s.ValidCur(), ms)
+	invariant := m.Diff(c.Invariant, ms)
+	banned := bdd.False
+
+	deltas := make([]bdd.Node, len(c.Procs))
+
+	maxOuter := opts.MaxOuterIterations * 16
+	if maxOuter <= 0 {
+		maxOuter = 1024
+	}
+	for outer := 1; outer <= maxOuter; outer++ {
+		stats.OuterIterations = outer
+
+		// Phase 1: start from the original per-process transitions and
+		// remove harmful groups until stable, re-establishing invariant
+		// closure and deadlock-freedom after each removal round.
+		for j, p := range c.Procs {
+			deltas[j] = p.Trans
+		}
+		for {
+			changed := false
+			for j, p := range c.Procs {
+				harmful := m.OrN(
+					mtHard,
+					banned,
+					m.AndN(span, m.Not(s.Prime(span))),           // escapes the span
+					m.AndN(invariant, m.Not(s.Prime(invariant))), // breaks invariant closure
+				)
+				bad := m.And(deltas[j], harmful)
+				if bad == bdd.False {
+					continue
+				}
+				next := m.Diff(deltas[j], p.Group(bad))
+				if next != deltas[j] {
+					deltas[j] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+
+		// Phase 2: add recovery groups layer by layer. The first, strict
+		// pass accepts a group only if every member either starts outside
+		// the span (harmless), starts in the invariant and is original
+		// closed behavior, or strictly decreases the rank — which keeps the
+		// span cycle-free by construction. States the strict pass cannot
+		// serve (typically because their groups' members span several
+		// layers, as in the chain protocols) get a second, lenient pass
+		// whose members may land anywhere inside the span; Phase 3's cycle
+		// and reachability analyses then police what the lenient pass let
+		// through.
+		okInsideOf := func(p *program.CompiledProc) bdd.Node {
+			return m.And(p.Trans, s.Prime(invariant))
+		}
+		ranks := []bdd.Node{invariant}
+		ranked := invariant
+		remaining := m.Diff(span, invariant)
+		for pass := 0; pass < 2 && remaining != bdd.False; pass++ {
+			strict := pass == 0
+			for remaining != bdd.False {
+				newly := bdd.False
+				for j, p := range c.Procs {
+					cand := m.AndN(p.WriteOK, remaining, s.Prime(ranked),
+						m.Not(mtHard), m.Not(banned), s.ValidTrans())
+					if cand == bdd.False {
+						continue
+					}
+					group := p.Group(cand)
+					badMembers := m.And(group, m.Or(mtHard, banned))
+					// Members inside the invariant must already be original
+					// behavior that stays inside.
+					badMembers = m.Or(badMembers, m.AndN(group, invariant, m.Not(okInsideOf(p))))
+					if strict {
+						// Members from unranked states must land in the
+						// ranked set; members from rank r strictly below r.
+						badMembers = m.Or(badMembers, m.AndN(group, remaining, m.Not(s.Prime(ranked))))
+						below := bdd.False
+						for r, rankSet := range ranks {
+							if r > 0 {
+								badMembers = m.Or(badMembers,
+									m.AndN(group, rankSet, m.Not(s.Prime(below))))
+							}
+							below = m.Or(below, rankSet)
+						}
+					} else {
+						// Lenient: members from span states must stay inside
+						// the span.
+						badMembers = m.Or(badMembers, m.AndN(group, span, m.Not(s.Prime(span))))
+					}
+					accepted := m.Diff(group, p.Group(badMembers))
+					if accepted == bdd.False {
+						continue
+					}
+					deltas[j] = m.Or(deltas[j], accepted)
+					newly = m.Or(newly, m.And(src(c, m.AndN(accepted, remaining, s.Prime(ranked))), remaining))
+				}
+				if newly == bdd.False {
+					break
+				}
+				ranks = append(ranks, newly)
+				ranked = m.Or(ranked, newly)
+				remaining = m.Diff(remaining, newly)
+			}
+		}
+
+		// Phase 3: prune states that could not be given recovery or whose
+		// lenient recovery has no actual path back to the invariant, restore
+		// fault closure of the span, and re-check for cycles outside the
+		// invariant (original and lenient transitions in T−S are not
+		// rank-constrained).
+		spanParts := make([]bdd.Node, len(deltas))
+		for i, dl := range deltas {
+			spanParts[i] = m.AndN(dl, span, s.Prime(span))
+		}
+		recoverable := s.BackwardReachableParts(invariant, spanParts)
+		unreach := m.Diff(m.Diff(span, invariant), recoverable)
+		shrunk := false
+		if remaining != bdd.False || unreach != bdd.False {
+			span = m.Diff(span, m.Or(remaining, unreach))
+			shrunk = true
+		}
+		for {
+			escape := preimageAny(c, m.Diff(s.ValidCur(), span), c.FaultParts)
+			next := m.Diff(span, escape)
+			if next == span {
+				break
+			}
+			span = next
+			shrunk = true
+		}
+		if nextInv := m.And(invariant, span); nextInv != invariant {
+			invariant = nextInv
+			shrunk = true
+		}
+		if invariant == bdd.False {
+			return nil, ErrNotRepairable
+		}
+
+		union := m.OrN(deltas...)
+		// States in T−S from which an infinite program-only path avoids the
+		// invariant forever (greatest fixpoint).
+		cyclic := cyclicCore(c, deltas, m.Diff(span, invariant))
+		if cyclic != bdd.False {
+			banned = m.Or(banned, m.AndN(union, cyclic, s.Prime(cyclic)))
+			continue
+		}
+		if shrunk {
+			continue
+		}
+
+		// Structural convergence: audit the Section-IV heuristic's bets
+		// against the repaired program's actual reachable set.
+		trueReach := s.ReachableParts(invariant, append(append([]bdd.Node{}, deltas...), c.FaultParts...))
+		violation := m.AndN(union, mt, trueReach)
+		if violation != bdd.False {
+			banned = m.Or(banned, violation)
+			continue
+		}
+
+		stats.Total = time.Since(start)
+		stats.BDDNodes = m.Size()
+		opts.logf("cautious: converged after %d outer iteration(s)", outer)
+		return &Result{
+			Trans:     union,
+			Invariant: invariant,
+			FaultSpan: span,
+			Stats:     stats,
+		}, nil
+	}
+	return nil, ErrNoConvergence
+}

@@ -1,0 +1,183 @@
+package repair
+
+import (
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+)
+
+// Lazy implements Algorithm 1: adding masking fault-tolerance to a
+// distributed program via lazy repair.
+//
+// Each outer iteration first runs Add-Masking (Step 1, realizability
+// ignored), then Realize (Step 2, realizability enforced by removal). If
+// Step 2's removals created deadlock states inside the fault-span, those
+// states are made unreachable by adding every transition into them — and
+// every transition escaping the fault-span — to the bad-transition part of
+// the safety specification, and the loop repeats (Algorithm 1 lines 10–12).
+func Lazy(c *program.Compiled, opts Options) (*Result, error) {
+	m := c.Space.M
+	s := c.Space
+	start := time.Now()
+
+	var stats Stats
+	stats.ReachableStates = s.CountStates(s.ReachableParts(c.Invariant, c.PartsWithFaults(bdd.True)))
+
+	invariant := c.Invariant
+	badTrans := c.BadTrans
+
+	maxIter := opts.MaxOuterIterations
+	if maxIter <= 0 {
+		maxIter = 64
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		stats.OuterIterations = iter
+
+		t0 := time.Now()
+		mask, err := AddMasking(c, invariant, badTrans, opts)
+		stats.Step1 += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		opts.logf("lazy: iteration %d: step 1 done (|S'|=%g, |T'|=%g)",
+			iter, s.CountStates(mask.Invariant), s.CountStates(mask.FaultSpan))
+
+		t1 := time.Now()
+		parts := RealizeParts(c, mask.Trans, mask.FaultSpan)
+		realized := m.OrN(parts...)
+
+		// Group-aware cycle elimination. Step 1 kept recovery maximal, so
+		// the realized program may loop outside the invariant. Cycles are
+		// broken here, where whole read-restriction groups can be removed
+		// at once: removing a single rank-violating transition would break
+		// its group and un-realize the program, which is exactly the
+		// failure mode of group-oblivious cycle-breaking in Step 1.
+		// With cycle-breaking done in Step 1 (the default), the realized
+		// program is a subset of an already livelock-free relation, so no
+		// cycle work is needed here — exactly the paper's Algorithm 2. In
+		// the DeferCycleBreaking ablation, Step 1 kept recovery maximal and
+		// cycles are eliminated here, group-aware: whole read-restriction
+		// groups are removed at once. Every cycle outside the invariant
+		// consists entirely of edges that do not strictly decrease the
+		// breadth-first rank toward the invariant (a rank-decreasing edge
+		// drops the rank, so no cycle can close through one), so the
+		// infinite-path fixpoint runs on the bad-edge subrelation only.
+		region := m.Diff(mask.FaultSpan, mask.Invariant)
+		for opts.DeferCycleBreaking {
+			ranked := mask.Invariant
+			remaining := region
+			bad := bdd.False
+			for remaining != bdd.False {
+				newly := srcInto(c, parts, remaining, ranked)
+				if newly == bdd.False {
+					break
+				}
+				notRanked := m.Not(s.Prime(ranked))
+				for _, part := range parts {
+					bad = m.Or(bad, m.AndN(part, newly, notRanked))
+				}
+				ranked = m.Or(ranked, newly)
+				remaining = m.Diff(remaining, newly)
+			}
+			// Unranked states can never reach the invariant: their edges
+			// are useless; removing them deadlocks the states, which the
+			// feedback below then makes unreachable.
+			for _, part := range parts {
+				bad = m.Or(bad, m.And(part, remaining))
+			}
+			badParts := make([]bdd.Node, len(parts))
+			for j := range parts {
+				badParts[j] = m.And(parts[j], bad)
+			}
+			core := cyclicCore(c, badParts, region)
+			toRemove := m.Or(m.AndN(bad, core, s.Prime(core)), m.And(bad, remaining))
+			changed := false
+			for j, p := range c.Procs {
+				pb := m.And(parts[j], toRemove)
+				if pb == bdd.False {
+					continue
+				}
+				parts[j] = m.Diff(parts[j], p.Group(pb))
+				changed = true
+			}
+			if !changed {
+				break
+			}
+			realized = m.OrN(parts...)
+		}
+		certSpan := s.ReachableParts(mask.Invariant, append(append([]bdd.Node{}, parts...), c.FaultParts...))
+
+		// Deadlocks among the states actually reachable from the repaired
+		// invariant in the realized program under faults, outside the
+		// repaired invariant. (The fault-span of Definition 15 is
+		// existentially quantified, so deadlocked states the realized
+		// program can no longer reach are harmless — the reachable set
+		// itself is the certificate. Deadlocks inside the invariant are
+		// legal finite computations; see the note in repair.go.)
+		noOut := m.Diff(s.ValidCur(), src(c, realized))
+		dl := m.AndN(certSpan, noOut, m.Not(mask.Invariant))
+		stats.Step2 += time.Since(t1)
+
+		if dl == bdd.False {
+			stats.Total = time.Since(start)
+			stats.BDDNodes = m.Size()
+			opts.logf("lazy: converged after %d iteration(s)", iter)
+			return &Result{
+				Trans:     realized,
+				Invariant: mask.Invariant,
+				FaultSpan: certSpan,
+				Stats:     stats,
+			}, nil
+		}
+		opts.logf("lazy: iteration %d: %g deadlock state(s); augmenting spec",
+			iter, s.CountStates(dl))
+
+		// Feedback (Algorithm 1 line 11, refined). A state deadlocks when
+		// Step 2 removed its Step-1 transitions because their groups were
+		// incomplete: some member, starting from another reachable state,
+		// was removed in Step 1 for a good reason. The direct cure is to
+		// make those *blocking member sources* unreachable — banning
+		// transitions into them lets the group complete as free transitions
+		// in the next iteration. Only when no blocker can be eliminated are
+		// the deadlock states themselves made unreachable.
+		free := m.And(m.Not(mask.FaultSpan), s.ValidTrans())
+		have := m.Or(m.And(mask.Trans, s.ValidTrans()), free)
+		dlOut := m.And(mask.Trans, dl)
+		blockers := bdd.False
+		for _, p := range c.Procs {
+			cand := m.And(dlOut, p.WriteOK)
+			if cand == bdd.False {
+				continue
+			}
+			missing := m.Diff(p.Group(cand), have)
+			blockers = m.Or(blockers, src(c, missing))
+		}
+		blockers = m.Diff(blockers, mask.Invariant)
+
+		escape := m.AndN(mask.FaultSpan, m.Not(s.Prime(mask.FaultSpan)), s.ValidTrans())
+		next := m.Or(badTrans, escape)
+		if blockers != bdd.False {
+			next = m.Or(next, m.And(s.Prime(blockers), s.ValidTrans()))
+			opts.logf("lazy: iteration %d: banning entry to %g blocking state(s)",
+				iter, s.CountStates(blockers))
+		}
+		// Transitions Step 2 provably could not realize from the deadlocked
+		// states (e.g. multi-variable jumps whose group twins would be new
+		// behavior inside the invariant) are banned outright, so the next
+		// Step 1 routes recovery around them — typically through echoes of
+		// the original protocol, whose groups do survive.
+		unrealizable := m.Diff(dlOut, realized)
+		if unrealizable != bdd.False {
+			next = m.Or(next, unrealizable)
+		}
+		if next == badTrans {
+			// No new blocker information: fall back to making the deadlock
+			// states themselves unreachable.
+			next = m.Or(next, m.And(s.Prime(dl), s.ValidTrans()))
+		}
+		badTrans = next
+		invariant = mask.Invariant
+	}
+	return nil, ErrNoConvergence
+}

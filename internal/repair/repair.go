@@ -1,0 +1,216 @@
+// Package repair implements the paper's synthesis algorithms for adding
+// masking fault-tolerance to distributed programs:
+//
+//   - AddMasking: Step 1 — the Kulkarni–Arora Add-Masking algorithm, which
+//     ignores realizability (read/write) constraints, optionally restricted
+//     to the states reachable by the fault-intolerant program in the
+//     presence of faults (the heuristic the paper credits for the speedup).
+//   - Realize: Step 2 — Algorithm 2, which enforces realizability purely by
+//     removing transitions (keeping, per process, only complete
+//     read-restriction groups) after adding free transitions outside the
+//     fault-span.
+//   - Lazy: Algorithm 1 — the outer loop combining the two steps, feeding
+//     deadlocks created by Step 2 back into the safety specification.
+//   - Cautious: the baseline in the style of the prior tool, which keeps the
+//     model realizable after every intermediate add/remove by paying for
+//     group closure inside the main fixpoint.
+package repair
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+)
+
+// ErrNotRepairable is returned when the invariant collapses to the empty set,
+// i.e. no masking fault-tolerant realizable program exists under the
+// algorithm's heuristics (Algorithm 1 line 7: "declare failure").
+var ErrNotRepairable = errors.New("repair: cannot add fault-tolerance (invariant became empty)")
+
+// ErrNoConvergence is returned if the outer lazy loop exceeds its iteration
+// bound without eliminating deadlocks.
+var ErrNoConvergence = errors.New("repair: outer repair loop did not converge")
+
+// Options tune the repair algorithms.
+type Options struct {
+	// ReachabilityHeuristic restricts Step 1 to the states reachable by the
+	// fault-intolerant program in the presence of faults (Section V-A). The
+	// paper's headline speedup depends on it; disabling it gives the "pure
+	// lazy" variant the paper reports as not competitive.
+	ReachabilityHeuristic bool
+	// DeferCycleBreaking moves Add-Masking's cycle-breaking from Step 1 to
+	// a group-aware pass after Step 2 (whole read-restriction groups are
+	// removed at once). The default (false) matches the paper: cycles are
+	// broken in Step 1 — but maximally, keeping every transition of the
+	// acyclic part of the recovery relation, so that read-restriction
+	// groups survive into Step 2; only the cyclic core is filtered to
+	// rank-decreasing transitions. An ablation benchmark compares the two.
+	DeferCycleBreaking bool
+	// MaxOuterIterations bounds Algorithm 1's repeat loop.
+	MaxOuterIterations int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultOptions returns the configuration used in the paper's headline
+// experiments: heuristic on, cycle-breaking in Step 1.
+func DefaultOptions() Options {
+	return Options{ReachabilityHeuristic: true, MaxOuterIterations: 64}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Stats records where the time went, matching the columns of the paper's
+// tables.
+type Stats struct {
+	Step1 time.Duration // Add-Masking time (Table column "Time for Step 1")
+	Step2 time.Duration // Algorithm 2 time (Table column "Time for Step 2")
+	Total time.Duration
+
+	OuterIterations int     // Algorithm 1 repeat-loop iterations
+	ReachableStates float64 // |reachable(S, δ∪f)| (Table column "Reachable States")
+	BDDNodes        int     // manager size after synthesis
+}
+
+// Result is a synthesized masking fault-tolerant program.
+type Result struct {
+	// Trans is δ_P': the repaired program's transitions (no stutter; the
+	// Definition-18 stutter at deadlock states is implicit).
+	Trans bdd.Node
+	// Invariant is S': the repaired invariant.
+	Invariant bdd.Node
+	// FaultSpan is T': the fault-span certified by the synthesis.
+	FaultSpan bdd.Node
+	Stats     Stats
+}
+
+// src returns the states with at least one outgoing transition in delta.
+func src(c *program.Compiled, delta bdd.Node) bdd.Node {
+	m := c.Space.M
+	return m.AndExists(delta, c.Space.ValidTrans(), c.Space.NextCube())
+}
+
+// preimageAny returns the union of per-partition preimages of target.
+func preimageAny(c *program.Compiled, target bdd.Node, parts []bdd.Node) bdd.Node {
+	m := c.Space.M
+	out := bdd.False
+	for _, p := range parts {
+		out = m.Or(out, c.Space.Preimage(target, p))
+	}
+	return out
+}
+
+// srcInto returns the states of from with an edge into to, computed per
+// partition to keep intermediate products small.
+func srcInto(c *program.Compiled, parts []bdd.Node, from, to bdd.Node) bdd.Node {
+	m := c.Space.M
+	s := c.Space
+	out := bdd.False
+	primed := s.Prime(to)
+	for _, p := range parts {
+		out = m.Or(out, m.And(from, m.AndExists(m.And(p, from), primed, s.NextCube())))
+	}
+	return out
+}
+
+// cyclicCore returns the greatest fixpoint of states in region with a
+// partition-edge successor staying in the set: the states from which an
+// infinite path inside region exists.
+func cyclicCore(c *program.Compiled, parts []bdd.Node, region bdd.Node) bdd.Node {
+	m := c.Space.M
+	z := region
+	for {
+		next := m.And(z, srcInto(c, parts, z, z))
+		if next == z {
+			return z
+		}
+		z = next
+	}
+}
+
+// ComputeMsMt computes the set ms of states from which fault transitions
+// alone can violate safety, and the set mt of transitions the fault-tolerant
+// program must never execute (Section V-A). It is exported for the
+// synchronous-semantics extension, which reuses the Add-Masking skeleton.
+func ComputeMsMt(c *program.Compiled, badTrans bdd.Node) (ms, mt bdd.Node) {
+	m := c.Space.M
+	s := c.Space
+	ms = c.BadStates
+	// Sources of fault transitions that themselves violate safety.
+	ms = m.Or(ms, src(c, m.And(c.Fault, badTrans)))
+	for {
+		pre := s.Preimage(ms, c.Fault)
+		next := m.Or(ms, pre)
+		if next == ms {
+			break
+		}
+		ms = next
+	}
+	mt = m.Or(badTrans, m.And(s.Prime(ms), s.ValidTrans()))
+	return ms, mt
+}
+
+// Invariant states that lose all their transitions during repair are NOT
+// pruned: Definition 5 permits finite maximal computations, the invariant
+// stays closed, and safety is refined trivially by a computation that rests
+// inside the invariant. (The paper's instances carry no explicit liveness
+// specification; the liveness half of masking — recovery — applies to
+// fault-span states outside the invariant, which the algorithms do keep
+// deadlock- and livelock-free.) The verifier still reports new invariant
+// deadlocks as a warning so model authors can see lost progress.
+
+// LayeredRecovery builds the recovery transition set, realizing Add-Masking's
+// "break cycles by removing transitions" step in polynomial time while
+// keeping the behavior maximal (Section V: transitions removed in Step 1
+// should be ones that must, or are very likely to, be removed):
+//
+//   - First the cyclic core Z of T−S under avail is computed (the greatest
+//     fixpoint of states with a successor inside the set). Every cycle of
+//     avail within T−S lies entirely inside Z, so *all* avail transitions
+//     from acyclic states are kept — removing any of them would be
+//     unnecessary and would needlessly break read-restriction groups in
+//     Step 2.
+//   - Inside Z, transitions are kept only if they strictly decrease a
+//     breadth-first rank toward the already-safe states, which breaks every
+//     cycle.
+//
+// It returns the transitions and the set of states with guaranteed recovery;
+// the caller prunes unranked states from the fault-span and re-runs its
+// fixpoint.
+func LayeredRecovery(c *program.Compiled, invariant, span bdd.Node, availParts []bdd.Node) (rec, ranked bdd.Node) {
+	m := c.Space.M
+	s := c.Space
+	outside := m.Diff(span, invariant)
+
+	// Cyclic core: states of T−S with an infinite avail-path inside T−S.
+	z := cyclicCore(c, availParts, outside)
+
+	acyclic := m.Diff(outside, z)
+	rec = bdd.False
+	for _, part := range availParts {
+		rec = m.Or(rec, m.And(part, acyclic)) // keep everything from acyclic states
+	}
+	ranked = m.Or(invariant, acyclic)
+	remaining := z
+	for remaining != bdd.False {
+		primed := s.Prime(ranked)
+		step := bdd.False
+		for _, part := range availParts {
+			step = m.Or(step, m.AndN(part, remaining, primed))
+		}
+		newly := src(c, step)
+		if newly == bdd.False {
+			break // leftover states cannot recover; caller prunes them
+		}
+		rec = m.Or(rec, step)
+		ranked = m.Or(ranked, newly)
+		remaining = m.Diff(remaining, newly)
+	}
+	return rec, ranked
+}

@@ -1,0 +1,256 @@
+// Package sim executes random adversarial walks over a compiled program's
+// transition system — interleaving program steps with a bounded number of
+// fault steps — and reports safety violations and recovery behavior. It
+// complements the symbolic verifier with runtime-level evidence: the
+// verifier proves the repaired program masking fault-tolerant; the simulator
+// demonstrates it on concrete executions (and demonstrates the original
+// program failing on the same fault schedules).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+)
+
+// Config controls a simulation campaign.
+type Config struct {
+	// Runs is the number of independent executions.
+	Runs int
+	// Steps bounds the length of each execution.
+	Steps int
+	// MaxFaults bounds fault occurrences per run (computations contain
+	// finitely many faults, Definition 13).
+	MaxFaults int
+	// FaultProb is the per-step probability of attempting a fault step
+	// while the fault budget lasts and a fault is enabled.
+	FaultProb float64
+	// Seed makes campaigns reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a moderate campaign.
+func DefaultConfig() Config {
+	return Config{Runs: 200, Steps: 60, MaxFaults: 3, FaultProb: 0.25, Seed: 1}
+}
+
+// Metrics aggregates a campaign's outcomes.
+type Metrics struct {
+	Runs  int
+	Steps int
+
+	// BadStates counts visits to Sf_bs states; BadTransitions counts
+	// executed Sf_bt transitions (program or fault).
+	BadStates      int
+	BadTransitions int
+
+	// FaultsInjected counts fault steps taken.
+	FaultsInjected int
+	// Departures counts excursions that left the invariant; Recoveries
+	// counts those that returned to it before the run ended.
+	Departures, Recoveries int
+	// MaxRecoverySteps is the longest observed excursion that recovered;
+	// TotalRecoverySteps sums them (for the mean).
+	MaxRecoverySteps   int
+	TotalRecoverySteps int
+	// Rests counts runs that ended in a state with no outgoing program
+	// transition (a legal rest when inside the invariant).
+	Rests int
+}
+
+// MeanRecovery returns the average excursion length of recovered departures.
+func (m *Metrics) MeanRecovery() float64 {
+	if m.Recoveries == 0 {
+		return 0
+	}
+	return float64(m.TotalRecoverySteps) / float64(m.Recoveries)
+}
+
+// String renders the campaign summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"runs=%d steps=%d faults=%d | bad states=%d bad transitions=%d | departures=%d recoveries=%d (mean %.1f, max %d steps) rests=%d",
+		m.Runs, m.Steps, m.FaultsInjected, m.BadStates, m.BadTransitions,
+		m.Departures, m.Recoveries, m.MeanRecovery(), m.MaxRecoverySteps, m.Rests)
+}
+
+// Walker runs campaigns over one compiled model.
+type Walker struct {
+	c         *program.Compiled
+	trans     bdd.Node // program transitions to simulate
+	invariant bdd.Node
+	start     bdd.Node // initial-state predicate (default: the invariant)
+}
+
+// New builds a walker for the given program transitions and invariant
+// (typically either the original c.Trans/c.Invariant or a repair result's
+// Trans/Invariant). Runs start from random invariant states; see WithStart.
+func New(c *program.Compiled, trans, invariant bdd.Node) *Walker {
+	return &Walker{c: c, trans: trans, invariant: invariant, start: invariant}
+}
+
+// WithStart restricts the runs' initial states to the given predicate
+// (e.g. the all-undecided configurations of Byzantine agreement).
+func (w *Walker) WithStart(pred bdd.Node) *Walker {
+	w.start = pred
+	return w
+}
+
+// Run executes a campaign and aggregates metrics.
+func (w *Walker) Run(cfg Config) (*Metrics, error) {
+	if cfg.Runs <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("sim: Runs and Steps must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := w.c.Space
+	m := s.M
+	metrics := &Metrics{Runs: cfg.Runs}
+
+	for run := 0; run < cfg.Runs; run++ {
+		state, err := w.randomState(rng, w.start)
+		if err != nil {
+			return nil, err
+		}
+		faultsLeft := cfg.MaxFaults
+		outsideSince := -1 // step index when the invariant was left
+
+		for step := 0; step < cfg.Steps; step++ {
+			metrics.Steps++
+			stBDD, err := s.State(state)
+			if err != nil {
+				return nil, err
+			}
+			if m.And(stBDD, w.c.BadStates) != bdd.False {
+				metrics.BadStates++
+			}
+			inInv := m.And(stBDD, w.invariant) != bdd.False
+			if !inInv && outsideSince < 0 {
+				outsideSince = step
+				metrics.Departures++
+			}
+			if inInv && outsideSince >= 0 {
+				dur := step - outsideSince
+				metrics.Recoveries++
+				metrics.TotalRecoverySteps += dur
+				if dur > metrics.MaxRecoverySteps {
+					metrics.MaxRecoverySteps = dur
+				}
+				outsideSince = -1
+			}
+
+			// Choose a relation for this step.
+			useFault := faultsLeft > 0 && rng.Float64() < cfg.FaultProb
+			var rel bdd.Node
+			if useFault {
+				rel = w.c.Fault
+			} else {
+				rel = w.trans
+			}
+			next, ok, err := w.randomSuccessor(rng, stBDD, rel)
+			if err != nil {
+				return nil, err
+			}
+			if !ok && useFault {
+				// No fault enabled; fall back to a program step.
+				useFault = false
+				next, ok, err = w.randomSuccessor(rng, stBDD, w.trans)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				metrics.Rests++
+				break
+			}
+			if useFault {
+				metrics.FaultsInjected++
+				faultsLeft--
+			}
+			// Bad transition?
+			nxBDD, err := s.State(next)
+			if err != nil {
+				return nil, err
+			}
+			trBDD := m.And(stBDD, s.Prime(nxBDD))
+			if m.And(trBDD, w.c.BadTrans) != bdd.False {
+				metrics.BadTransitions++
+			}
+			state = next
+		}
+	}
+	return metrics, nil
+}
+
+// randomState samples a state from a nonempty predicate, randomizing the
+// don't-care bits of a satisfying cube.
+func (w *Walker) randomState(rng *rand.Rand, set bdd.Node) (map[string]int, error) {
+	s := w.c.Space
+	m := s.M
+	valid := m.And(set, s.ValidCur())
+	if valid == bdd.False {
+		return nil, fmt.Errorf("sim: empty state set")
+	}
+	cube := m.PickCubeRand(valid, func() bool { return rng.Intn(2) == 1 })
+	out := make(map[string]int, len(s.Vars))
+	for _, v := range s.Vars {
+		val := 0
+		for b, lvl := range v.CurLevels() {
+			bit := cube[lvl]
+			if bit == -1 {
+				if rng.Intn(2) == 1 {
+					bit = 1
+				} else {
+					bit = 0
+				}
+			}
+			if bit == 1 {
+				val |= 1 << b
+			}
+		}
+		if val >= v.Domain {
+			val = 0 // randomized don't-cares may leave the domain; clamp
+		}
+		out[v.Name] = val
+	}
+	// The clamp may have produced a state outside `set`; fall back to the
+	// cube's deterministic values in that case.
+	st, err := s.State(out)
+	if err != nil {
+		return nil, err
+	}
+	if m.And(st, valid) != bdd.False {
+		return out, nil
+	}
+	for _, v := range s.Vars {
+		out[v.Name] = v.DecodeCube(cube)
+	}
+	return out, nil
+}
+
+// randomSuccessor picks a uniformly-ish random successor of state under rel,
+// reporting ok=false if there is none.
+func (w *Walker) randomSuccessor(rng *rand.Rand, stBDD bdd.Node, rel bdd.Node) (map[string]int, bool, error) {
+	s := w.c.Space
+	m := s.M
+	img := s.Image(stBDD, rel)
+	if img == bdd.False {
+		return nil, false, nil
+	}
+	// Enumerate up to a handful of successor cubes and pick one.
+	type cand struct{ vals map[string]int }
+	var cands []cand
+	m.AllSat(m.And(img, s.ValidCur()), func(cube []int8) bool {
+		vals := make(map[string]int, len(s.Vars))
+		for _, v := range s.Vars {
+			vals[v.Name] = v.DecodeCube(cube)
+		}
+		cands = append(cands, cand{vals})
+		return len(cands) < 16
+	})
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	return cands[rng.Intn(len(cands))].vals, true, nil
+}

@@ -1,0 +1,334 @@
+// Package synchronous extends lazy repair to synchronous (barrier)
+// semantics, the setting the paper's conclusion highlights: all processes
+// read their readable variables, wait for a barrier, then update their
+// written variables simultaneously, and repeat. Lazy repair carries over
+// because Step 1 never looked at realizability; only the realizability
+// notion — and hence Step 2 — changes. (The paper notes no cautious repair
+// algorithm is known for synchronous semantics.)
+//
+// Realizability here means the global transition relation factors into
+// per-process local relations: process j contributes a relation from its
+// readable pre-state to its written variables' post-state, a process with no
+// applicable row keeps its variables, and a global transition is exactly a
+// simultaneous combination of one local choice per process (unowned
+// variables never change). Step 2 therefore projects the Step-1 program onto
+// each process's observation, recomposes the product, and removes local rows
+// until the product is contained in the allowed behavior — removal only,
+// exactly in the lazy spirit.
+package synchronous
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+	"repro/internal/repair"
+)
+
+// ErrNotRepairable mirrors repair.ErrNotRepairable for the synchronous case.
+var ErrNotRepairable = errors.New("synchronous: cannot add fault-tolerance")
+
+// ErrNoConvergence is returned when the outer loop exceeds its bound.
+var ErrNoConvergence = errors.New("synchronous: repair loop did not converge")
+
+// System is the synchronous view of a compiled program.
+type System struct {
+	C *program.Compiled
+
+	// Owned is the conjunction "every variable written by no process is
+	// unchanged" — the write universe of a synchronous step.
+	Owned bdd.Node
+	// Trans is the synchronous composition of the original program's
+	// actions: every process simultaneously applies one enabled action or
+	// keeps its variables.
+	Trans bdd.Node
+
+	// locals[j] is λ_j: process j's local relation over (full current
+	// state, next values of W_j); the frame on other variables is removed.
+	locals []bdd.Node
+	// writeCubes[j] is the cube of process j's written next-state bits.
+	writeCubes []bdd.Node
+	// keep[j] is "process j's written variables unchanged".
+	keep []bdd.Node
+	// obsCube[j] is the cube of everything process j cannot observe in a
+	// local row: unreadable current bits and all next bits outside W_j.
+	obsCube []bdd.Node
+}
+
+// New builds the synchronous view of a compiled program.
+func New(c *program.Compiled) *System {
+	s := c.Space
+	m := s.M
+	sys := &System{C: c, Owned: bdd.True}
+
+	owned := make(map[string]bool)
+	for _, p := range c.Procs {
+		for name := range p.Write {
+			owned[name] = true
+		}
+	}
+	for _, v := range s.Vars {
+		if !owned[v.Name] {
+			sys.Owned = m.And(sys.Owned, v.Unchanged())
+		}
+	}
+
+	for _, p := range c.Procs {
+		keepW := bdd.True
+		var writeLevels []int
+		var frameCube []int
+		for _, v := range s.Vars {
+			if p.Write[v.Name] {
+				writeLevels = append(writeLevels, v.NextLevels()...)
+				keepW = m.And(keepW, v.Unchanged())
+			} else {
+				frameCube = append(frameCube, v.NextLevels()...)
+			}
+		}
+		// λ_j: strip the "others unchanged" frame from the compiled δ_j by
+		// projecting away every next bit outside W_j.
+		lambda := m.Exists(p.Trans, m.Cube(frameCube))
+		// A process with no enabled action keeps its variables.
+		enabled := m.AndExists(p.Trans, s.ValidTrans(), s.NextCube())
+		lambda = m.Or(lambda, m.And(m.Not(enabled), keepW))
+
+		sys.locals = append(sys.locals, lambda)
+		sys.writeCubes = append(sys.writeCubes, m.Cube(writeLevels))
+		sys.keep = append(sys.keep, keepW)
+
+		var obs []int
+		for _, v := range s.Vars {
+			if !p.Read[v.Name] {
+				obs = append(obs, v.CurLevels()...)
+			}
+			if !p.Write[v.Name] {
+				obs = append(obs, v.NextLevels()...)
+			}
+		}
+		sys.obsCube = append(sys.obsCube, m.Cube(obs))
+	}
+
+	sys.Trans = sys.compose(sys.locals)
+	return sys
+}
+
+// compose builds the global synchronous relation from local relations:
+// the conjunction of all locals, with unowned variables unchanged.
+func (sys *System) compose(locals []bdd.Node) bdd.Node {
+	m := sys.C.Space.M
+	out := m.And(sys.Owned, sys.C.Space.ValidTrans())
+	for _, l := range locals {
+		out = m.And(out, l)
+	}
+	return out
+}
+
+// ProjectLocal extracts process j's local relation from a global transition
+// set: the pairs (readable pre-state, W_j post-values) that occur in delta,
+// closed over everything j cannot observe. This is the synchronous analog of
+// the read-restriction group.
+func (sys *System) ProjectLocal(j int, delta bdd.Node) bdd.Node {
+	m := sys.C.Space.M
+	return m.Exists(m.And(delta, sys.C.Space.ValidTrans()), sys.obsCube[j])
+}
+
+// Realizable reports whether delta is exactly a synchronous composition of
+// its own per-process projections (the synchronous realizability check).
+func (sys *System) Realizable(delta bdd.Node) bool {
+	m := sys.C.Space.M
+	d := m.AndN(delta, sys.C.Space.ValidTrans(), sys.Owned)
+	if d != m.And(delta, sys.C.Space.ValidTrans()) {
+		return false // changes an unowned variable
+	}
+	locals := make([]bdd.Node, len(sys.locals))
+	for j := range sys.locals {
+		locals[j] = sys.ProjectLocal(j, d)
+	}
+	return sys.compose(locals) == d
+}
+
+// Result mirrors repair.Result for the synchronous pipeline.
+type Result struct {
+	Trans     bdd.Node
+	Invariant bdd.Node
+	FaultSpan bdd.Node
+	Stats     repair.Stats
+	// Locals holds the synthesized per-process local relations.
+	Locals []bdd.Node
+}
+
+// Lazy runs lazy repair under synchronous semantics: Step 1 is Add-Masking
+// on the synchronous composition (write universe = all owned variables may
+// change at once); Step 2 projects the intermediate program onto the
+// processes, recomposes, and removes local rows whose combinations create
+// disallowed transitions; deadlocks feed back exactly as in Algorithm 1.
+func Lazy(sys *System, opts repair.Options) (*Result, error) {
+	c := sys.C
+	s := c.Space
+	m := s.M
+	start := time.Now()
+	var stats repair.Stats
+
+	syncProg := &syncCompiled{sys: sys}
+	stats.ReachableStates = s.CountStates(
+		s.ReachableParts(c.Invariant, []bdd.Node{sys.Trans, c.Fault}))
+
+	invariant := c.Invariant
+	badTrans := c.BadTrans
+	maxIter := opts.MaxOuterIterations
+	if maxIter <= 0 {
+		maxIter = 64
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		stats.OuterIterations = iter
+		t0 := time.Now()
+		mask, err := syncProg.addMasking(invariant, badTrans, opts)
+		stats.Step1 += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+
+		t1 := time.Now()
+		locals, realized := sys.realize(mask)
+		// Deadlock analysis: in synchronous semantics every state has the
+		// all-stutter successor, so "deadlocked" means the only successor
+		// is the state itself while it lies outside the invariant.
+		certSpan := s.ReachableParts(mask.Invariant, []bdd.Node{realized, c.Fault})
+		moving := m.AndExists(m.Diff(realized, s.Identity()), s.ValidTrans(), s.NextCube())
+		dl := m.AndN(certSpan, m.Not(moving), m.Not(mask.Invariant))
+		stats.Step2 += time.Since(t1)
+
+		if dl == bdd.False {
+			stats.Total = time.Since(start)
+			stats.BDDNodes = m.Size()
+			return &Result{
+				Trans:     realized,
+				Invariant: mask.Invariant,
+				FaultSpan: certSpan,
+				Stats:     stats,
+				Locals:    locals,
+			}, nil
+		}
+		badTrans = m.OrN(badTrans,
+			m.And(s.Prime(dl), s.ValidTrans()),
+			m.AndN(mask.FaultSpan, m.Not(s.Prime(mask.FaultSpan)), s.ValidTrans()))
+		invariant = mask.Invariant
+	}
+	return nil, ErrNoConvergence
+}
+
+// realize is the synchronous Step 2: project the Step-1 program (plus free
+// transitions outside the span and the always-legal all-stutter) onto each
+// process, recompose, and iteratively drop local rows that only arise in
+// disallowed combinations.
+func (sys *System) realize(mask *syncMasking) ([]bdd.Node, bdd.Node) {
+	c := sys.C
+	s := c.Space
+	m := s.M
+
+	free := m.And(m.Not(mask.FaultSpan), s.ValidTrans())
+	allowed := m.OrN(m.And(mask.Trans, s.ValidTrans()), free, s.Identity())
+
+	locals := make([]bdd.Node, len(sys.locals))
+	for j := range locals {
+		locals[j] = sys.ProjectLocal(j, allowed)
+	}
+	for {
+		prod := sys.compose(locals)
+		bad := m.Diff(prod, allowed)
+		if bad == bdd.False {
+			return locals, prod
+		}
+		// Remove the local rows that participate in disallowed
+		// combinations, round-robin: drop from the first process whose
+		// projection of the bad set is nonempty. (Removing from all at once
+		// can erase rows other, allowed combinations still need.)
+		removed := false
+		for j := range locals {
+			rows := m.And(sys.ProjectLocal(j, bad), locals[j])
+			// Never remove a process's stutter rows: totality requires a
+			// fallback choice for every observation.
+			rows = m.Diff(rows, sys.keep[j])
+			if rows == bdd.False {
+				continue
+			}
+			locals[j] = m.Diff(locals[j], rows)
+			removed = true
+			break
+		}
+		if !removed {
+			// Only stutter combinations remain disallowed; they are legal
+			// by the Definition-18 analog, so intersect and finish.
+			return locals, m.And(prod, allowed)
+		}
+	}
+}
+
+// syncCompiled adapts the synchronous composition to the Add-Masking
+// skeleton: the write universe allows every owned variable to change at
+// once, and recovery layering works on the single monolithic relation.
+type syncCompiled struct {
+	sys *System
+}
+
+type syncMasking struct {
+	Trans     bdd.Node
+	Invariant bdd.Node
+	FaultSpan bdd.Node
+}
+
+func (sc *syncCompiled) addMasking(invariant, badTrans bdd.Node, opts repair.Options) (*syncMasking, error) {
+	sys := sc.sys
+	c := sys.C
+	s := c.Space
+	m := s.M
+
+	ms, mt := repair.ComputeMsMt(c, badTrans)
+	notMT := m.Not(mt)
+
+	s1 := m.Diff(m.And(invariant, s.ValidCur()), ms)
+	if s1 == bdd.False {
+		return nil, ErrNotRepairable
+	}
+	universe := s.ValidCur()
+	if opts.ReachabilityHeuristic {
+		universe = s.ReachableParts(invariant, []bdd.Node{m.And(sys.Trans, notMT), c.Fault})
+	}
+	t1 := m.Diff(universe, ms)
+
+	var availInside, availOutside bdd.Node
+	var rec bdd.Node
+	for {
+		availInside = m.AndN(sys.Trans, s1, s.Prime(s1), notMT)
+		stay := m.AndN(sys.Owned, s.ValidTrans(), t1, s.Prime(t1))
+		availOutside = m.AndN(stay, m.Not(s1), notMT, m.Not(s.Identity()))
+		avail := m.Or(availInside, availOutside)
+
+		t2 := m.And(t1, s.BackwardReachableParts(s1, []bdd.Node{avail}))
+		for {
+			escape := s.Preimage(m.Diff(s.ValidCur(), t2), c.Fault)
+			next := m.Diff(t2, escape)
+			if next == t2 {
+				break
+			}
+			t2 = next
+		}
+		s2 := m.And(s1, t2)
+		if s2 == bdd.False {
+			return nil, ErrNotRepairable
+		}
+		if s2 != s1 || t2 != t1 {
+			s1, t1 = s2, t2
+			continue
+		}
+		var ranked bdd.Node
+		rec, ranked = repair.LayeredRecovery(c, s1, t1, []bdd.Node{availOutside})
+		if ranked != t1 {
+			t1 = ranked
+			continue
+		}
+		break
+	}
+	return &syncMasking{Trans: m.Or(availInside, rec), Invariant: s1, FaultSpan: t1}, nil
+}

@@ -1,0 +1,200 @@
+// Package verify independently checks the output of the repair algorithms:
+// that the synthesized program is masking fault-tolerant to the original
+// specification from the repaired invariant (Definition 15), that it adds no
+// new behavior inside the invariant (the problem statement of Section II),
+// and that its transitions are realizable by the program's processes under
+// the read/write restrictions (Definitions 19 and 20).
+//
+// The checks are deliberately written against the definitions rather than
+// reusing the algorithms' internal fixpoints, so they serve as an oracle in
+// tests.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+	"repro/internal/repair"
+)
+
+// Check is one verified property.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+	// Warning marks informational checks that do not affect Report.OK:
+	// properties the paper's definitions do not require but a model author
+	// may care about (e.g. progress lost to new invariant deadlocks).
+	Warning bool
+}
+
+// Report is the outcome of verifying a repair result.
+type Report struct {
+	Checks []Check
+}
+
+// OK reports whether every check passed.
+func (r *Report) OK() bool {
+	for _, c := range r.Checks {
+		if !c.OK && !c.Warning {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the names of failed checks.
+func (r *Report) Failures() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.OK && !c.Warning {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// String renders the report, one check per line.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, c := range r.Checks {
+		mark := "ok  "
+		if !c.OK {
+			mark = "FAIL"
+			if c.Warning {
+				mark = "warn"
+			}
+		}
+		fmt.Fprintf(&sb, "%s %-38s %s\n", mark, c.Name, c.Detail)
+	}
+	return sb.String()
+}
+
+func (r *Report) add(name string, ok bool, detail string) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: detail})
+}
+
+// Result verifies a repair result against the compiled program it was
+// synthesized from.
+func Result(c *program.Compiled, res *repair.Result) *Report {
+	m := c.Space.M
+	s := c.Space
+	rep := &Report{}
+
+	inv, span, trans := res.Invariant, res.FaultSpan, res.Trans
+	valid := s.ValidTrans()
+	trans = m.And(trans, valid)
+
+	// --- problem-statement conditions (Section II) -----------------------
+	rep.add("invariant nonempty", inv != bdd.False, "")
+	rep.add("invariant subset of original", m.Implies(inv, c.Invariant), "S' ⊆ S")
+	newBehavior := m.AndN(trans, inv, s.Prime(inv), m.Not(c.Trans))
+	rep.add("no new behavior inside invariant", newBehavior == bdd.False, "δ'|S' ⊆ δ|S'")
+
+	// --- closure ----------------------------------------------------------
+	escInv := m.AndN(trans, inv, m.Not(s.Prime(inv)))
+	rep.add("invariant closed in program", escInv == bdd.False, "")
+	rep.add("invariant inside fault-span", m.Implies(inv, span), "S' ⊆ T'")
+	combined := m.Or(trans, c.Fault)
+	escSpan := m.AndN(combined, span, m.Not(s.Prime(span)))
+	rep.add("fault-span closed in program∪fault", escSpan == bdd.False, "")
+
+	// --- safety under faults ----------------------------------------------
+	// Partition the program's transitions by process for image computation;
+	// every realizable δ' is covered by its per-process maximal realizable
+	// subsets, and faults are partitioned per action.
+	procParts := make([]bdd.Node, len(c.Procs))
+	for j, p := range c.Procs {
+		procParts[j] = p.MaxRealizableSubset(trans)
+	}
+	reach := s.ReachableParts(inv, append(append([]bdd.Node{}, procParts...), c.FaultParts...))
+	rep.add("reachable within fault-span", m.Implies(reach, span), "")
+	badReach := m.And(reach, c.BadStates)
+	rep.add("no reachable bad state", badReach == bdd.False, "")
+	badStep := m.AndN(combined, reach, c.BadTrans)
+	rep.add("no reachable bad transition", badStep == bdd.False, "")
+
+	// --- recovery (the liveness half of masking) ---------------------------
+	outside := m.Diff(span, inv)
+	noOut := m.Diff(outside, src(c, trans))
+	rep.add("no deadlock outside invariant", noOut == bdd.False,
+		fmt.Sprintf("%g stuck state(s)", s.CountStates(noOut)))
+	// Greatest fixpoint: states in T'−S' from which some program-only path
+	// stays outside the invariant forever.
+	cyclic := outside
+	for {
+		step := bdd.False
+		for _, p := range procParts {
+			step = m.Or(step, m.AndExists(m.And(p, cyclic), s.Prime(cyclic), s.NextCube()))
+		}
+		next := m.And(cyclic, step)
+		if next == cyclic {
+			break
+		}
+		cyclic = next
+	}
+	rep.add("no livelock outside invariant", cyclic == bdd.False,
+		fmt.Sprintf("%g state(s) on non-recovering paths", s.CountStates(cyclic)))
+	// New finite computations: invariant states deadlocked now but not
+	// before. Definition 5 permits finite maximal computations and the
+	// instances carry no liveness specification, so this is informational
+	// (it reports progress the repair traded away).
+	origDeadlock := c.Deadlocks(c.Trans)
+	newDeadlock := m.AndN(inv, m.Diff(s.ValidCur(), src(c, trans)), m.Not(origDeadlock))
+	rep.Checks = append(rep.Checks, Check{
+		Name:    "no new deadlock inside invariant",
+		OK:      newDeadlock == bdd.False,
+		Detail:  fmt.Sprintf("%g state(s) rest where the original program moved", s.CountStates(newDeadlock)),
+		Warning: true,
+	})
+
+	// --- liveness (Definition 8, if the spec declares leads-to properties) -
+	// L ↝ T holds from S' iff every program computation that visits a
+	// reachable L-state later visits a T-state. With finite maximal
+	// computations this is the least fixpoint "must reach T": a state is
+	// good iff it is in T, or it has a successor and all its successors are
+	// good. (Checked fault-free, per Definition 10's "computations of P".)
+	if len(c.Liveness) > 0 {
+		progReach := s.ReachableParts(inv, procParts)
+		hasSucc := src(c, trans)
+		for _, lt := range c.Liveness {
+			good := m.And(lt.To, s.ValidCur())
+			for {
+				escapes := src(c, m.And(trans, m.Not(s.Prime(good))))
+				next := m.Or(good, m.And(hasSucc, m.Not(escapes)))
+				if next == good {
+					break
+				}
+				good = next
+			}
+			pending := m.AndN(progReach, lt.From, m.Not(good))
+			name := lt.Name
+			if name == "" {
+				name = "leads-to"
+			}
+			rep.add("liveness "+name, pending == bdd.False,
+				fmt.Sprintf("%g reachable L-state(s) that may never reach T", s.CountStates(pending)))
+		}
+	}
+
+	// --- realizability (Definitions 19 and 20) -----------------------------
+	union := bdd.False
+	for j, p := range c.Procs {
+		part := procParts[j]
+		if !p.Realizable(part) {
+			rep.add("process "+p.Name+" subset realizable", false, "")
+		}
+		union = m.Or(union, part)
+	}
+	rep.add("transitions decompose into processes", m.Implies(trans, union),
+		"every transition belongs to a complete group of some process")
+
+	return rep
+}
+
+func src(c *program.Compiled, delta bdd.Node) bdd.Node {
+	m := c.Space.M
+	return m.AndExists(delta, c.Space.ValidTrans(), c.Space.NextCube())
+}

@@ -1,0 +1,162 @@
+// Package repro is a reproduction of "Lazy Repair for Addition of
+// Fault-Tolerance to Distributed Programs" (Roohitavaf, Lin, Kulkarni,
+// IPPS 2016): a symbolic model-repair toolkit that revises fault-intolerant
+// distributed programs into masking fault-tolerant ones while respecting the
+// read/write realizability constraints of distributed computation.
+//
+// The public API wraps the internal engine:
+//
+//   - Define a distributed program (variables, processes with read/write
+//     restrictions and guarded-command actions, fault actions, invariant,
+//     safety specification) with the Def / Process / Action types and the
+//     expression constructors re-exported from internal/expr.
+//   - Repair it with Lazy (the paper's two-step Algorithm 1) or Cautious
+//     (the prior tool's baseline).
+//   - Verify the output independently against the paper's definitions.
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package repro
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/parse"
+	"repro/internal/program"
+	"repro/internal/repair"
+	"repro/internal/symbolic"
+	"repro/internal/verify"
+)
+
+// Expr is a boolean expression over the program's variables, used for
+// guards, invariants, and safety specifications.
+type Expr = expr.Expr
+
+// Expression constructors, re-exported from the expression language.
+var (
+	// True and False are the constant expressions.
+	True, False = expr.True, expr.False
+	// Eq returns "name = val"; Ne its negation.
+	Eq, Ne = expr.Eq, expr.Ne
+	// EqVar returns "a = b" over two variables; NeVar its negation.
+	EqVar, NeVar = expr.EqVar, expr.NeVar
+	// Lt returns "name < val".
+	Lt = expr.Lt
+	// NextEq returns "name' = val"; NextEqVar returns "a' = b".
+	NextEq, NextEqVar = expr.NextEq, expr.NextEqVar
+	// Changed returns "name' ≠ name"; Unchanged its negation.
+	Changed, Unchanged = expr.Changed, expr.Unchanged
+	// And, Or, Not and Implies are the boolean connectives.
+	And, Or, Not, Implies = expr.And, expr.Or, expr.Not, expr.Implies
+)
+
+// Re-exported model-definition types.
+type (
+	// Def is a complete repair-problem instance: a distributed program,
+	// its faults, its invariant, and its safety specification.
+	Def = program.Def
+	// Process declares one process with read/write restrictions and actions.
+	Process = program.Process
+	// Action is a guarded command.
+	Action = program.Action
+	// Update is one assignment performed by an Action.
+	Update = program.Update
+	// VarSpec declares a finite-domain variable.
+	VarSpec = symbolic.VarSpec
+	// Compiled is the symbolic (BDD) form of a Def.
+	Compiled = program.Compiled
+
+	// Options tune the repair algorithms.
+	Options = repair.Options
+	// Result is a synthesized masking fault-tolerant program.
+	Result = repair.Result
+	// Stats reports where the synthesis time went (the paper's table columns).
+	Stats = repair.Stats
+	// Report is the verifier's outcome.
+	Report = verify.Report
+)
+
+// Update constructors, re-exported.
+var (
+	// Set returns the update v := val.
+	Set = program.Set
+	// Copy returns the update v := from.
+	Copy = program.Copy
+	// Choose returns the nondeterministic update v := one of the given values.
+	Choose = program.Choose
+)
+
+// Repair errors, re-exported.
+var (
+	// ErrNotRepairable reports that no masking fault-tolerant program exists
+	// under the algorithm's heuristics.
+	ErrNotRepairable = repair.ErrNotRepairable
+	// ErrNoConvergence reports that the outer repair loop hit its bound.
+	ErrNoConvergence = repair.ErrNoConvergence
+)
+
+// DefaultOptions returns the configuration used in the paper's headline
+// experiments.
+func DefaultOptions() Options { return repair.DefaultOptions() }
+
+// Lazy repairs the program with the paper's two-step lazy-repair algorithm
+// (Algorithm 1): Add-Masking without realizability constraints, then
+// realizability enforcement by transition removal, iterated until no
+// deadlocks remain.
+func Lazy(def *Def, opts Options) (*Compiled, *Result, error) {
+	c, err := def.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := repair.Lazy(c, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, res, nil
+}
+
+// Cautious repairs the program with the baseline algorithm that keeps the
+// model realizable at every intermediate step (Section IV of the paper).
+func Cautious(def *Def, opts Options) (*Compiled, *Result, error) {
+	c, err := def.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := repair.Cautious(c, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, res, nil
+}
+
+// Verify independently checks a repair result against the paper's
+// definitions: the problem-statement conditions of Section II, masking
+// fault-tolerance (Definition 15), and realizability (Definitions 19–20).
+func Verify(c *Compiled, res *Result) *Report { return verify.Result(c, res) }
+
+// ParseProgram reads a repair-problem definition from the declarative text
+// format (see internal/parse for the grammar and cmd/ftrepair -file for CLI
+// use).
+func ParseProgram(src string) (*Def, error) { return parse.Program(src) }
+
+// CaseStudy builds one of the benchmark instances by name: "ba" (Byzantine
+// agreement with n non-generals), "bafs" (Byzantine agreement with fail-stop
+// faults), "sc" (stabilizing chain of n cells), "ring" (Dijkstra's K-state
+// token ring), or "tmr" (triple modular redundancy; n ignored).
+func CaseStudy(name string, n int) (*Def, error) { return core.CaseStudy(name, n) }
+
+// CountStates returns the number of states in a state predicate of the
+// compiled program (e.g. a Result's Invariant or FaultSpan).
+func CountStates(c *Compiled, set bdd.Node) float64 { return c.Space.CountStates(set) }
+
+// CountTransitions returns the number of transitions in a transition
+// predicate of the compiled program (e.g. a Result's Trans).
+func CountTransitions(c *Compiled, delta bdd.Node) float64 {
+	return c.Space.CountTransitions(delta)
+}
+
+// Intersects reports whether two predicates of the compiled program share at
+// least one assignment.
+func Intersects(c *Compiled, a, b bdd.Node) bool {
+	return c.Space.M.And(a, b) != bdd.False
+}

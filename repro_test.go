@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the whole facade the way the README's
+// quickstart does: define, repair, verify, count, describe.
+func TestPublicAPIQuickstart(t *testing.T) {
+	def := &Def{
+		Name: "api-flip",
+		Vars: []VarSpec{{Name: "a", Domain: 2}},
+		Processes: []*Process{
+			{Name: "p", Read: []string{"a"}, Write: []string{"a"}},
+		},
+		Faults: []Action{{
+			Name:    "hit",
+			Guard:   Eq("a", 0),
+			Updates: []Update{Set("a", 1)},
+		}},
+		Invariant: Eq("a", 0),
+	}
+	c, res, err := Lazy(def, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountStates(c, res.Invariant); got != 1 {
+		t.Fatalf("invariant states = %v, want 1", got)
+	}
+	if got := CountStates(c, res.FaultSpan); got != 2 {
+		t.Fatalf("fault-span states = %v, want 2", got)
+	}
+	if got := CountTransitions(c, res.Trans); got != 1 {
+		t.Fatalf("transitions = %v, want 1 (the recovery)", got)
+	}
+	if rep := Verify(c, res); !rep.OK() {
+		t.Fatalf("verification failed:\n%s", rep)
+	}
+	lines := c.Procs[0].DescribeActions(c.Procs[0].MaxRealizableSubset(res.Trans), 4)
+	if len(lines) != 1 || lines[0] != "when a=1 → a:=0" {
+		t.Fatalf("protocol rendering = %q", lines)
+	}
+}
+
+func TestPublicAPICautious(t *testing.T) {
+	def, err := CaseStudy("sc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res, err := Cautious(def, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Verify(c, res); !rep.OK() {
+		t.Fatalf("verification failed:\n%s", rep)
+	}
+}
+
+func TestCaseStudyNamesAndErrors(t *testing.T) {
+	for _, name := range []string{"ba", "bafs", "sc"} {
+		if _, err := CaseStudy(name, 3); err != nil {
+			t.Errorf("CaseStudy(%q, 3): %v", name, err)
+		}
+	}
+	if _, err := CaseStudy("nope", 3); err == nil {
+		t.Error("unknown case study should error")
+	}
+	if _, err := CaseStudy("sc", 1); err == nil {
+		t.Error("sc with 1 cell should error")
+	}
+	if _, err := CaseStudy("ba", 0); err == nil {
+		t.Error("ba with 0 non-generals should error")
+	}
+}
+
+func TestUnrepairableSurfacesError(t *testing.T) {
+	def := &Def{
+		Name: "doomed",
+		Vars: []VarSpec{{Name: "a", Domain: 2}},
+		Processes: []*Process{
+			{Name: "p", Read: []string{"a"}, Write: []string{"a"}},
+		},
+		Faults: []Action{{
+			Guard:   Eq("a", 0),
+			Updates: []Update{Set("a", 1)},
+		}},
+		Invariant: Eq("a", 0),
+		BadStates: Eq("a", 1),
+	}
+	if _, _, err := Lazy(def, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
+		t.Fatalf("want ErrNotRepairable, got %v", err)
+	}
+	if _, _, err := Cautious(def, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
+		t.Fatalf("cautious: want ErrNotRepairable, got %v", err)
+	}
+}
+
+func TestExpressionReexports(t *testing.T) {
+	def := &Def{
+		Name: "exprs",
+		Vars: []VarSpec{{Name: "x", Domain: 3}, {Name: "y", Domain: 3}},
+		Processes: []*Process{
+			{Name: "p", Read: []string{"x", "y"}, Write: []string{"y"},
+				Actions: []Action{{
+					Guard:   And(Or(Eq("x", 0), Ne("y", 1)), Implies(Lt("x", 2), True), Not(False)),
+					Updates: []Update{Copy("y", "x")},
+				}}},
+		},
+		Invariant: EqVar("x", "y"),
+		BadTrans:  And(Changed("y"), Not(NextEqVar("y", "x")), Unchanged("x"), Not(NextEq("y", 2)), NeVar("x", "y")),
+	}
+	if _, err := def.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	def, _ := CaseStudy("sc", 3)
+	c, res, err := Lazy(def, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Intersects(c, res.Invariant, res.FaultSpan) {
+		t.Fatal("invariant must intersect fault-span")
+	}
+}
