@@ -13,6 +13,7 @@ package repro
 //	BenchmarkFigure5* — the Section III-B group computation itself.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,8 +39,13 @@ func benchRepair(b *testing.B, caseName string, n int, alg func(*Compiled, Optio
 	}
 }
 
-func lazyAlg(c *Compiled, o Options) (*Result, error)     { return repair.Lazy(c, o) }
-func cautiousAlg(c *Compiled, o Options) (*Result, error) { return repair.Cautious(c, o) }
+func lazyAlg(c *Compiled, o Options) (*Result, error) {
+	return repair.Lazy(context.Background(), c, o)
+}
+
+func cautiousAlg(c *Compiled, o Options) (*Result, error) {
+	return repair.Cautious(context.Background(), c, o)
+}
 
 func BenchmarkTable1BALazy(b *testing.B) {
 	for _, n := range []int{3, 6, 10} {
@@ -78,7 +84,7 @@ func BenchmarkTable2SCStep2(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			mask, err := repair.AddMasking(c, c.Invariant, c.BadTrans, repair.DefaultOptions())
+			mask, err := repair.AddMasking(context.Background(), c, c.Invariant, c.BadTrans, repair.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,93 @@
+// Command benchjson runs the case-study ladder and writes a machine-readable
+// performance snapshot: a JSON array of core.RunReport records (the same
+// encoding served by `ftrepair -json` and the ftrepaird daemon), one per
+// instance, capturing reachable states, BDD nodes, and Step 1 / Step 2 /
+// total repair times.
+//
+// Usage:
+//
+//	benchjson                 # full ladder -> BENCH_1.json
+//	benchjson -quick          # small instances only
+//	benchjson -out perf.json  # alternate output path
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/repair"
+)
+
+type instance struct {
+	name string
+	n    int
+}
+
+func ladder(quick bool) []instance {
+	if quick {
+		return []instance{
+			{"ba", 3}, {"bafs", 2}, {"sc", 8}, {"ring", 2}, {"tmr", 0},
+		}
+	}
+	return []instance{
+		{"ba", 3}, {"ba", 6},
+		{"bafs", 2}, {"bafs", 3},
+		{"sc", 8}, {"sc", 12},
+		{"ring", 2}, {"ring", 3},
+		{"tmr", 0},
+	}
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_1.json", "output path")
+		quick   = flag.Bool("quick", false, "run only the small instances")
+		timeout = flag.Duration("timeout", 10*time.Minute, "deadline for the whole ladder")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var reports []core.RunReport
+	for _, inst := range ladder(*quick) {
+		def, err := core.CaseStudy(inst.name, inst.n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		job := core.Job{
+			Def:       def,
+			Algorithm: core.LazyRepair,
+			Options:   repair.DefaultOptions(),
+			Verify:    true,
+		}
+		outc, err := core.Run(ctx, job)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s n=%d: %v\n", inst.name, inst.n, err)
+			os.Exit(1)
+		}
+		r := core.NewRunReport(job, outc, inst.name, inst.n)
+		reports = append(reports, r)
+		fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d reach=%g nodes=%d total=%s verified=%t\n",
+			inst.name, inst.n, r.ReachableStates, r.BDDNodes,
+			time.Duration(r.TotalNS), r.Verified != nil && *r.Verified)
+	}
+
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d reports to %s\n", len(reports), *out)
+}

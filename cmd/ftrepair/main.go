@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ftrepair -case ba -n 3 -alg lazy -verify -protocol
+//	ftrepair -case ba -n 3 -json | jq .total_ns
 //
 // Case studies: ba (Byzantine agreement), bafs (Byzantine agreement with
 // fail-stop faults), sc (stabilizing chain), ring (Dijkstra token ring),
@@ -12,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,8 @@ func main() {
 		pure      = flag.Bool("pure", false, "disable the reachability heuristic (pure lazy)")
 		deferCyc  = flag.Bool("defer-cycles", false, "defer cycle-breaking to after Step 2 (ablation)")
 		protLimit = flag.Int("protocol-limit", 24, "max protocol lines per process")
+		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON report on stdout")
+		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -60,14 +65,39 @@ func main() {
 		}
 	}
 
-	out, err := core.Run(core.Job{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	job := core.Job{
 		Def:       def,
 		Algorithm: core.Algorithm(*alg),
 		Options:   opts,
 		Verify:    *doVerify,
-	})
+	}
+	out, err := core.Run(ctx, job)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		cn, cnN := *caseName, *n
+		if *file != "" {
+			cn, cnN = "", 0
+		}
+		report := core.NewRunReport(job, out, cn, cnN)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+		if out.Report != nil && !out.Report.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	s := out.Compiled.Space

@@ -1,0 +1,87 @@
+// Command ftrepaird is the repair daemon: an HTTP/JSON service that accepts
+// fault-tolerance repair jobs, runs them on a worker pool with bounded
+// queueing, content-addressed result caching, and per-job deadlines, and
+// exposes status, health, and Prometheus metrics.
+//
+// Usage:
+//
+//	ftrepaird -addr :8727 -workers 4 -queue 64 -cache 256 -default-timeout 5m
+//
+// API:
+//
+//	POST   /v1/repair      {"case":"ba","n":3}  or  {"model":"program ..."}
+//	GET    /v1/jobs/{id}   job status and (when done) the verified result
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /healthz        liveness
+//	GET    /metrics        queue depth, cache hit ratio, per-phase latency
+//
+// See the README's "Running the service" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8727", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "bounded work-queue depth")
+		cacheSize  = flag.Int("cache", 256, "result-cache entries")
+		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the spec sets none")
+		verbose    = flag.Bool("v", false, "log job lifecycle events")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *defTimeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	svc := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftrepaird:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	log.Printf("ftrepaird: serving on http://%s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+
+	// Graceful shutdown: stop accepting, cancel live jobs, drain workers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("ftrepaird: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		svc.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ftrepaird:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -94,12 +95,12 @@ func sizes(s string) []int {
 
 // runOne compiles def in a fresh manager and repairs it with alg, verifying
 // the result. It returns the result and whether verification passed.
-func runOne(cfg config, def *program.Def, alg func(*program.Compiled, repair.Options) (*repair.Result, error), opts repair.Options) (*repair.Result, bool, error) {
+func runOne(cfg config, def *program.Def, alg func(context.Context, *program.Compiled, repair.Options) (*repair.Result, error), opts repair.Options) (*repair.Result, bool, error) {
 	c, err := def.Compile()
 	if err != nil {
 		return nil, false, err
 	}
-	res, err := alg(c, opts)
+	res, err := alg(context.Background(), c, opts)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,6 +1,7 @@
 package casestudies
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bdd"
@@ -10,10 +11,10 @@ import (
 	"repro/internal/verify"
 )
 
-func repairAndVerify(t *testing.T, d *program.Def, alg func(*program.Compiled, repair.Options) (*repair.Result, error)) (*program.Compiled, *repair.Result) {
+func repairAndVerify(t *testing.T, d *program.Def, alg func(context.Context, *program.Compiled, repair.Options) (*repair.Result, error)) (*program.Compiled, *repair.Result) {
 	t.Helper()
 	c := d.MustCompile()
-	res, err := alg(c, repair.DefaultOptions())
+	res, err := alg(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatalf("%s: repair failed: %v", d.Name, err)
 	}

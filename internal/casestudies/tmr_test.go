@@ -1,6 +1,7 @@
 package casestudies
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bdd"
@@ -10,7 +11,7 @@ import (
 
 func TestTMRLazyVerified(t *testing.T) {
 	c := TMR().MustCompile()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestTMRLazyVerified(t *testing.T) {
 
 func TestTMRCautiousVerified(t *testing.T) {
 	c := TMR().MustCompile()
-	res, err := repair.Cautious(c, repair.DefaultOptions())
+	res, err := repair.Cautious(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

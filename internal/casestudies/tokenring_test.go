@@ -1,6 +1,7 @@
 package casestudies
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bdd"
@@ -12,7 +13,7 @@ func TestTokenRingLazyVerified(t *testing.T) {
 	for _, tc := range []struct{ n, k int }{{3, 4}, {4, 5}} {
 		d := TokenRing(tc.n, tc.k)
 		c := d.MustCompile()
-		res, err := repair.Lazy(c, repair.DefaultOptions())
+		res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name, err)
 		}
@@ -31,7 +32,7 @@ func TestTokenRingLazyVerified(t *testing.T) {
 func TestTokenRingPreservesProtocol(t *testing.T) {
 	d := TokenRing(3, 4)
 	c := d.MustCompile()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestTokenRingPreservesProtocol(t *testing.T) {
 func TestTokenRingRecoversFromTwoPrivileges(t *testing.T) {
 	d := TokenRing(3, 4)
 	c := d.MustCompile()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

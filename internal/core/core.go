@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,10 +43,13 @@ type Outcome struct {
 	Report   *verify.Report // nil unless Job.Verify
 
 	CompileTime time.Duration
+	VerifyTime  time.Duration // zero unless Job.Verify
 }
 
-// Run executes a repair job.
-func Run(job Job) (*Outcome, error) {
+// Run executes a repair job. The context bounds the synthesis: a deadline or
+// cancellation aborts the repair algorithms at their next fixpoint-iteration
+// boundary with an error wrapping ctx.Err().
+func Run(ctx context.Context, job Job) (*Outcome, error) {
 	t0 := time.Now()
 	compiled, err := job.Def.Compile()
 	if err != nil {
@@ -56,9 +60,9 @@ func Run(job Job) (*Outcome, error) {
 	var res *repair.Result
 	switch job.Algorithm {
 	case LazyRepair, "":
-		res, err = repair.Lazy(compiled, job.Options)
+		res, err = repair.Lazy(ctx, compiled, job.Options)
 	case CautiousRepair:
-		res, err = repair.Cautious(compiled, job.Options)
+		res, err = repair.Cautious(ctx, compiled, job.Options)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", job.Algorithm)
 	}
@@ -68,7 +72,9 @@ func Run(job Job) (*Outcome, error) {
 	out.Result = res
 
 	if job.Verify {
+		t1 := time.Now()
 		out.Report = verify.Result(compiled, res)
+		out.VerifyTime = time.Since(t1)
 	}
 	return out, nil
 }

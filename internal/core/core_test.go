@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/repair"
@@ -11,7 +12,7 @@ func TestRunLazyWithVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Run(Job{Def: def, Algorithm: LazyRepair, Options: repair.DefaultOptions(), Verify: true})
+	out, err := Run(context.Background(), Job{Def: def, Algorithm: LazyRepair, Options: repair.DefaultOptions(), Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestRunLazyWithVerify(t *testing.T) {
 
 func TestRunDefaultAlgorithmIsLazy(t *testing.T) {
 	def, _ := CaseStudy("ba", 2)
-	out, err := Run(Job{Def: def, Options: repair.DefaultOptions()})
+	out, err := Run(context.Background(), Job{Def: def, Options: repair.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestRunDefaultAlgorithmIsLazy(t *testing.T) {
 
 func TestRunCautious(t *testing.T) {
 	def, _ := CaseStudy("ba", 2)
-	out, err := Run(Job{Def: def, Algorithm: CautiousRepair, Options: repair.DefaultOptions(), Verify: true})
+	out, err := Run(context.Background(), Job{Def: def, Algorithm: CautiousRepair, Options: repair.DefaultOptions(), Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRunCautious(t *testing.T) {
 
 func TestRunUnknownAlgorithm(t *testing.T) {
 	def, _ := CaseStudy("ba", 2)
-	if _, err := Run(Job{Def: def, Algorithm: "magic"}); err == nil {
+	if _, err := Run(context.Background(), Job{Def: def, Algorithm: "magic"}); err == nil {
 		t.Fatal("unknown algorithm should error")
 	}
 }

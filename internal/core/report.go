@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/verify"
+)
+
+// RunReport is the machine-readable summary of one repair run: the paper's
+// table columns (reachable states, Step 1 / Step 2 / total times, BDD nodes)
+// plus the verification verdict. It is the single JSON encoding shared by
+// `ftrepair -json`, the ftrepaird daemon's job results, and the benchjson
+// perf snapshots, so downstream tooling parses one shape everywhere.
+type RunReport struct {
+	// Model is the program's declared name; Case/N identify a built-in
+	// case-study instance when the run came from one.
+	Model string `json:"model"`
+	Case  string `json:"case,omitempty"`
+	N     int    `json:"n,omitempty"`
+
+	Algorithm   string `json:"algorithm"`
+	Pure        bool   `json:"pure,omitempty"`         // reachability heuristic disabled
+	DeferCycles bool   `json:"defer_cycles,omitempty"` // cycle-breaking after Step 2
+
+	StateBits       int     `json:"state_bits"`
+	States          float64 `json:"states"`
+	ReachableStates float64 `json:"reachable_states"`
+	InvariantStates float64 `json:"invariant_states"`
+	FaultSpanStates float64 `json:"fault_span_states"`
+	OuterIterations int     `json:"outer_iterations"`
+	BDDNodes        int     `json:"bdd_nodes"`
+
+	CompileNS int64 `json:"compile_ns"`
+	Step1NS   int64 `json:"step1_ns"`
+	Step2NS   int64 `json:"step2_ns"`
+	TotalNS   int64 `json:"total_ns"`
+	VerifyNS  int64 `json:"verify_ns,omitempty"`
+
+	// Verified is nil when verification was not requested; otherwise the
+	// verifier's verdict, with the individual checks in Checks.
+	Verified *bool          `json:"verified,omitempty"`
+	Checks   []verify.Check `json:"checks,omitempty"`
+}
+
+// NewRunReport summarizes a finished job. caseName and n may be zero values
+// for models that did not come from a built-in case study.
+func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
+	s := out.Compiled.Space
+	res := out.Result
+	alg := job.Algorithm
+	if alg == "" {
+		alg = LazyRepair
+	}
+	r := RunReport{
+		Model:       job.Def.Name,
+		Case:        caseName,
+		N:           n,
+		Algorithm:   string(alg),
+		Pure:        !job.Options.ReachabilityHeuristic,
+		DeferCycles: job.Options.DeferCycleBreaking,
+
+		StateBits:       s.TotalBits(),
+		States:          s.CountStates(s.ValidCur()),
+		ReachableStates: res.Stats.ReachableStates,
+		InvariantStates: s.CountStates(res.Invariant),
+		FaultSpanStates: s.CountStates(res.FaultSpan),
+		OuterIterations: res.Stats.OuterIterations,
+		BDDNodes:        res.Stats.BDDNodes,
+
+		CompileNS: out.CompileTime.Nanoseconds(),
+		Step1NS:   res.Stats.Step1.Nanoseconds(),
+		Step2NS:   res.Stats.Step2.Nanoseconds(),
+		TotalNS:   res.Stats.Total.Nanoseconds(),
+		VerifyNS:  out.VerifyTime.Nanoseconds(),
+	}
+	if out.Report != nil {
+		ok := out.Report.OK()
+		r.Verified = &ok
+		r.Checks = out.Report.Checks
+	}
+	return r
+}

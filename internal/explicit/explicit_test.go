@@ -1,6 +1,7 @@
 package explicit
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestLiteralRealizeMatchesSymbolic(t *testing.T) {
 		sys, c := mustSystem(t, d)
 		s := c.Space
 		m := s.M
-		mask, err := repair.AddMasking(c, c.Invariant, c.BadTrans, repair.DefaultOptions())
+		mask, err := repair.AddMasking(context.Background(), c, c.Invariant, c.BadTrans, repair.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name, err)
 		}
@@ -165,7 +166,7 @@ func TestExpandGroupReducesIterations(t *testing.T) {
 	// finalize action insensitive to another process's decision), reducing
 	// pick-loop iterations without changing the result.
 	sys, c := mustSystem(t, casestudies.BA(2))
-	mask, err := repair.AddMasking(c, c.Invariant, c.BadTrans, repair.DefaultOptions())
+	mask, err := repair.AddMasking(context.Background(), c, c.Invariant, c.BadTrans, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestExpandGroupReducesIterations(t *testing.T) {
 	// On the chain the expansion never applies (the expanded variants write
 	// a value the specification forbids), and the result is unchanged.
 	sysC, cC := mustSystem(t, casestudies.SC(3))
-	maskC, err := repair.AddMasking(cC, cC.Invariant, cC.BadTrans, repair.DefaultOptions())
+	maskC, err := repair.AddMasking(context.Background(), cC, cC.Invariant, cC.BadTrans, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestExpandGroupRejectsWrittenVariable(t *testing.T) {
 func TestCheckMaskingOnRepairedProgram(t *testing.T) {
 	for _, d := range []*program.Def{hiddenModel(), casestudies.BA(2), casestudies.SC(3)} {
 		sys, c := mustSystem(t, d)
-		res, err := repair.Lazy(c, repair.DefaultOptions())
+		res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name, err)
 		}
@@ -240,7 +241,7 @@ func TestCheckMaskingOnRepairedProgram(t *testing.T) {
 
 func TestCheckMaskingDetectsViolations(t *testing.T) {
 	sys, c := mustSystem(t, hiddenModel())
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

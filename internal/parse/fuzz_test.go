@@ -1,0 +1,61 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzProgram asserts the parser's contract on hostile input: malformed .ftr
+// source must produce an error, never a panic, and whatever parses must also
+// survive compilation (gated to small state spaces so the fuzzer explores the
+// grammar rather than the BDD engine).
+//
+// The table-driven TestParseErrors cases double as the fuzz corpus here, so a
+// regression on any known-bad shape is one `go test -fuzz=FuzzProgram` away
+// from rediscovery.
+func FuzzProgram(f *testing.F) {
+	// Well-formed models: mutations explore near-miss syntax.
+	f.Add(trafficModel)
+	f.Add(chainModel)
+	// Known-bad shapes from the error table.
+	f.Add("var x : bool\n")
+	f.Add("program p\nvar x : 1..3\n")
+	f.Add("program p\nvar x : bool\nvar x : bool\n")
+	f.Add("program p\nvar x : bool\nfault f : (x = 1 & x = 0 -> x := 0\n")
+	f.Add("program p\nvar x : bool\nprocess q\n  read x\nprocess q\n  read x\n")
+	f.Add("program p\nvar x : bool\nprocess q\n  read y\n  write x\n")
+	f.Add("program p\nvar x : bool\ninvariant x =")
+	f.Add("program p\nvar x : bool @\n")
+	f.Add("program p\nvar x : 0..999999\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		def, err := Program(src)
+		if err != nil {
+			if def != nil {
+				t.Fatalf("error %v returned alongside a non-nil Def", err)
+			}
+			return
+		}
+		// Only compile small instances: the fuzzer should spend its budget on
+		// the parser, not on symbolic fixpoints over huge domains.
+		bits := 0
+		for _, v := range def.Vars {
+			d := v.Domain
+			for d > 1 {
+				bits++
+				d = (d + 1) / 2
+			}
+		}
+		if bits > 12 || len(def.Processes) > 8 || len(def.Faults) > 16 {
+			return
+		}
+		if _, err := def.Compile(); err != nil {
+			// Compile may legitimately reject a parseable Def (e.g. empty
+			// write sets); it must do so with an error, not a panic.
+			if !strings.Contains(err.Error(), ":") && err.Error() == "" {
+				t.Fatalf("empty compile error")
+			}
+		}
+	})
+}

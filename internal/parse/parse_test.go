@@ -1,6 +1,7 @@
 package parse
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestParseTraffic(t *testing.T) {
 	}
 	// The parsed model repairs and verifies: the controller must reset the
 	// glitched lamp.
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestParseChainEquivalentToGenerator(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := def.MustCompile()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,6 +142,12 @@ func TestParseErrors(t *testing.T) {
 		{"stray char", "program p\nvar x : bool @\n", "unexpected character"},
 		{"bad atom", "program p\nvar x : bool\ninvariant & x = 1\n", "atom"},
 		{"unknown decl", "program p\nfrobnicate\n", "unknown declaration"},
+		{"unclosed guard", "program p\nvar x : bool\nfault f : (x = 1 & x = 0 -> x := 0\n", "expected \")\""},
+		{"duplicate process", "program p\nvar x : bool\nprocess q\n  read x\nprocess q\n  read x\n", "redeclared"},
+		{"undeclared in read", "program p\nvar x : bool\nprocess q\n  read y\n  write x\n", "undeclared"},
+		{"undeclared in write", "program p\nvar x : bool\nprocess q\n  read x\n  write y\n", "undeclared"},
+		{"truncated comparison", "program p\nvar x : bool\ninvariant x =", "expected"},
+		{"empty file", "", "must start"},
 	}
 	for _, tc := range cases {
 		_, err := Program(tc.input)

@@ -212,6 +212,11 @@ func (p *parser) processDecl() error {
 	if err != nil {
 		return err
 	}
+	for _, other := range p.def.Processes {
+		if other.Name == name {
+			return p.errf("process %q redeclared", name)
+		}
+	}
 	proc := &program.Process{Name: name}
 	for {
 		p.skipNewlines()
@@ -247,11 +252,16 @@ func (p *parser) processDecl() error {
 	}
 }
 
-// identList parses identifiers up to the end of the line.
+// identList parses identifiers up to the end of the line; every name must be
+// a declared variable.
 func (p *parser) identList() ([]string, error) {
 	var out []string
 	for p.cur().kind == tokIdent {
-		out = append(out, p.next().text)
+		name := p.next().text
+		if _, ok := p.vars[name]; !ok {
+			return nil, p.errf("undeclared variable %q", name)
+		}
+		out = append(out, name)
 	}
 	if len(out) == 0 {
 		return nil, p.errf("expected at least one variable name")

@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"context"
+
 	"repro/internal/bdd"
 	"repro/internal/program"
 )
@@ -32,7 +34,11 @@ type Masking struct {
 //
 // The returned program ignores read/write restrictions; Realize (Step 2)
 // turns it into a realizable one.
-func AddMasking(c *program.Compiled, invariant, badTrans bdd.Node, opts Options) (*Masking, error) {
+//
+// The context is checked at each shrink-fixpoint iteration and inside the
+// symbolic reachability fixpoints, so cancellation aborts the step between
+// symbolic operations.
+func AddMasking(ctx context.Context, c *program.Compiled, invariant, badTrans bdd.Node, opts Options) (*Masking, error) {
 	m := c.Space.M
 	s := c.Space
 
@@ -51,7 +57,11 @@ func AddMasking(c *program.Compiled, invariant, badTrans bdd.Node, opts Options)
 		// (mt) are excluded: across Algorithm 1's outer iterations the
 		// specification grows, and states only reachable through banned
 		// behavior must drop out of the universe for the loop to converge.
-		universe = s.ReachableParts(invariant, c.PartsWithFaults(notMT))
+		var err error
+		universe, err = s.ReachablePartsCtx(ctx, invariant, c.PartsWithFaults(notMT))
+		if err != nil {
+			return nil, cancelled(ctx)
+		}
 	}
 	t1 := m.Diff(universe, ms)
 
@@ -60,6 +70,9 @@ func AddMasking(c *program.Compiled, invariant, badTrans bdd.Node, opts Options)
 	var rec bdd.Node
 	for {
 		iterations++
+		if err := cancelled(ctx); err != nil {
+			return nil, err
+		}
 
 		// All transitions the fault-tolerant program may use: inside the
 		// invariant only original transitions that keep the invariant
@@ -84,7 +97,11 @@ func AddMasking(c *program.Compiled, invariant, badTrans bdd.Node, opts Options)
 
 		// Remove fault-span states from which recovery to the invariant is
 		// impossible.
-		t2 := m.And(t1, s.BackwardReachableParts(s1, availParts))
+		back, err := s.BackwardReachablePartsCtx(ctx, s1, availParts)
+		if err != nil {
+			return nil, cancelled(ctx)
+		}
+		t2 := m.And(t1, back)
 		// Remove fault-span states from which faults escape the span.
 		for {
 			escape := preimageAny(c, m.Diff(s.ValidCur(), t2), c.FaultParts)

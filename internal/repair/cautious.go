@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bdd"
@@ -25,7 +26,7 @@ import (
 //   - Recovery groups are added layer by layer, and a group is accepted only
 //     if every member strictly decreases the distance to the invariant —
 //     keeping the span cycle-free without a separate cycle-resolution phase.
-func Cautious(c *program.Compiled, opts Options) (*Result, error) {
+func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, error) {
 	m := c.Space.M
 	s := c.Space
 	start := time.Now()
@@ -33,7 +34,10 @@ func Cautious(c *program.Compiled, opts Options) (*Result, error) {
 
 	ms, mt := ComputeMsMt(c, c.BadTrans)
 
-	reach := s.ReachableParts(c.Invariant, c.PartsWithFaults(bdd.True))
+	reach, err := s.ReachablePartsCtx(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
+	if err != nil {
+		return nil, cancelled(ctx)
+	}
 	stats.ReachableStates = s.CountStates(reach)
 	// The Section-IV heuristic: prohibited transitions whose source the
 	// fault-intolerant program cannot reach are tolerated (for now).
@@ -52,6 +56,9 @@ func Cautious(c *program.Compiled, opts Options) (*Result, error) {
 	}
 	for outer := 1; outer <= maxOuter; outer++ {
 		stats.OuterIterations = outer
+		if err := cancelled(ctx); err != nil {
+			return nil, err
+		}
 
 		// Phase 1: start from the original per-process transitions and
 		// remove harmful groups until stable, re-establishing invariant
@@ -156,7 +163,10 @@ func Cautious(c *program.Compiled, opts Options) (*Result, error) {
 		for i, dl := range deltas {
 			spanParts[i] = m.AndN(dl, span, s.Prime(span))
 		}
-		recoverable := s.BackwardReachableParts(invariant, spanParts)
+		recoverable, err := s.BackwardReachablePartsCtx(ctx, invariant, spanParts)
+		if err != nil {
+			return nil, cancelled(ctx)
+		}
 		unreach := m.Diff(m.Diff(span, invariant), recoverable)
 		shrunk := false
 		if remaining != bdd.False || unreach != bdd.False {
@@ -194,7 +204,10 @@ func Cautious(c *program.Compiled, opts Options) (*Result, error) {
 
 		// Structural convergence: audit the Section-IV heuristic's bets
 		// against the repaired program's actual reachable set.
-		trueReach := s.ReachableParts(invariant, append(append([]bdd.Node{}, deltas...), c.FaultParts...))
+		trueReach, err := s.ReachablePartsCtx(ctx, invariant, append(append([]bdd.Node{}, deltas...), c.FaultParts...))
+		if err != nil {
+			return nil, cancelled(ctx)
+		}
 		violation := m.AndN(union, mt, trueReach)
 		if violation != bdd.False {
 			banned = m.Or(banned, violation)

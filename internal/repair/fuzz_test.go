@@ -1,13 +1,14 @@
 package repair_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/expr"
-	"repro/internal/repair"
 	"repro/internal/program"
+	"repro/internal/repair"
 	"repro/internal/symbolic"
 	"repro/internal/verify"
 )
@@ -152,7 +153,7 @@ func TestFuzzLazySoundness(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iter %d: generator produced invalid model: %v", i, err)
 		}
-		res, err := repair.Lazy(c, repair.DefaultOptions())
+		res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 		if err != nil {
 			refused++
 			continue
@@ -182,7 +183,7 @@ func TestFuzzCautiousSoundness(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iter %d: generator produced invalid model: %v", i, err)
 		}
-		res, err := repair.Cautious(c, repair.DefaultOptions())
+		res, err := repair.Cautious(context.Background(), c, repair.DefaultOptions())
 		if err != nil {
 			refused++
 			continue
@@ -218,7 +219,7 @@ func TestFuzzLazyVariantsSoundness(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := repair.Lazy(c, opts)
+			res, err := repair.Lazy(context.Background(), c, opts)
 			if err != nil {
 				continue
 			}
@@ -242,7 +243,7 @@ func TestFuzzProblemStatementContainment(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := repair.Lazy(c, repair.DefaultOptions())
+		res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 		if err != nil {
 			continue
 		}

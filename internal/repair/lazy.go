@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bdd"
@@ -16,13 +17,22 @@ import (
 // states are made unreachable by adding every transition into them — and
 // every transition escaping the fault-span — to the bad-transition part of
 // the safety specification, and the loop repeats (Algorithm 1 lines 10–12).
-func Lazy(c *program.Compiled, opts Options) (*Result, error) {
+//
+// The context is consulted at fixpoint-iteration boundaries (the outer
+// repeat loop, Step 1's shrink fixpoint, and the long symbolic reachability
+// fixpoints), so a deadline or cancellation aborts a hung synthesis between
+// symbolic steps with an error wrapping ctx.Err().
+func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, error) {
 	m := c.Space.M
 	s := c.Space
 	start := time.Now()
 
 	var stats Stats
-	stats.ReachableStates = s.CountStates(s.ReachableParts(c.Invariant, c.PartsWithFaults(bdd.True)))
+	reach, err := s.ReachablePartsCtx(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
+	if err != nil {
+		return nil, cancelled(ctx)
+	}
+	stats.ReachableStates = s.CountStates(reach)
 
 	invariant := c.Invariant
 	badTrans := c.BadTrans
@@ -33,9 +43,12 @@ func Lazy(c *program.Compiled, opts Options) (*Result, error) {
 	}
 	for iter := 1; iter <= maxIter; iter++ {
 		stats.OuterIterations = iter
+		if err := cancelled(ctx); err != nil {
+			return nil, err
+		}
 
 		t0 := time.Now()
-		mask, err := AddMasking(c, invariant, badTrans, opts)
+		mask, err := AddMasking(ctx, c, invariant, badTrans, opts)
 		stats.Step1 += time.Since(t0)
 		if err != nil {
 			return nil, err
@@ -65,6 +78,9 @@ func Lazy(c *program.Compiled, opts Options) (*Result, error) {
 		// infinite-path fixpoint runs on the bad-edge subrelation only.
 		region := m.Diff(mask.FaultSpan, mask.Invariant)
 		for opts.DeferCycleBreaking {
+			if err := cancelled(ctx); err != nil {
+				return nil, err
+			}
 			ranked := mask.Invariant
 			remaining := region
 			bad := bdd.False
@@ -106,7 +122,10 @@ func Lazy(c *program.Compiled, opts Options) (*Result, error) {
 			}
 			realized = m.OrN(parts...)
 		}
-		certSpan := s.ReachableParts(mask.Invariant, append(append([]bdd.Node{}, parts...), c.FaultParts...))
+		certSpan, err := s.ReachablePartsCtx(ctx, mask.Invariant, append(append([]bdd.Node{}, parts...), c.FaultParts...))
+		if err != nil {
+			return nil, cancelled(ctx)
+		}
 
 		// Deadlocks among the states actually reachable from the repaired
 		// invariant in the realized program under faults, outside the

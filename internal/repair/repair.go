@@ -17,7 +17,9 @@
 package repair
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/bdd"
@@ -32,6 +34,19 @@ var ErrNotRepairable = errors.New("repair: cannot add fault-tolerance (invariant
 // ErrNoConvergence is returned if the outer lazy loop exceeds its iteration
 // bound without eliminating deadlocks.
 var ErrNoConvergence = errors.New("repair: outer repair loop did not converge")
+
+// cancelled returns a non-nil error wrapping ctx.Err() once the context is
+// done. The repair algorithms call it at fixpoint-iteration boundaries, so a
+// deadline or cancellation interrupts synthesis between symbolic steps (a
+// hung instance is abandoned at the next boundary rather than running to
+// completion). errors.Is(err, context.Canceled/DeadlineExceeded) works on
+// the result.
+func cancelled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("repair: interrupted: %w", err)
+	}
+	return nil
+}
 
 // Options tune the repair algorithms.
 type Options struct {
@@ -51,6 +66,15 @@ type Options struct {
 	// MaxOuterIterations bounds Algorithm 1's repeat loop.
 	MaxOuterIterations int
 	// Logf, when non-nil, receives progress lines.
+	//
+	// Concurrency contract: a single repair call invokes Logf sequentially
+	// (never from more than one goroutine at a time), so a Logf that only
+	// writes to its own destination needs no locking for one call. But the
+	// repair algorithms themselves are safe to run concurrently — one
+	// compiled program per goroutine — and a Logf value SHARED between
+	// concurrent calls (a common logger, a shared buffer) must synchronize
+	// its own state; see internal/service's per-job logger for the pattern
+	// used by the daemon's worker pool.
 	Logf func(format string, args ...any)
 }
 

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -70,7 +71,7 @@ func doomedModel() *program.Def {
 
 func TestAddMaskingFlip(t *testing.T) {
 	c := flipModel().MustCompile()
-	mask, err := AddMasking(c, c.Invariant, c.BadTrans, DefaultOptions())
+	mask, err := AddMasking(context.Background(), c, c.Invariant, c.BadTrans, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestAddMaskingFlip(t *testing.T) {
 
 func TestLazyFlip(t *testing.T) {
 	c := flipModel().MustCompile()
-	res, err := Lazy(c, DefaultOptions())
+	res, err := Lazy(context.Background(), c, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestLazyFlip(t *testing.T) {
 
 func TestCautiousFlip(t *testing.T) {
 	c := flipModel().MustCompile()
-	res, err := Cautious(c, DefaultOptions())
+	res, err := Cautious(context.Background(), c, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestCautiousFlip(t *testing.T) {
 
 func TestLazyHiddenUsesFreeTransitions(t *testing.T) {
 	c := hiddenModel().MustCompile()
-	res, err := Lazy(c, DefaultOptions())
+	res, err := Lazy(context.Background(), c, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestLazyHiddenWithoutHeuristic(t *testing.T) {
 	c := hiddenModel().MustCompile()
 	opts := DefaultOptions()
 	opts.ReachabilityHeuristic = false
-	res, err := Lazy(c, opts)
+	res, err := Lazy(context.Background(), c, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestCautiousHiddenToleratesUnreachableViolation(t *testing.T) {
 	// Cautious repair keeps the recovery group because the prohibited
 	// member starts from an unreachable state (the Section-IV heuristic).
 	c := hiddenModel().MustCompile()
-	res, err := Cautious(c, DefaultOptions())
+	res, err := Cautious(context.Background(), c, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +188,10 @@ func TestCautiousHiddenToleratesUnreachableViolation(t *testing.T) {
 
 func TestDoomedNotRepairable(t *testing.T) {
 	c := doomedModel().MustCompile()
-	if _, err := Lazy(c, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
+	if _, err := Lazy(context.Background(), c, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
 		t.Fatalf("lazy: expected ErrNotRepairable, got %v", err)
 	}
-	if _, err := Cautious(c, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
+	if _, err := Cautious(context.Background(), c, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
 		t.Fatalf("cautious: expected ErrNotRepairable, got %v", err)
 	}
 }
@@ -302,7 +303,7 @@ func TestInvariantDeadlocksAreLegalRests(t *testing.T) {
 		Invariant: expr.Or(expr.Eq("v", 0), expr.Eq("v", 1)),
 	}
 	c := d.MustCompile()
-	res, err := Lazy(c, DefaultOptions())
+	res, err := Lazy(context.Background(), c, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestOptionsLogf(t *testing.T) {
 	var lines int
 	opts := DefaultOptions()
 	opts.Logf = func(string, ...any) { lines++ }
-	if _, err := Lazy(c, opts); err != nil {
+	if _, err := Lazy(context.Background(), c, opts); err != nil {
 		t.Fatal(err)
 	}
 	if lines == 0 {

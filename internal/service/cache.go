@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache is a bounded, content-addressed LRU of finished repair reports,
+// keyed by defKey. It stores only the serializable RunReport — never BDD
+// nodes, whose managers belong to a single synthesis — so a hit costs one
+// map lookup and entries do not pin symbolic state in memory.
+//
+// Safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key    string
+	report core.RunReport
+}
+
+// NewCache returns a cache holding at most max entries (max <= 0 disables
+// caching: every Get misses and Put is a no-op).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached report for key, if present, and refreshes its
+// recency.
+func (c *Cache) Get(key string) (core.RunReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return core.RunReport{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Put stores the report under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key string, report core.RunReport) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).report = report
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, report: report})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the lifetime hit and miss counts.
+func (c *Cache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

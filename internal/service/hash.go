@@ -1,0 +1,99 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/repair"
+)
+
+// defKey computes the content address of a repair job: a SHA-256 over a
+// canonical serialization of the parsed program.Def plus the algorithm and
+// the repair options that affect the result. Two submissions with the same
+// key are guaranteed to describe the same synthesis problem, regardless of
+// how they were written down (.ftr text with different whitespace/comments,
+// a built-in case study, or the Go API), so the result cache and in-flight
+// deduplication can serve one from the other.
+//
+// Canonical form: every component is written with an explicit kind tag and a
+// length-delimited or line-oriented encoding in declaration order —
+// declaration order is semantic (it fixes the BDD variable order), so it is
+// hashed as-is; read/write sets are order-insensitive in the semantics and
+// are sorted before hashing. Expressions are hashed via their String()
+// rendering, which is deterministic and injective on distinct structures up
+// to operator formatting.
+func defKey(def *program.Def, alg string, opts repair.Options) string {
+	h := sha256.New()
+	wr := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+	}
+
+	wr("v1\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00",
+		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations)
+
+	wr("name=%s\x00", def.Name)
+	wr("vars=%d\x00", len(def.Vars))
+	for _, v := range def.Vars {
+		wr("var:%s:%d\x00", v.Name, v.Domain)
+	}
+
+	wr("procs=%d\x00", len(def.Processes))
+	for _, p := range def.Processes {
+		wr("proc:%s\x00", p.Name)
+		writeSorted(h, "read", p.Read)
+		writeSorted(h, "write", p.Write)
+		wr("actions=%d\x00", len(p.Actions))
+		for _, a := range p.Actions {
+			writeAction(h, a)
+		}
+	}
+
+	wr("faults=%d\x00", len(def.Faults))
+	for _, a := range def.Faults {
+		writeAction(h, a)
+	}
+
+	writeExpr(h, "invariant", def.Invariant)
+	writeExpr(h, "badstates", def.BadStates)
+	writeExpr(h, "badtrans", def.BadTrans)
+	wr("liveness=%d\x00", len(def.Liveness))
+	for _, lt := range def.Liveness {
+		wr("leadsto:%s\x00", lt.Name)
+		writeExpr(h, "from", lt.From)
+		writeExpr(h, "to", lt.To)
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeSorted(w io.Writer, tag string, names []string) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "%s=%d\x00", tag, len(sorted))
+	for _, n := range sorted {
+		fmt.Fprintf(w, "%s\x00", n)
+	}
+}
+
+func writeAction(w io.Writer, a program.Action) {
+	fmt.Fprintf(w, "action:%s\x00", a.Name)
+	writeExpr(w, "guard", a.Guard)
+	fmt.Fprintf(w, "updates=%d\x00", len(a.Updates))
+	for _, u := range a.Updates {
+		fmt.Fprintf(w, "upd:%d:%s:%d:%s:%v\x00", u.Kind, u.Var, u.Val, u.From, u.Among)
+	}
+}
+
+// writeExpr hashes an expression by its deterministic String rendering; nil
+// (meaning the Def-level default) hashes distinctly from any real expression.
+func writeExpr(w io.Writer, tag string, e interface{ String() string }) {
+	if e == nil {
+		fmt.Fprintf(w, "%s=nil\x00", tag)
+		return
+	}
+	fmt.Fprintf(w, "%s=%s\x00", tag, e.String())
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parse"
+	"repro/internal/program"
+	"repro/internal/repair"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// Job lifecycle states. Queued and Running are transient; Done, Failed and
+// Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is a repair-job submission: either a built-in case study (Case, N) or
+// an inline .ftr model source (Model), plus algorithm and option selectors.
+// It is the JSON body of POST /v1/repair.
+type Spec struct {
+	// Case/N name a built-in case-study instance (ba, bafs, sc, ring, tmr).
+	Case string `json:"case,omitempty"`
+	N    int    `json:"n,omitempty"`
+	// Model is inline .ftr source; mutually exclusive with Case.
+	Model string `json:"model,omitempty"`
+
+	// Algorithm is "lazy" (default) or "cautious".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Pure disables the reachability heuristic (the paper's ablation).
+	Pure bool `json:"pure,omitempty"`
+	// DeferCycles moves cycle-breaking after Step 2 (the paper's ablation).
+	DeferCycles bool `json:"defer_cycles,omitempty"`
+	// NoVerify skips the independent verifier (it runs by default, so every
+	// served result is a certified one unless the client opts out).
+	NoVerify bool `json:"no_verify,omitempty"`
+	// TimeoutMS bounds the synthesis; 0 uses the service default. The clock
+	// starts at submission, so time spent queued counts against the job.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// resolve parses/builds the program definition and the core job, and
+// computes the spec's content address.
+func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
+	var def *program.Def
+	var err error
+	switch {
+	case sp.Model != "" && sp.Case != "":
+		return nil, core.Job{}, "", fmt.Errorf("service: spec has both model and case")
+	case sp.Model != "":
+		if def, err = parse.Program(sp.Model); err != nil {
+			return nil, core.Job{}, "", fmt.Errorf("service: parsing model: %w", err)
+		}
+	case sp.Case != "":
+		if def, err = core.CaseStudy(sp.Case, sp.N); err != nil {
+			return nil, core.Job{}, "", err
+		}
+	default:
+		return nil, core.Job{}, "", fmt.Errorf("service: spec needs either model or case")
+	}
+
+	alg := sp.Algorithm
+	if alg == "" {
+		alg = string(core.LazyRepair)
+	}
+	if alg != string(core.LazyRepair) && alg != string(core.CautiousRepair) {
+		return nil, core.Job{}, "", fmt.Errorf("service: unknown algorithm %q", alg)
+	}
+
+	opts := repair.DefaultOptions()
+	opts.ReachabilityHeuristic = !sp.Pure
+	opts.DeferCycleBreaking = sp.DeferCycles
+
+	job := core.Job{
+		Def:       def,
+		Algorithm: core.Algorithm(alg),
+		Options:   opts,
+		Verify:    !sp.NoVerify,
+	}
+	// Verification is an independent post-pass over the same result, so it
+	// is part of the content address only through the report shape; include
+	// it so a verified and an unverified run never alias.
+	key := defKey(def, alg+fmt.Sprintf("/verify=%t", job.Verify), opts)
+	return def, job, key, nil
+}
+
+// job is the service's internal record of one submission.
+type job struct {
+	id  string
+	key string
+
+	spec    Spec
+	coreJob core.Job
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed exactly once on reaching a terminal state
+	logger *jobLogger
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	report   *core.RunReport
+	cacheHit bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobView is the externally visible snapshot of a job — the JSON shape of
+// GET /v1/jobs/{id} and of submission responses.
+type JobView struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// CacheHit marks results served from the content-addressed cache or
+	// coalesced onto an identical in-flight synthesis.
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	Result *core.RunReport `json:"result,omitempty"`
+	Log    []string        `json:"log,omitempty"`
+}
+
+// view snapshots the job under its lock.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		Key:         j.key,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		Result:      j.report,
+		Log:         j.logger.snapshot(),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// jobLogger adapts repair.Options.Logf to the worker pool: it retains the
+// last max lines under a mutex, making the per-job log safe to snapshot from
+// the HTTP handlers while a worker is writing it. (A single repair call logs
+// sequentially — see the Options.Logf contract — but the reader is always a
+// different goroutine, so the lock is load-bearing.)
+type jobLogger struct {
+	mu    sync.Mutex
+	max   int
+	start int // ring start
+	lines []string
+}
+
+func newJobLogger(max int) *jobLogger {
+	if max < 1 {
+		max = 1
+	}
+	return &jobLogger{max: max}
+}
+
+func (l *jobLogger) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.lines) < l.max {
+		l.lines = append(l.lines, line)
+		return
+	}
+	l.lines[l.start] = line
+	l.start = (l.start + 1) % l.max
+}
+
+func (l *jobLogger) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.lines) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(l.lines))
+	for i := 0; i < len(l.lines); i++ {
+		out = append(out, l.lines[(l.start+i)%len(l.lines)])
+	}
+	return out
+}

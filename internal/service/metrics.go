@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the service's monotonic counters. Everything is atomic so
+// workers and HTTP handlers never contend on a lock for bookkeeping; gauges
+// (queue depth, cache size) are read from their owning structures at render
+// time instead of being duplicated here.
+type metrics struct {
+	submitted int64 // jobs accepted into the system (including cache hits)
+	rejected  int64 // submissions refused because the queue was full
+	completed int64 // jobs reaching StateDone (cache hits included)
+	failed    int64 // jobs reaching StateFailed
+	cancelled int64 // jobs reaching StateCancelled
+	synthRuns int64 // actual syntheses executed by workers
+	running   int64 // gauge: jobs currently executing
+
+	compileNS int64 // accumulated per-phase wall time, in nanoseconds
+	step1NS   int64
+	step2NS   int64
+	verifyNS  int64
+	totalNS   int64
+}
+
+func (m *metrics) add(p *int64, v int64) { atomic.AddInt64(p, v) }
+func (m *metrics) get(p *int64) int64    { return atomic.LoadInt64(p) }
+
+// write renders the metrics in the Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, s *Service) {
+	hits, misses := s.cache.Counters()
+	g := func(name string, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name string, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	c("ftrepaird_jobs_submitted_total", "Jobs accepted for processing.", m.get(&m.submitted))
+	c("ftrepaird_jobs_rejected_total", "Submissions rejected because the queue was full.", m.get(&m.rejected))
+	c("ftrepaird_jobs_completed_total", "Jobs finished successfully.", m.get(&m.completed))
+	c("ftrepaird_jobs_failed_total", "Jobs finished with an error.", m.get(&m.failed))
+	c("ftrepaird_jobs_cancelled_total", "Jobs cancelled by deadline or client.", m.get(&m.cancelled))
+	c("ftrepaird_synthesis_total", "Repair syntheses actually executed (cache hits excluded).", m.get(&m.synthRuns))
+	c("ftrepaird_cache_hits_total", "Results served from the content-addressed cache.", hits)
+	c("ftrepaird_cache_misses_total", "Cache lookups that required a synthesis.", misses)
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# HELP ftrepaird_cache_hit_ratio Fraction of lookups served from cache.\n"+
+		"# TYPE ftrepaird_cache_hit_ratio gauge\nftrepaird_cache_hit_ratio %g\n", ratio)
+
+	g("ftrepaird_queue_depth", "Jobs waiting in the bounded work queue.", int64(s.q.depth()))
+	g("ftrepaird_jobs_running", "Jobs currently being synthesized.", m.get(&m.running))
+	g("ftrepaird_cache_entries", "Entries resident in the result cache.", int64(s.cache.Len()))
+	g("ftrepaird_workers", "Size of the worker pool.", int64(s.cfg.Workers))
+
+	c("ftrepaird_phase_compile_ns_total", "Wall time spent compiling models to BDDs.", m.get(&m.compileNS))
+	c("ftrepaird_phase_step1_ns_total", "Wall time spent in Step 1 (Add-Masking).", m.get(&m.step1NS))
+	c("ftrepaird_phase_step2_ns_total", "Wall time spent in Step 2 (realize).", m.get(&m.step2NS))
+	c("ftrepaird_phase_verify_ns_total", "Wall time spent in independent verification.", m.get(&m.verifyNS))
+	c("ftrepaird_phase_repair_ns_total", "Wall time spent in repair (Step 1 + Step 2 + outer loop).", m.get(&m.totalNS))
+}

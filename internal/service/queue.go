@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrQueueFull is returned by Submit when the bounded work queue cannot
+// accept another job; HTTP callers see it as 503 Service Unavailable.
+// Backpressure by rejection (rather than blocking the submitter) keeps the
+// daemon responsive under overload: clients retry with their own policy
+// instead of tying up server connections.
+var ErrQueueFull = errors.New("service: work queue is full")
+
+// queue is a bounded FIFO of pending jobs feeding the worker pool. The
+// channel's buffer is the bound, so depth reads are O(1) and pop blocks
+// idle workers without spinning.
+type queue struct {
+	ch chan *job
+}
+
+func newQueue(depth int) *queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &queue{ch: make(chan *job, depth)}
+}
+
+// tryPush enqueues j without blocking; it reports false when the queue is
+// at capacity.
+func (q *queue) tryPush(j *job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// pop dequeues the next job, blocking until one is available or the context
+// (the service's lifetime) ends.
+func (q *queue) pop(ctx context.Context) (*job, bool) {
+	select {
+	case j := <-q.ch:
+		return j, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// depth returns the number of queued jobs.
+func (q *queue) depth() int { return len(q.ch) }

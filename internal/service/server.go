@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/repair      submit a Spec (JSON body); responds 202 with the
+//	                       job view, or 200 when served from cache
+//	GET    /v1/jobs/{id}   job status/result
+//	DELETE /v1/jobs/{id}   request cancellation
+//	GET    /healthz        liveness + basic readiness
+//	GET    /metrics        Prometheus text exposition
+//
+// Error responses are JSON objects {"error": "..."} with conventional
+// status codes (400 bad spec, 404 unknown job, 503 queue full or closed).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repair", s.handleSubmit)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State == StateDone {
+		status = http.StatusOK // content-addressed cache hit: result inline
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, errors.New("bad job path"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		view, ok := s.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown job "+id))
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	case http.MethodDelete:
+		view, ok := s.Cancel(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown job "+id))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.q.depth(),
+		"jobs":        jobs,
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s)
+}

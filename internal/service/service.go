@@ -1,0 +1,427 @@
+// Package service turns the repair library into a serving subsystem: a
+// bounded job queue feeding a worker pool sized to GOMAXPROCS, a
+// content-addressed cache of finished results keyed by a canonical hash of
+// the parsed model plus options, per-job deadlines with real cancellation
+// (threaded through the repair algorithms' fixpoints), and an HTTP/JSON API
+// (see Handler) exposing submission, status, health and metrics.
+//
+// Identical jobs are deduplicated at two levels: a finished result is served
+// straight from the cache, and a submission identical to an in-flight
+// synthesis coalesces onto it — one synthesis runs, both jobs get the
+// result, and the follower is accounted as a cache hit. Each synthesis
+// compiles its own BDD manager, so workers share no symbolic state and the
+// pool scales without locking the BDD layer.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes a Service. Zero values select sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size; default GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the pending-job queue; default 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache; default 256.
+	CacheEntries int
+	// DefaultTimeout applies to jobs that do not set Spec.TimeoutMS;
+	// default 5m. The clock starts at submission.
+	DefaultTimeout time.Duration
+	// MaxLogLines bounds each job's retained progress log; default 64.
+	MaxLogLines int
+	// Logf, when non-nil, receives service-level log lines. It must be safe
+	// for concurrent use (workers log concurrently).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxLogLines <= 0 {
+		c.MaxLogLines = 64
+	}
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// errClientCancel marks client-requested cancellation (vs deadline).
+var errClientCancel = errors.New("cancelled by client")
+
+// Service is the repair daemon's engine.
+type Service struct {
+	cfg     Config
+	root    context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	q       *queue
+	cache   *Cache
+	metrics metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // job ids in submission order, for retention pruning
+	inflight map[string]*job // content key -> the job whose synthesis is pending
+	seq      uint64
+	closed   bool
+}
+
+// pruneLocked evicts the oldest terminal job records once the registry
+// outgrows its retention bound, so a long-lived daemon's memory stays flat.
+// Live (queued/running) jobs are never evicted. Callers hold s.mu.
+func (s *Service) pruneLocked() {
+	max := s.cfg.QueueDepth * 16
+	if len(s.jobs) <= max {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if terminal && len(s.jobs) > max {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// New builds and starts a Service: the worker pool is live on return.
+func New(cfg Config) *Service {
+	cfg.fill()
+	root, stop := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		root:     root,
+		stop:     stop,
+		q:        newQueue(cfg.QueueDepth),
+		cache:    NewCache(cfg.CacheEntries),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker()
+		}()
+	}
+	return s
+}
+
+// Close stops accepting submissions, cancels every live job, and waits for
+// the workers to drain.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		j.cancel(errors.New("service shutting down"))
+	}
+	s.stop()
+	s.wg.Wait()
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates and registers a job. The returned view reflects the
+// job's state at return: done (cache hit), or queued. ErrQueueFull and
+// ErrClosed are sentinel errors; anything else is a bad spec.
+func (s *Service) Submit(spec Spec) (JobView, error) {
+	def, coreJob, key, err := spec.resolve()
+	if err != nil {
+		return JobView{}, err
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.root, timeout)
+	jctx, jcancel := context.WithCancelCause(ctx)
+	j := &job{
+		key:       key,
+		spec:      spec,
+		coreJob:   coreJob,
+		ctx:       jctx,
+		cancel:    jcancel,
+		done:      make(chan struct{}),
+		logger:    newJobLogger(s.cfg.MaxLogLines),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	// Release the deadline timer once the job reaches a terminal state.
+	go func() {
+		<-j.done
+		cancel()
+	}()
+	j.coreJob.Options.Logf = j.logger.logf
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jcancel(ErrClosed)
+		close(j.done)
+		return JobView{}, ErrClosed
+	}
+	s.seq++
+	j.id = fmt.Sprintf("j%06d-%s", s.seq, key[:8])
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.metrics.add(&s.metrics.submitted, 1)
+
+	// Content-addressed fast path: an identical finished job.
+	if report, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.finishFromCache(j, report)
+		return j.view(), nil
+	}
+
+	// Coalesce onto an identical in-flight synthesis.
+	if leader, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.follow(j, leader)
+		}()
+		s.logf("service: job %s coalesced onto %s (key %.8s)", j.id, leader.id, key)
+		return j.view(), nil
+	}
+
+	// New synthesis: become the in-flight leader and enter the queue.
+	s.inflight[key] = j
+	if !s.q.tryPush(j) {
+		delete(s.inflight, key)
+		delete(s.jobs, j.id)
+		s.metrics.add(&s.metrics.submitted, -1)
+		s.metrics.add(&s.metrics.rejected, 1)
+		s.mu.Unlock()
+		jcancel(ErrQueueFull)
+		close(j.done)
+		return JobView{}, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.logf("service: job %s queued (model=%q key=%.8s)", j.id, def.Name, key)
+	return j.view(), nil
+}
+
+// Job returns a snapshot of the job with the given id.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Cancel requests cancellation of a queued or running job. It returns the
+// job's current view; cancellation completes asynchronously (the job
+// transitions to cancelled at its next fixpoint boundary).
+func (s *Service) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	j.cancel(errClientCancel)
+	return j.view(), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends, and
+// returns its final view.
+func (s *Service) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.view(), nil
+	case <-ctx.Done():
+		return j.view(), ctx.Err()
+	}
+}
+
+// worker is the pool loop: pop, run, repeat until the service closes.
+func (s *Service) worker() {
+	for {
+		j, ok := s.q.pop(s.root)
+		if !ok {
+			return
+		}
+		s.run(j)
+	}
+}
+
+// run executes one synthesis on the calling worker.
+func (s *Service) run(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		// Deadline or client cancellation arrived while queued.
+		s.finishCancelled(j, context.Cause(j.ctx))
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.metrics.add(&s.metrics.running, 1)
+	defer s.metrics.add(&s.metrics.running, -1)
+
+	out, err := core.Run(j.ctx, j.coreJob)
+	switch {
+	case err != nil && j.ctx.Err() != nil:
+		s.finishCancelled(j, context.Cause(j.ctx))
+	case err != nil:
+		s.finishFailed(j, err)
+	default:
+		report := core.NewRunReport(j.coreJob, out, j.spec.Case, j.spec.N)
+		s.metrics.add(&s.metrics.synthRuns, 1)
+		s.metrics.add(&s.metrics.compileNS, report.CompileNS)
+		s.metrics.add(&s.metrics.step1NS, report.Step1NS)
+		s.metrics.add(&s.metrics.step2NS, report.Step2NS)
+		s.metrics.add(&s.metrics.verifyNS, report.VerifyNS)
+		s.metrics.add(&s.metrics.totalNS, report.TotalNS)
+		// Publish to the cache BEFORE waking followers and clearing the
+		// in-flight slot, so anyone released by either always finds it.
+		s.cache.Put(j.key, report)
+		s.finishDone(j, report, false)
+	}
+}
+
+// follow completes a coalesced job from its leader's outcome — or from the
+// follower's own deadline, whichever comes first. A follower whose leader
+// fails or is cancelled does not inherit the failure (its deadline may be
+// longer): it retries as a fresh submission of the same synthesis.
+func (s *Service) follow(j, leader *job) {
+	select {
+	case <-j.ctx.Done():
+		s.finishCancelled(j, context.Cause(j.ctx))
+	case <-leader.done:
+		if report, ok := s.cache.Get(j.key); ok {
+			s.finishDone(j, report, true)
+			return
+		}
+		// Leader did not produce a result. Take over: become leader or
+		// follow whoever already did.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.finishCancelled(j, ErrClosed)
+			return
+		}
+		if next, ok := s.inflight[j.key]; ok && next != j {
+			s.mu.Unlock()
+			s.follow(j, next)
+			return
+		}
+		s.inflight[j.key] = j
+		if !s.q.tryPush(j) {
+			delete(s.inflight, j.key)
+			s.mu.Unlock()
+			s.finishFailed(j, fmt.Errorf("retry after leader %s failed: %w", leader.id, ErrQueueFull))
+			return
+		}
+		s.mu.Unlock()
+		s.logf("service: job %s re-queued after leader %s produced no result", j.id, leader.id)
+	}
+}
+
+// clearInflight releases the in-flight slot if j still owns it.
+func (s *Service) clearInflight(j *job) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) finishDone(j *job, report core.RunReport, viaCache bool) {
+	s.clearInflight(j)
+	j.mu.Lock()
+	j.state = StateDone
+	j.report = &report
+	j.cacheHit = viaCache
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.metrics.add(&s.metrics.completed, 1)
+	close(j.done)
+	s.logf("service: job %s done (cache_hit=%t)", j.id, viaCache)
+}
+
+func (s *Service) finishFromCache(j *job, report core.RunReport) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.report = &report
+	j.cacheHit = true
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.metrics.add(&s.metrics.completed, 1)
+	close(j.done)
+	s.logf("service: job %s served from cache", j.id)
+}
+
+func (s *Service) finishFailed(j *job, err error) {
+	s.clearInflight(j)
+	j.mu.Lock()
+	j.state = StateFailed
+	j.err = err.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.metrics.add(&s.metrics.failed, 1)
+	close(j.done)
+	s.logf("service: job %s failed: %v", j.id, err)
+}
+
+func (s *Service) finishCancelled(j *job, cause error) {
+	s.clearInflight(j)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	j.mu.Lock()
+	j.state = StateCancelled
+	j.err = cause.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.metrics.add(&s.metrics.cancelled, 1)
+	close(j.done)
+	s.logf("service: job %s cancelled: %v", j.id, cause)
+}

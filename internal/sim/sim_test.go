@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/casestudies"
@@ -10,7 +11,7 @@ import (
 
 func TestRepairedBAIsCleanUnderSimulation(t *testing.T) {
 	c := casestudies.BA(3).MustCompile()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestOriginalBAViolatesUnderSimulation(t *testing.T) {
 
 func TestRepairedChainRecovers(t *testing.T) {
 	c := casestudies.SC(4).MustCompile()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

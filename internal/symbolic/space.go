@@ -10,6 +10,7 @@
 package symbolic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -207,6 +208,16 @@ func (s *Space) Reachable(init, trans bdd.Node) bdd.Node {
 // time) this keeps intermediate sets near product form and avoids the
 // exponential counting sets a breadth-first frontier builds.
 func (s *Space) ReachableParts(init bdd.Node, parts []bdd.Node) bdd.Node {
+	out, _ := s.ReachablePartsCtx(context.Background(), init, parts)
+	return out
+}
+
+// ReachablePartsCtx is ReachableParts with cancellation: the context is
+// checked at every image-application boundary, so a caller's deadline
+// interrupts even a fixpoint whose per-step images are cheap but whose
+// iteration count is huge. On cancellation it returns ctx.Err() and the
+// (sound but incomplete) set reached so far.
+func (s *Space) ReachablePartsCtx(ctx context.Context, init bdd.Node, parts []bdd.Node) (bdd.Node, error) {
 	m := s.M
 	reached := m.And(init, s.validCur)
 	for {
@@ -216,6 +227,9 @@ func (s *Space) ReachableParts(init bdd.Node, parts []bdd.Node) bdd.Node {
 				continue
 			}
 			for {
+				if err := ctx.Err(); err != nil {
+					return reached, err
+				}
 				img := m.Diff(s.Image(reached, p), reached)
 				if img == bdd.False {
 					break
@@ -225,7 +239,7 @@ func (s *Space) ReachableParts(init bdd.Node, parts []bdd.Node) bdd.Node {
 			}
 		}
 		if !changed {
-			return reached
+			return reached, nil
 		}
 	}
 }
@@ -233,6 +247,13 @@ func (s *Space) ReachableParts(init bdd.Node, parts []bdd.Node) bdd.Node {
 // BackwardReachableParts is the partitioned-with-chaining form of
 // BackwardReachable.
 func (s *Space) BackwardReachableParts(target bdd.Node, parts []bdd.Node) bdd.Node {
+	out, _ := s.BackwardReachablePartsCtx(context.Background(), target, parts)
+	return out
+}
+
+// BackwardReachablePartsCtx is BackwardReachableParts with cancellation,
+// checked at every preimage-application boundary (see ReachablePartsCtx).
+func (s *Space) BackwardReachablePartsCtx(ctx context.Context, target bdd.Node, parts []bdd.Node) (bdd.Node, error) {
 	m := s.M
 	reached := m.And(target, s.validCur)
 	for {
@@ -242,6 +263,9 @@ func (s *Space) BackwardReachableParts(target bdd.Node, parts []bdd.Node) bdd.No
 				continue
 			}
 			for {
+				if err := ctx.Err(); err != nil {
+					return reached, err
+				}
 				pre := m.Diff(s.Preimage(reached, p), reached)
 				if pre == bdd.False {
 					break
@@ -251,7 +275,7 @@ func (s *Space) BackwardReachableParts(target bdd.Node, parts []bdd.Node) bdd.No
 			}
 		}
 		if !changed {
-			return reached
+			return reached, nil
 		}
 	}
 }

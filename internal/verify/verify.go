@@ -19,15 +19,16 @@ import (
 	"repro/internal/repair"
 )
 
-// Check is one verified property.
+// Check is one verified property. The JSON tags make reports embeddable in
+// the machine-readable outputs (ftrepair -json, the ftrepaird daemon).
 type Check struct {
-	Name   string
-	OK     bool
-	Detail string
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
 	// Warning marks informational checks that do not affect Report.OK:
 	// properties the paper's definitions do not require but a model author
 	// may care about (e.g. progress lost to new invariant deadlocks).
-	Warning bool
+	Warning bool `json:"warning,omitempty"`
 }
 
 // Report is the outcome of verifying a repair result.

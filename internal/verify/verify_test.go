@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func twoBit() *program.Compiled {
 
 func goodResult(t *testing.T, c *program.Compiled) *repair.Result {
 	t.Helper()
-	res, err := repair.Lazy(c, repair.DefaultOptions())
+	res, err := repair.Lazy(context.Background(), c, repair.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

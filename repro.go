@@ -18,6 +18,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -104,11 +106,18 @@ func DefaultOptions() Options { return repair.DefaultOptions() }
 // realizability enforcement by transition removal, iterated until no
 // deadlocks remain.
 func Lazy(def *Def, opts Options) (*Compiled, *Result, error) {
+	return LazyContext(context.Background(), def, opts)
+}
+
+// LazyContext is Lazy bounded by a context: a deadline or cancellation
+// aborts the synthesis at its next fixpoint-iteration boundary with an
+// error wrapping ctx.Err().
+func LazyContext(ctx context.Context, def *Def, opts Options) (*Compiled, *Result, error) {
 	c, err := def.Compile()
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := repair.Lazy(c, opts)
+	res, err := repair.Lazy(ctx, c, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,11 +127,16 @@ func Lazy(def *Def, opts Options) (*Compiled, *Result, error) {
 // Cautious repairs the program with the baseline algorithm that keeps the
 // model realizable at every intermediate step (Section IV of the paper).
 func Cautious(def *Def, opts Options) (*Compiled, *Result, error) {
+	return CautiousContext(context.Background(), def, opts)
+}
+
+// CautiousContext is Cautious bounded by a context (see LazyContext).
+func CautiousContext(ctx context.Context, def *Def, opts Options) (*Compiled, *Result, error) {
 	c, err := def.Compile()
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := repair.Cautious(c, opts)
+	res, err := repair.Cautious(ctx, c, opts)
 	if err != nil {
 		return nil, nil, err
 	}
