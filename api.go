@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/program"
+	"repro/internal/repair"
+	"repro/internal/verify"
+)
+
+// Algorithm selects the repair algorithm used by Repair.
+type Algorithm int
+
+// The implemented repair algorithms.
+const (
+	// LazyAlg is the paper's two-step Algorithm 1: Add-Masking without
+	// realizability constraints, then realizability enforcement by removal,
+	// iterated until no deadlocks remain. The default.
+	LazyAlg Algorithm = iota
+	// CautiousAlg is the baseline that keeps the model realizable at every
+	// intermediate step (Section IV of the paper).
+	CautiousAlg
+)
+
+// String returns the algorithm's canonical name ("lazy", "cautious").
+func (a Algorithm) String() string {
+	switch a {
+	case LazyAlg:
+		return "lazy"
+	case CautiousAlg:
+		return "cautious"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// repairConfig is the resolved configuration of one Repair call.
+type repairConfig struct {
+	alg     Algorithm
+	timeout time.Duration
+	opts    repair.Options
+}
+
+// Option configures a Repair call.
+type Option func(*repairConfig)
+
+// WithAlgorithm selects the repair algorithm (default LazyAlg).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *repairConfig) { c.alg = a }
+}
+
+// WithWorkers sets the number of private BDD worker managers that fan out
+// the per-process symbolic work inside the synthesis. Values below 1 select
+// GOMAXPROCS (the default); 1 runs fully serial. The synthesized program is
+// identical for every worker count.
+func WithWorkers(n int) Option {
+	return func(c *repairConfig) { c.opts.Workers = n }
+}
+
+// WithTimeout bounds the synthesis: when the deadline passes, the repair
+// aborts at its next fixpoint-iteration boundary with an error wrapping
+// context.DeadlineExceeded. Zero or negative means no timeout beyond the
+// caller's context.
+func WithTimeout(d time.Duration) Option {
+	return func(c *repairConfig) { c.timeout = d }
+}
+
+// WithLogf directs the synthesis's progress lines to f (see
+// Options.Logf for the concurrency contract).
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(c *repairConfig) { c.opts.Logf = f }
+}
+
+// WithOptions replaces the full low-level Options struct (ablations such as
+// disabling the reachability heuristic or deferring cycle-breaking). Options
+// set by other With* calls apply on top in their given order, so place
+// WithOptions first.
+func WithOptions(o Options) Option {
+	return func(c *repairConfig) { c.opts = o }
+}
+
+// Repair compiles the definition and synthesizes a masking fault-tolerant
+// program from it. It is the single entry point of the library: the
+// algorithm, worker budget, timeout, and logging are all functional options,
+// and the context carries cancellation. With no options it runs the paper's
+// headline configuration (lazy repair, reachability heuristic on, GOMAXPROCS
+// workers).
+func Repair(ctx context.Context, def *Def, opts ...Option) (*Compiled, *Result, error) {
+	cfg := repairConfig{opts: repair.DefaultOptions()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	c, err := def.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := program.NewEngine(c, cfg.opts.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var res *Result
+	switch cfg.alg {
+	case LazyAlg:
+		res, err = repair.LazyEngine(ctx, eng, cfg.opts)
+	case CautiousAlg:
+		res, err = repair.CautiousEngine(ctx, eng, cfg.opts)
+	default:
+		return nil, nil, fmt.Errorf("repro: unknown algorithm %v", cfg.alg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, res, nil
+}
+
+// VerifyContext is Verify with cancellation and the same parallel engine
+// machinery as Repair: the per-process checks fan out across workers.
+func VerifyContext(ctx context.Context, c *Compiled, res *Result, workers int) (*Report, error) {
+	eng, err := program.NewEngine(c, workers)
+	if err != nil {
+		return nil, err
+	}
+	return verify.ResultEngine(ctx, eng, res)
+}

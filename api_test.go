@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRepairSingleEntry drives the redesigned entry point through both
+// algorithms and a multi-worker engine, and checks the result verifies.
+func TestRepairSingleEntry(t *testing.T) {
+	for _, alg := range []Algorithm{LazyAlg, CautiousAlg} {
+		def, err := CaseStudy("sc", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, res, err := Repair(context.Background(), def,
+			WithAlgorithm(alg), WithWorkers(2))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		rep, err := VerifyContext(context.Background(), c, res, 2)
+		if err != nil {
+			t.Fatalf("%v: verify: %v", alg, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%v: verification failed:\n%s", alg, rep)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if LazyAlg.String() != "lazy" || CautiousAlg.String() != "cautious" {
+		t.Fatalf("algorithm names: %q, %q", LazyAlg, CautiousAlg)
+	}
+	if s := Algorithm(7).String(); !strings.Contains(s, "7") {
+		t.Fatalf("unknown algorithm renders as %q", s)
+	}
+}
+
+func TestRepairTimeout(t *testing.T) {
+	def, err := CaseStudy("ba", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Repair(context.Background(), def, WithTimeout(time.Nanosecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// The deprecated wrappers must remain exact synonyms for the corresponding
+// Repair calls: same invariant, fault-span, and transition counts.
+func TestDeprecatedWrappersAgree(t *testing.T) {
+	def1, _ := CaseStudy("sc", 4)
+	c1, r1, err := Lazy(def1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def2, _ := CaseStudy("sc", 4)
+	c2, r2, err := Repair(context.Background(), def2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountStates(c1, r1.Invariant) != CountStates(c2, r2.Invariant) ||
+		CountStates(c1, r1.FaultSpan) != CountStates(c2, r2.FaultSpan) ||
+		CountTransitions(c1, r1.Trans) != CountTransitions(c2, r2.Trans) {
+		t.Fatal("Lazy wrapper and Repair disagree on sc n=4")
+	}
+}
+
+// TestCrossManagerPanics pins the misuse bug: handing a Node from one
+// Compiled's manager to another must panic with a message naming the
+// manager mismatch rather than silently counting the wrong function.
+func TestCrossManagerPanics(t *testing.T) {
+	bigDef, _ := CaseStudy("ba", 3)
+	_, bigRes, err := Lazy(bigDef, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallDef, _ := CaseStudy("sc", 3)
+	small, _, err := Lazy(smallDef, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := bigRes.Trans // index valid only in big's manager
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s accepted a foreign node", name)
+				return
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "not from this manager") {
+				t.Errorf("%s panicked with unhelpful message: %v", name, r)
+			}
+		}()
+		f()
+	}
+	expectPanic("CountStates", func() { CountStates(small, foreign) })
+	expectPanic("CountTransitions", func() { CountTransitions(small, foreign) })
+	expectPanic("Intersects", func() { Intersects(small, foreign, bigRes.Invariant) })
+}

@@ -9,6 +9,7 @@
 //	benchjson                 # full ladder -> BENCH_1.json
 //	benchjson -quick          # small instances only
 //	benchjson -out perf.json  # alternate output path
+//	benchjson -workers 4      # parallel engine width (reports gain "workers")
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		out     = flag.String("out", "BENCH_1.json", "output path")
 		quick   = flag.Bool("quick", false, "run only the small instances")
 		timeout = flag.Duration("timeout", 10*time.Minute, "deadline for the whole ladder")
+		workers = flag.Int("workers", 1, "parallel-engine worker managers per job (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -61,10 +63,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		opts := repair.DefaultOptions()
+		opts.Workers = *workers
 		job := core.Job{
 			Def:       def,
 			Algorithm: core.LazyRepair,
-			Options:   repair.DefaultOptions(),
+			Options:   opts,
 			Verify:    true,
 		}
 		outc, err := core.Run(ctx, job)

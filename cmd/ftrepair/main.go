@@ -39,6 +39,7 @@ func main() {
 		protLimit = flag.Int("protocol-limit", 24, "max protocol lines per process")
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON report on stdout")
 		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
+		workers   = flag.Int("workers", 0, "parallel-engine worker managers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !*pure
 	opts.DeferCycleBreaking = *deferCyc
+	opts.Workers = *workers
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -116,6 +118,7 @@ func main() {
 		fmt.Printf("  step 2:          %v\n", res.Stats.Step2)
 	}
 	fmt.Printf("outer iterations:  %d\n", res.Stats.OuterIterations)
+	fmt.Printf("engine workers:    %d\n", out.Workers)
 	fmt.Printf("invariant:         %.3g states\n", s.CountStates(res.Invariant))
 	fmt.Printf("fault-span:        %.3g states\n", s.CountStates(res.FaultSpan))
 	fmt.Printf("BDD nodes:         %d\n", res.Stats.BDDNodes)

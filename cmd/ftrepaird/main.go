@@ -38,6 +38,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8727", "listen address")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jobWorkers = flag.Int("job-workers", 0, "default per-job parallel-engine width for specs that omit workers (0 = serial jobs)")
 		queueDepth = flag.Int("queue", 64, "bounded work-queue depth")
 		cacheSize  = flag.Int("cache", 256, "result-cache entries")
 		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the spec sets none")
@@ -47,6 +48,7 @@ func main() {
 
 	cfg := service.Config{
 		Workers:        *workers,
+		JobWorkers:     *jobWorkers,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheSize,
 		DefaultTimeout: *defTimeout,

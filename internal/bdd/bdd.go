@@ -125,18 +125,41 @@ const (
 // New creates an empty Manager with no variables. Call NewVar (or NewVars) to
 // allocate variables; the creation order defines the global variable order.
 func New() *Manager {
+	return NewSized(defaultCacheBits)
+}
+
+// NewSized creates an empty Manager whose operation caches hold 2^cacheBits
+// entries each. The default (New) is tuned for a synthesis that owns the
+// machine; worker managers in a Pool use fewer bits so that N workers do not
+// multiply the memory footprint by N.
+func NewSized(cacheBits int) *Manager {
+	if cacheBits < 10 || cacheBits > 28 {
+		panic(fmt.Sprintf("bdd: NewSized: cacheBits %d out of range [10,28]", cacheBits))
+	}
 	m := &Manager{
 		nodes: make([]node, 2, initialNodeCap),
-		ite:   make([]iteEntry, 1<<defaultCacheBits),
-		bin:   make([]binEntry, 1<<defaultCacheBits),
-		un:    make([]unEntry, 1<<defaultCacheBits),
-		rel:   make([]relEntry, 1<<defaultCacheBits),
+		ite:   make([]iteEntry, 1<<cacheBits),
+		bin:   make([]binEntry, 1<<cacheBits),
+		un:    make([]unEntry, 1<<cacheBits),
+		rel:   make([]relEntry, 1<<cacheBits),
 		sat:   make(map[Node]float64),
 	}
 	m.nodes[False] = node{level: terminalLevel, low: False, high: False}
 	m.nodes[True] = node{level: terminalLevel, low: True, high: True}
 	m.growUnique(1 << 20)
 	return m
+}
+
+// CheckNode panics if f cannot be a Node of this manager. Node values are
+// plain indices, so a Node from a different (often larger) Manager may be out
+// of range here — or, worse, silently alias an unrelated function. Operations
+// that walk a caller-supplied DAG outside the apply layer call this to turn
+// the cross-manager mistake into an immediate, explainable failure.
+func (m *Manager) CheckNode(f Node) {
+	if f < 0 || int(f) >= len(m.nodes) {
+		panic(fmt.Sprintf("bdd: Node %d is not from this manager (have %d nodes); "+
+			"nodes are only meaningful relative to the Manager that created them", f, len(m.nodes)))
+	}
 }
 
 // NumVars returns the number of variables allocated in the manager.

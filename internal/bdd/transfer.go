@@ -1,0 +1,124 @@
+package bdd
+
+// This file implements compact DAG serialization, the transfer format that
+// lets predicates migrate between Managers. A multi-core synthesis exports a
+// predicate from the owning manager, imports it into a worker's private
+// manager, computes there, and ships the result back the same way — Managers
+// stay single-threaded while the workload fans out.
+//
+// Format (all integers unsigned LEB128 varints):
+//
+//	magic byte 0xBD, version byte 0x01
+//	numVars   — variable count the DAG was exported under
+//	count     — number of non-terminal nodes
+//	count × (level, low, high) node records in bottom-up DFS order
+//	root      — reference to the exported function
+//
+// A node reference is 0 for False, 1 for True, and k+2 for the k-th record.
+// Records appear in deterministic depth-first post-order (low before high
+// before the node itself), so each record only references earlier ones and
+// import is a single pass of mk() calls. Because an ROBDD is canonical, the
+// byte encoding of a function is identical no matter which manager it is
+// exported from: two managers over the same variable order always produce
+// byte-identical buffers for semantically equal predicates.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	transferMagic   = 0xBD
+	transferVersion = 0x01
+)
+
+// Export serializes the DAG rooted at f into the transfer format. The buffer
+// depends only on the function and the variable order, not on the manager's
+// node numbering.
+func (m *Manager) Export(f Node) []byte {
+	m.CheckNode(f)
+	// Collect the DAG bottom-up. ref[n] is the reference assigned to node n.
+	ref := make(map[Node]uint64, 64)
+	var order []Node
+	var walk func(Node)
+	walk = func(g Node) {
+		if g <= True {
+			return
+		}
+		if _, ok := ref[g]; ok {
+			return
+		}
+		n := m.nodes[g]
+		walk(n.low)
+		walk(n.high)
+		ref[g] = uint64(len(order)) + 2
+		order = append(order, g)
+	}
+	walk(f)
+
+	buf := make([]byte, 0, 4+10*len(order))
+	buf = append(buf, transferMagic, transferVersion)
+	buf = binary.AppendUvarint(buf, uint64(m.numVars))
+	buf = binary.AppendUvarint(buf, uint64(len(order)))
+	deref := func(g Node) uint64 {
+		if g <= True {
+			return uint64(g)
+		}
+		return ref[g]
+	}
+	for _, g := range order {
+		n := m.nodes[g]
+		buf = binary.AppendUvarint(buf, uint64(n.level))
+		buf = binary.AppendUvarint(buf, deref(n.low))
+		buf = binary.AppendUvarint(buf, deref(n.high))
+	}
+	buf = binary.AppendUvarint(buf, deref(f))
+	return buf
+}
+
+// Import deserializes a buffer produced by Export into m and returns the
+// root. The manager must have at least as many variables as the exporting
+// manager, allocated in the same order; hash-consing makes re-importing an
+// already-present function free of new allocations. Import panics on a
+// malformed buffer or a variable-count mismatch — both are programming
+// errors in the transfer plumbing, not recoverable conditions.
+func Import(m *Manager, buf []byte) Node {
+	read := func() uint64 {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			panic("bdd: Import: truncated buffer")
+		}
+		buf = buf[n:]
+		return v
+	}
+	if len(buf) < 2 || buf[0] != transferMagic || buf[1] != transferVersion {
+		panic("bdd: Import: bad magic or version")
+	}
+	buf = buf[2:]
+	nv := read()
+	if int(nv) > m.numVars {
+		panic(fmt.Sprintf("bdd: Import: buffer uses %d variables, manager has %d", nv, m.numVars))
+	}
+	count := read()
+	nodes := make([]Node, 2, count+2)
+	nodes[False], nodes[True] = False, True
+	deref := func(r uint64) Node {
+		if r >= uint64(len(nodes)) {
+			panic("bdd: Import: forward or out-of-range node reference")
+		}
+		return nodes[r]
+	}
+	for i := uint64(0); i < count; i++ {
+		level := read()
+		if level >= nv {
+			panic("bdd: Import: node level out of range")
+		}
+		low := deref(read())
+		high := deref(read())
+		if low == high {
+			panic("bdd: Import: non-reduced node record")
+		}
+		nodes = append(nodes, m.mk(int32(level), low, high))
+	}
+	return deref(read())
+}

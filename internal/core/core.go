@@ -44,25 +44,34 @@ type Outcome struct {
 
 	CompileTime time.Duration
 	VerifyTime  time.Duration // zero unless Job.Verify
+	Workers     int           // effective engine worker count
 }
 
 // Run executes a repair job. The context bounds the synthesis: a deadline or
 // cancellation aborts the repair algorithms at their next fixpoint-iteration
 // boundary with an error wrapping ctx.Err().
+//
+// One parallel engine (sized by Job.Options.Workers; 0 selects GOMAXPROCS)
+// is built per run and shared between the synthesis and the verifier, so the
+// worker clones are compiled once.
 func Run(ctx context.Context, job Job) (*Outcome, error) {
 	t0 := time.Now()
 	compiled, err := job.Def.Compile()
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Compiled: compiled, CompileTime: time.Since(t0)}
+	eng, err := program.NewEngine(compiled, job.Options.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Compiled: compiled, CompileTime: time.Since(t0), Workers: eng.Workers()}
 
 	var res *repair.Result
 	switch job.Algorithm {
 	case LazyRepair, "":
-		res, err = repair.Lazy(ctx, compiled, job.Options)
+		res, err = repair.LazyEngine(ctx, eng, job.Options)
 	case CautiousRepair:
-		res, err = repair.Cautious(ctx, compiled, job.Options)
+		res, err = repair.CautiousEngine(ctx, eng, job.Options)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", job.Algorithm)
 	}
@@ -73,7 +82,11 @@ func Run(ctx context.Context, job Job) (*Outcome, error) {
 
 	if job.Verify {
 		t1 := time.Now()
-		out.Report = verify.Result(compiled, res)
+		rep, err := verify.ResultEngine(ctx, eng, res)
+		if err != nil {
+			return nil, err
+		}
+		out.Report = rep
 		out.VerifyTime = time.Since(t1)
 	}
 	return out, nil

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/repair"
+)
+
+// TestWorkersDeterministic is the acceptance check for the parallel engine:
+// on every built-in case study, a repair run with Workers=4 must produce a
+// byte-identical verified RunReport to the serial Workers=1 run, once the
+// fields that legitimately vary (worker count, node-table size, timings) are
+// normalized away. Run under -race this also exercises the pool's
+// owner/worker handoff for data races.
+func TestWorkersDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		alg  Algorithm
+	}{
+		{"ba", 3, LazyRepair},
+		{"bafs", 2, LazyRepair},
+		{"sc", 8, LazyRepair},
+		{"ring", 2, LazyRepair},
+		{"tmr", 0, LazyRepair},
+		{"sc", 5, CautiousRepair},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.alg)+"/"+tc.name, func(t *testing.T) {
+			var reports [2][]byte
+			for i, workers := range []int{1, 4} {
+				def, err := CaseStudy(tc.name, tc.n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := repair.DefaultOptions()
+				opts.Workers = workers
+				job := Job{Def: def, Algorithm: tc.alg, Options: opts, Verify: true}
+				out, err := Run(context.Background(), job)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if out.Workers != workers {
+					t.Fatalf("outcome records %d workers, want %d", out.Workers, workers)
+				}
+				if out.Report == nil || !out.Report.OK() {
+					t.Fatalf("workers=%d: verification failed:\n%s", workers, out.Report)
+				}
+				rep := NewRunReport(job, out, tc.name, tc.n).Normalized()
+				if reports[i], err = json.Marshal(rep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if string(reports[0]) != string(reports[1]) {
+				t.Errorf("workers=1 and workers=4 reports differ:\n  serial:   %s\n  parallel: %s",
+					reports[0], reports[1])
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ type RunReport struct {
 	Algorithm   string `json:"algorithm"`
 	Pure        bool   `json:"pure,omitempty"`         // reachability heuristic disabled
 	DeferCycles bool   `json:"defer_cycles,omitempty"` // cycle-breaking after Step 2
+	Workers     int    `json:"workers,omitempty"`      // effective engine worker count
 
 	StateBits       int     `json:"state_bits"`
 	States          float64 `json:"states"`
@@ -56,6 +57,7 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		Algorithm:   string(alg),
 		Pure:        !job.Options.ReachabilityHeuristic,
 		DeferCycles: job.Options.DeferCycleBreaking,
+		Workers:     out.Workers,
 
 		StateBits:       s.TotalBits(),
 		States:          s.CountStates(s.ValidCur()),
@@ -76,5 +78,20 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		r.Verified = &ok
 		r.Checks = out.Report.Checks
 	}
+	return r
+}
+
+// Normalized strips the fields that legitimately vary between runs of the
+// same synthesis problem — wall-clock times, the worker count, and the BDD
+// node count (the owning manager's node table evolves differently when
+// results arrive as imported buffers instead of locally computed
+// intermediates). Everything left is a function of the synthesized program
+// alone, so two reports from the same problem must be identical after
+// normalization regardless of Workers — the determinism contract the
+// parallel engine is tested against.
+func (r RunReport) Normalized() RunReport {
+	r.Workers = 0
+	r.BDDNodes = 0
+	r.CompileNS, r.Step1NS, r.Step2NS, r.TotalNS, r.VerifyNS = 0, 0, 0, 0, 0
 	return r
 }

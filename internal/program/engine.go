@@ -1,0 +1,206 @@
+package program
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/bdd"
+)
+
+// workerCacheBits sizes the worker clones' BDD operation caches. Workers see
+// one fan-out slice of the workload at a time, so they need far less cache
+// than the owner (defaultCacheBits = 20 would cost ~80MB per worker).
+const workerCacheBits = 16
+
+// Engine couples a compiled program (the owner) with a pool of private worker
+// clones for intra-job parallelism. BDD managers are single-threaded, so the
+// engine parallelizes by migration: the owner Exports the predicates a task
+// needs, a worker Imports them into its clone's manager, computes there, and
+// the canonical result buffer travels back to be merged on the owner in task
+// order.
+//
+// Determinism: ROBDDs are canonical, so every intermediate fixpoint set is
+// the same function regardless of which manager computed it, and merging in
+// task order makes the synthesized Result — transitions, invariant,
+// fault-span, and everything derived from them — identical for any worker
+// count. (Only incidental manager statistics such as node counts differ.)
+type Engine struct {
+	// C is the owning compiled program; all results live in its manager.
+	C *Compiled
+
+	workers []*Compiled // one private clone per pool worker; nil when serial
+	pool    *bdd.Pool
+}
+
+// ResolveWorkers maps a requested worker count to an effective one: values
+// below 1 select GOMAXPROCS.
+func ResolveWorkers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// NewEngine builds an engine over c with the given number of workers (values
+// below 1 select GOMAXPROCS). One worker means the serial engine: every
+// operation runs directly on the owner with no transfer overhead.
+func NewEngine(c *Compiled, workers int) (*Engine, error) {
+	e := &Engine{C: c}
+	workers = ResolveWorkers(workers)
+	if workers <= 1 {
+		return e, nil
+	}
+	managers := make([]*bdd.Manager, 0, workers)
+	for i := 0; i < workers; i++ {
+		wc, err := c.Def.CompileSized(workerCacheBits)
+		if err != nil {
+			return nil, err
+		}
+		e.workers = append(e.workers, wc)
+		managers = append(managers, wc.Space.M)
+	}
+	e.pool = bdd.NewPool(managers)
+	return e, nil
+}
+
+// SerialEngine wraps c as a one-worker engine (no clones, no transfer).
+func SerialEngine(c *Compiled) *Engine { return &Engine{C: c} }
+
+// Workers returns the engine's worker count (1 for the serial engine).
+func (e *Engine) Workers() int {
+	if e.pool == nil {
+		return 1
+	}
+	return e.pool.Workers()
+}
+
+// MapNodes evaluates fn once per task, with tasks distributed across the
+// worker clones, and returns the results as nodes of the owning manager in
+// task order. shared is one predicate every task reads (exported once,
+// imported once per participating worker); inputs[task] is the task's own
+// predicate. fn must confine its BDD operations to the *Compiled it is
+// handed — the owner on the serial path, a worker clone otherwise.
+func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Node,
+	fn func(c *Compiled, shared, input bdd.Node, task int) bdd.Node) ([]bdd.Node, error) {
+	if e.pool == nil {
+		out := make([]bdd.Node, len(inputs))
+		for i, in := range inputs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = fn(e.C, shared, in, i)
+		}
+		return out, nil
+	}
+	m := e.C.Space.M
+	sharedBuf := m.Export(shared)
+	inputBufs := make([][]byte, len(inputs))
+	for i, in := range inputs {
+		inputBufs[i] = m.Export(in)
+	}
+	// Per-worker import of the shared predicate, done lazily by the single
+	// goroutine that drives each worker (no locking needed).
+	wShared := make([]bdd.Node, len(e.workers))
+	wHave := make([]bool, len(e.workers))
+	bufs, err := e.pool.Map(ctx, len(inputs), func(w *bdd.Manager, worker, task int) ([]byte, error) {
+		wc := e.workers[worker]
+		if !wHave[worker] {
+			wShared[worker] = bdd.Import(w, sharedBuf)
+			wHave[worker] = true
+		}
+		in := bdd.Import(w, inputBufs[task])
+		return w.Export(fn(wc, wShared[worker], in, task)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bdd.Node, len(bufs))
+	for i, b := range bufs {
+		out[i] = bdd.Import(m, b)
+	}
+	return out, nil
+}
+
+// MapProcs evaluates fn once per process of the program against a shared
+// predicate — the shape of the per-process group-closure fan-outs (Step 2's
+// maximal realizable subsets, the verifier's per-process checks).
+func (e *Engine) MapProcs(ctx context.Context, shared bdd.Node,
+	fn func(c *Compiled, j int, shared bdd.Node) bdd.Node) ([]bdd.Node, error) {
+	inputs := make([]bdd.Node, len(e.C.Procs)) // placeholders; tasks are indexed by process
+	return e.MapNodes(ctx, shared, inputs, func(c *Compiled, sh, _ bdd.Node, j int) bdd.Node {
+		return fn(c, j, sh)
+	})
+}
+
+// ReachableParts computes the forward reachability fixpoint of init under the
+// partitioned transition relation. The serial engine chains per-partition
+// fixpoints (symbolic.ReachablePartsCtx); with workers it switches to rounds —
+// all partition images of the reached set computed concurrently, merged on
+// the owner, repeated to the fixpoint. Both compute the same least fixpoint.
+func (e *Engine) ReachableParts(ctx context.Context, init bdd.Node, parts []bdd.Node) (bdd.Node, error) {
+	if e.pool == nil {
+		return e.C.Space.ReachablePartsCtx(ctx, init, parts)
+	}
+	return e.roundFixpoint(ctx, e.C.Space.M.And(init, e.C.Space.ValidCur()), parts, false)
+}
+
+// BackwardReachableParts is the backward (preimage) counterpart of
+// ReachableParts.
+func (e *Engine) BackwardReachableParts(ctx context.Context, target bdd.Node, parts []bdd.Node) (bdd.Node, error) {
+	if e.pool == nil {
+		return e.C.Space.BackwardReachablePartsCtx(ctx, target, parts)
+	}
+	return e.roundFixpoint(ctx, e.C.Space.M.And(target, e.C.Space.ValidCur()), parts, true)
+}
+
+// roundFixpoint runs the parallel round-based reachability: per round, one
+// image (or preimage) of the reached set per partition, fanned out across the
+// workers. Partition predicates are static, so each worker imports a
+// partition at most once for the whole fixpoint.
+func (e *Engine) roundFixpoint(ctx context.Context, reached bdd.Node, parts []bdd.Node, backward bool) (bdd.Node, error) {
+	m := e.C.Space.M
+	partBufs := make([][]byte, len(parts))
+	for i, p := range parts {
+		partBufs[i] = m.Export(p)
+	}
+	wParts := make([][]bdd.Node, len(e.workers))
+	wHaveP := make([][]bool, len(e.workers))
+	for i := range e.workers {
+		wParts[i] = make([]bdd.Node, len(parts))
+		wHaveP[i] = make([]bool, len(parts))
+	}
+	for {
+		setBuf := m.Export(reached)
+		wSet := make([]bdd.Node, len(e.workers))
+		wHaveS := make([]bool, len(e.workers))
+		bufs, err := e.pool.Map(ctx, len(parts), func(w *bdd.Manager, worker, task int) ([]byte, error) {
+			wc := e.workers[worker]
+			if !wHaveS[worker] {
+				wSet[worker] = bdd.Import(w, setBuf)
+				wHaveS[worker] = true
+			}
+			if !wHaveP[worker][task] {
+				wParts[worker][task] = bdd.Import(w, partBufs[task])
+				wHaveP[worker][task] = true
+			}
+			var img bdd.Node
+			if backward {
+				img = wc.Space.Preimage(wSet[worker], wParts[worker][task])
+			} else {
+				img = wc.Space.Image(wSet[worker], wParts[worker][task])
+			}
+			return w.Export(img), nil
+		})
+		if err != nil {
+			return bdd.False, err
+		}
+		next := reached
+		for _, b := range bufs {
+			next = m.Or(next, bdd.Import(m, b))
+		}
+		if next == reached {
+			return reached, nil
+		}
+		reached = next
+	}
+}

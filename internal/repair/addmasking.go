@@ -39,6 +39,14 @@ type Masking struct {
 // symbolic reachability fixpoints, so cancellation aborts the step between
 // symbolic operations.
 func AddMasking(ctx context.Context, c *program.Compiled, invariant, badTrans bdd.Node, opts Options) (*Masking, error) {
+	return AddMaskingEngine(ctx, program.SerialEngine(c), invariant, badTrans, opts)
+}
+
+// AddMaskingEngine is AddMasking running its reachability fixpoints on the
+// given engine, fanning the per-partition images across the engine's worker
+// managers when it has more than one.
+func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTrans bdd.Node, opts Options) (*Masking, error) {
+	c := e.C
 	m := c.Space.M
 	s := c.Space
 
@@ -58,7 +66,7 @@ func AddMasking(ctx context.Context, c *program.Compiled, invariant, badTrans bd
 		// specification grows, and states only reachable through banned
 		// behavior must drop out of the universe for the loop to converge.
 		var err error
-		universe, err = s.ReachablePartsCtx(ctx, invariant, c.PartsWithFaults(notMT))
+		universe, err = e.ReachableParts(ctx, invariant, c.PartsWithFaults(notMT))
 		if err != nil {
 			return nil, cancelled(ctx)
 		}
@@ -97,7 +105,7 @@ func AddMasking(ctx context.Context, c *program.Compiled, invariant, badTrans bd
 
 		// Remove fault-span states from which recovery to the invariant is
 		// impossible.
-		back, err := s.BackwardReachablePartsCtx(ctx, s1, availParts)
+		back, err := e.BackwardReachableParts(ctx, s1, availParts)
 		if err != nil {
 			return nil, cancelled(ctx)
 		}
@@ -150,9 +158,9 @@ func AddMasking(ctx context.Context, c *program.Compiled, invariant, badTrans bd
 	}
 
 	return &Masking{
-		Trans:     m.Or(availInside, rec),
-		Invariant: s1,
-		FaultSpan: t1,
+		Trans:      m.Or(availInside, rec),
+		Invariant:  s1,
+		FaultSpan:  t1,
 		Iterations: iterations,
 	}, nil
 }

@@ -27,6 +27,18 @@ import (
 //     if every member strictly decreases the distance to the invariant —
 //     keeping the span cycle-free without a separate cycle-resolution phase.
 func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, error) {
+	eng, err := program.NewEngine(c, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return CautiousEngine(ctx, eng, opts)
+}
+
+// CautiousEngine is Cautious running on a caller-supplied engine: the
+// reachability fixpoints and the per-process group removals of Phase 1 fan
+// out across the engine's workers.
+func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result, error) {
+	c := eng.C
 	m := c.Space.M
 	s := c.Space
 	start := time.Now()
@@ -34,7 +46,7 @@ func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, 
 
 	ms, mt := ComputeMsMt(c, c.BadTrans)
 
-	reach, err := s.ReachablePartsCtx(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
+	reach, err := eng.ReachableParts(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
 	if err != nil {
 		return nil, cancelled(ctx)
 	}
@@ -67,21 +79,31 @@ func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, 
 			deltas[j] = p.Trans
 		}
 		for {
+			// The harmful set is invariant across one removal round, and
+			// each process's removal touches only its own delta, so the
+			// per-process group closures fan out across the engine.
+			harmful := m.OrN(
+				mtHard,
+				banned,
+				m.AndN(span, m.Not(s.Prime(span))), // escapes the span
+				m.AndN(invariant, m.Not(s.Prime(invariant))), // breaks invariant closure
+			)
+			next, err := eng.MapNodes(ctx, harmful, deltas,
+				func(wc *program.Compiled, harm, dj bdd.Node, j int) bdd.Node {
+					wm := wc.Space.M
+					bad := wm.And(dj, harm)
+					if bad == bdd.False {
+						return dj
+					}
+					return wm.Diff(dj, wc.Procs[j].Group(bad))
+				})
+			if err != nil {
+				return nil, cancelled(ctx)
+			}
 			changed := false
-			for j, p := range c.Procs {
-				harmful := m.OrN(
-					mtHard,
-					banned,
-					m.AndN(span, m.Not(s.Prime(span))),           // escapes the span
-					m.AndN(invariant, m.Not(s.Prime(invariant))), // breaks invariant closure
-				)
-				bad := m.And(deltas[j], harmful)
-				if bad == bdd.False {
-					continue
-				}
-				next := m.Diff(deltas[j], p.Group(bad))
-				if next != deltas[j] {
-					deltas[j] = next
+			for j := range deltas {
+				if next[j] != deltas[j] {
+					deltas[j] = next[j]
 					changed = true
 				}
 			}
@@ -163,7 +185,7 @@ func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, 
 		for i, dl := range deltas {
 			spanParts[i] = m.AndN(dl, span, s.Prime(span))
 		}
-		recoverable, err := s.BackwardReachablePartsCtx(ctx, invariant, spanParts)
+		recoverable, err := eng.BackwardReachableParts(ctx, invariant, spanParts)
 		if err != nil {
 			return nil, cancelled(ctx)
 		}
@@ -204,7 +226,7 @@ func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, 
 
 		// Structural convergence: audit the Section-IV heuristic's bets
 		// against the repaired program's actual reachable set.
-		trueReach, err := s.ReachablePartsCtx(ctx, invariant, append(append([]bdd.Node{}, deltas...), c.FaultParts...))
+		trueReach, err := eng.ReachableParts(ctx, invariant, append(append([]bdd.Node{}, deltas...), c.FaultParts...))
 		if err != nil {
 			return nil, cancelled(ctx)
 		}

@@ -23,12 +23,23 @@ import (
 // fixpoints), so a deadline or cancellation aborts a hung synthesis between
 // symbolic steps with an error wrapping ctx.Err().
 func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, error) {
+	eng, err := program.NewEngine(c, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return LazyEngine(ctx, eng, opts)
+}
+
+// LazyEngine is Lazy running on a caller-supplied engine, so the engine's
+// worker clones can be shared with the verifier (see internal/core.Run).
+func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result, error) {
+	c := eng.C
 	m := c.Space.M
 	s := c.Space
 	start := time.Now()
 
 	var stats Stats
-	reach, err := s.ReachablePartsCtx(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
+	reach, err := eng.ReachableParts(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
 	if err != nil {
 		return nil, cancelled(ctx)
 	}
@@ -48,7 +59,7 @@ func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, erro
 		}
 
 		t0 := time.Now()
-		mask, err := AddMasking(ctx, c, invariant, badTrans, opts)
+		mask, err := AddMaskingEngine(ctx, eng, invariant, badTrans, opts)
 		stats.Step1 += time.Since(t0)
 		if err != nil {
 			return nil, err
@@ -57,7 +68,10 @@ func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, erro
 			iter, s.CountStates(mask.Invariant), s.CountStates(mask.FaultSpan))
 
 		t1 := time.Now()
-		parts := RealizeParts(c, mask.Trans, mask.FaultSpan)
+		parts, err := RealizePartsEngine(ctx, eng, mask.Trans, mask.FaultSpan)
+		if err != nil {
+			return nil, cancelled(ctx)
+		}
 		realized := m.OrN(parts...)
 
 		// Group-aware cycle elimination. Step 1 kept recovery maximal, so
@@ -122,7 +136,7 @@ func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, erro
 			}
 			realized = m.OrN(parts...)
 		}
-		certSpan, err := s.ReachablePartsCtx(ctx, mask.Invariant, append(append([]bdd.Node{}, parts...), c.FaultParts...))
+		certSpan, err := eng.ReachableParts(ctx, mask.Invariant, append(append([]bdd.Node{}, parts...), c.FaultParts...))
 		if err != nil {
 			return nil, cancelled(ctx)
 		}

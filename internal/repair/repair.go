@@ -65,6 +65,13 @@ type Options struct {
 	DeferCycleBreaking bool
 	// MaxOuterIterations bounds Algorithm 1's repeat loop.
 	MaxOuterIterations int
+	// Workers is the number of private BDD worker managers used to fan out
+	// the per-process symbolic work inside one synthesis (image unions,
+	// group closures). Values below 1 select GOMAXPROCS; 1 runs everything
+	// on the owning manager with no transfer overhead. Any value yields the
+	// same synthesized program: intermediate sets are canonical BDDs and
+	// worker results are merged in deterministic task order.
+	Workers int
 	// Logf, when non-nil, receives progress lines.
 	//
 	// Concurrency contract: a single repair call invokes Logf sequentially
@@ -131,26 +138,42 @@ func preimageAny(c *program.Compiled, target bdd.Node, parts []bdd.Node) bdd.Nod
 }
 
 // srcInto returns the states of from with an edge into to, computed per
-// partition to keep intermediate products small.
+// partition to keep intermediate products small. The relational product is
+// taken against the raw partition (∃next. p ∧ to′ is conjoined with from
+// afterwards — from constrains current-state bits only, so the two forms are
+// equivalent): keeping the static partition as the cached operand lets the
+// AndExists cache carry across fixpoint iterations where only to changes.
 func srcInto(c *program.Compiled, parts []bdd.Node, from, to bdd.Node) bdd.Node {
 	m := c.Space.M
 	s := c.Space
 	out := bdd.False
 	primed := s.Prime(to)
 	for _, p := range parts {
-		out = m.Or(out, m.And(from, m.AndExists(m.And(p, from), primed, s.NextCube())))
+		out = m.Or(out, m.AndExists(p, primed, s.NextCube()))
 	}
-	return out
+	return m.And(from, out)
 }
 
 // cyclicCore returns the greatest fixpoint of states in region with a
 // partition-edge successor staying in the set: the states from which an
 // infinite path inside region exists.
+//
+// The fixpoint runs on the union of the partitions restricted to
+// region × region, computed once up front: the greatest fixpoint peels the
+// set one layer per iteration (a chain of n cells takes ~n iterations), so a
+// single static relation whose relational-product subresults stay cached
+// across iterations beats re-scanning every partition per iteration.
 func cyclicCore(c *program.Compiled, parts []bdd.Node, region bdd.Node) bdd.Node {
 	m := c.Space.M
+	s := c.Space
+	rel := bdd.False
+	inside := m.And(region, s.Prime(region))
+	for _, p := range parts {
+		rel = m.Or(rel, m.And(p, inside))
+	}
 	z := region
 	for {
-		next := m.And(z, srcInto(c, parts, z, z))
+		next := m.And(z, m.AndExists(rel, s.Prime(z), s.NextCube()))
 		if next == z {
 			return z
 		}

@@ -32,8 +32,12 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 		fmt.Fprintf(h, format, args...)
 	}
 
-	wr("v1\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00",
-		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations)
+	// Workers does not change the synthesized program (the engine is
+	// deterministic across worker counts), but the report records the
+	// effective count, so runs with different budgets must not alias in the
+	// cache.
+	wr("v2\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00",
+		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers)
 
 	wr("name=%s\x00", def.Name)
 	wr("vars=%d\x00", len(def.Vars))

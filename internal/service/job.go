@@ -30,6 +30,11 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// MaxJobWorkers bounds Spec.Workers: each engine worker costs a private BDD
+// manager, so an unbounded request would let one client exhaust the daemon's
+// memory.
+const MaxJobWorkers = 16
+
 // Spec is a repair-job submission: either a built-in case study (Case, N) or
 // an inline .ftr model source (Model), plus algorithm and option selectors.
 // It is the JSON body of POST /v1/repair.
@@ -42,6 +47,12 @@ type Spec struct {
 
 	// Algorithm is "lazy" (default) or "cautious".
 	Algorithm string `json:"algorithm,omitempty"`
+	// Workers is the per-job parallel-engine budget: the number of private
+	// BDD worker managers fanning out one synthesis. 0 (the default) runs
+	// the job serially — the daemon's own pool already parallelizes across
+	// jobs — while an explicit 2..MaxJobWorkers lets one wide job use
+	// several cores. The synthesized result is identical either way.
+	Workers int `json:"workers,omitempty"`
 	// Pure disables the reachability heuristic (the paper's ablation).
 	Pure bool `json:"pure,omitempty"`
 	// DeferCycles moves cycle-breaking after Step 2 (the paper's ablation).
@@ -79,12 +90,23 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 		alg = string(core.LazyRepair)
 	}
 	if alg != string(core.LazyRepair) && alg != string(core.CautiousRepair) {
-		return nil, core.Job{}, "", fmt.Errorf("service: unknown algorithm %q", alg)
+		return nil, core.Job{}, "", fmt.Errorf("service: unknown algorithm %q (want %q or %q)",
+			alg, core.LazyRepair, core.CautiousRepair)
+	}
+	if sp.Workers < 0 || sp.Workers > MaxJobWorkers {
+		return nil, core.Job{}, "", fmt.Errorf("service: workers %d out of range [0,%d]", sp.Workers, MaxJobWorkers)
 	}
 
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
 	opts.DeferCycleBreaking = sp.DeferCycles
+	// Unlike the library default (0 → GOMAXPROCS), a daemon job defaults to
+	// a serial engine: the service's worker pool already runs jobs in
+	// parallel, so intra-job width is opt-in per job.
+	opts.Workers = sp.Workers
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
 
 	job := core.Job{
 		Def:       def,

@@ -16,8 +16,11 @@ import (
 //	GET    /healthz        liveness + basic readiness
 //	GET    /metrics        Prometheus text exposition
 //
-// Error responses are JSON objects {"error": "..."} with conventional
-// status codes (400 bad spec, 404 unknown job, 503 queue full or closed).
+// Error responses are structured JSON objects {"code": "...", "message":
+// "..."} with conventional status codes: 400 bad_json/invalid_spec, 404
+// unknown_job, 405 method_not_allowed, 503 queue_full/shutting_down. The
+// code is a stable machine-readable token; the message is human-readable
+// detail.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/repair", s.handleSubmit)
@@ -27,6 +30,25 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// APIError is the JSON error body of every non-2xx response.
+type APIError struct {
+	// Code is a stable machine-readable token (e.g. "invalid_spec",
+	// "unknown_job", "queue_full").
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// The stable error codes of the HTTP API.
+const (
+	CodeBadJSON          = "bad_json"           // 400: body is not valid Spec JSON
+	CodeInvalidSpec      = "invalid_spec"       // 400: well-formed but unacceptable spec
+	CodeUnknownJob       = "unknown_job"        // 404
+	CodeMethodNotAllowed = "method_not_allowed" // 405
+	CodeQueueFull        = "queue_full"         // 503
+	CodeShuttingDown     = "shutting_down"      // 503
+)
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -35,29 +57,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, APIError{Code: code, Message: err.Error()})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, errors.New("use POST"))
 		return
 	}
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadJSON, err)
 		return
 	}
 	view, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, CodeQueueFull, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -70,26 +95,26 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	if id == "" || strings.Contains(id, "/") {
-		writeError(w, http.StatusNotFound, errors.New("bad job path"))
+		writeError(w, http.StatusNotFound, CodeUnknownJob, errors.New("bad job path"))
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
 		view, ok := s.Job(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("unknown job "+id))
+			writeError(w, http.StatusNotFound, CodeUnknownJob, errors.New("unknown job "+id))
 			return
 		}
 		writeJSON(w, http.StatusOK, view)
 	case http.MethodDelete:
 		view, ok := s.Cancel(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("unknown job "+id))
+			writeError(w, http.StatusNotFound, CodeUnknownJob, errors.New("unknown job "+id))
 			return
 		}
 		writeJSON(w, http.StatusAccepted, view)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, errors.New("use GET or DELETE"))
 	}
 }
 

@@ -28,6 +28,11 @@ import (
 type Config struct {
 	// Workers is the worker-pool size; default GOMAXPROCS(0).
 	Workers int
+	// JobWorkers is the default per-job parallel-engine width applied to
+	// submissions that leave Spec.Workers at 0. The default (0) keeps such
+	// jobs serial — the pool above already parallelizes across jobs. Capped
+	// at MaxJobWorkers.
+	JobWorkers int
 	// QueueDepth bounds the pending-job queue; default 64.
 	QueueDepth int
 	// CacheEntries bounds the result cache; default 256.
@@ -57,6 +62,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxLogLines <= 0 {
 		c.MaxLogLines = 64
+	}
+	if c.JobWorkers < 0 {
+		c.JobWorkers = 0
+	}
+	if c.JobWorkers > MaxJobWorkers {
+		c.JobWorkers = MaxJobWorkers
 	}
 }
 
@@ -160,6 +171,9 @@ func (s *Service) logf(format string, args ...any) {
 // job's state at return: done (cache hit), or queued. ErrQueueFull and
 // ErrClosed are sentinel errors; anything else is a bad spec.
 func (s *Service) Submit(spec Spec) (JobView, error) {
+	if spec.Workers == 0 {
+		spec.Workers = s.cfg.JobWorkers
+	}
 	def, coreJob, key, err := spec.resolve()
 	if err != nil {
 		return JobView{}, err

@@ -70,6 +70,8 @@ func TestSpecValidation(t *testing.T) {
 		{Case: "ba", N: 0},                  // bad instance size
 		{Case: "ba", N: 3, Algorithm: "??"}, // unknown algorithm
 		{Model: "var x : bool\n"},           // malformed model
+		{Case: "ba", N: 3, Workers: -1},     // negative engine width
+		{Case: "ba", N: 3, Workers: MaxJobWorkers + 1}, // over the cap
 	}
 	for i, sp := range cases {
 		if _, _, _, err := sp.resolve(); err == nil {
@@ -423,5 +425,96 @@ func TestE2EHTTPSurface(t *testing.T) {
 	}
 	if !strings.Contains(final.Error, "client") {
 		t.Fatalf("cancellation cause %q does not mention the client", final.Error)
+	}
+}
+
+// TestWorkersSpecRunsAndRecords submits a job with an explicit parallel
+// engine width and checks the verified report records it; a second service
+// with Config.JobWorkers set must apply that default to specs that omit the
+// field.
+func TestWorkersSpecRunsAndRecords(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	v, err := s.Submit(Spec{Case: "ba", N: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("job did not finish: state=%s err=%q", final.State, final.Error)
+	}
+	if final.Result.Workers != 2 {
+		t.Fatalf("report records %d workers, want 2", final.Result.Workers)
+	}
+
+	s2 := New(Config{Workers: 1, QueueDepth: 4, JobWorkers: 2})
+	defer s2.Close()
+	v2, err := s2.Submit(Spec{Case: "ba", N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, err := s2.Wait(context.Background(), v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.Result == nil || final2.Result.Workers != 2 {
+		t.Fatalf("JobWorkers default not applied: %+v", final2.Result)
+	}
+}
+
+// TestHTTPStructuredErrors decodes the {code, message} error body on each
+// failure path of the HTTP API.
+func TestHTTPStructuredErrors(t *testing.T) {
+	base, _, shutdown := bootDaemon(t, Config{Workers: 1, QueueDepth: 4})
+	defer shutdown()
+
+	readErr := func(resp *http.Response) APIError {
+		t.Helper()
+		defer resp.Body.Close()
+		var ae APIError
+		raw, _ := io.ReadAll(resp.Body)
+		if err := json.Unmarshal(raw, &ae); err != nil {
+			t.Fatalf("error body is not an APIError: %s", raw)
+		}
+		if ae.Code == "" || ae.Message == "" {
+			t.Fatalf("error body missing code or message: %s", raw)
+		}
+		return ae
+	}
+
+	resp, err := http.Post(base+"/v1/repair", "application/json",
+		strings.NewReader(`{"case":"ba","n":3,"workers":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := readErr(resp); resp.StatusCode != http.StatusBadRequest || ae.Code != CodeInvalidSpec {
+		t.Fatalf("workers=99: status=%d code=%q", resp.StatusCode, ae.Code)
+	}
+
+	resp, err = http.Post(base+"/v1/repair", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := readErr(resp); resp.StatusCode != http.StatusBadRequest || ae.Code != CodeBadJSON {
+		t.Fatalf("bad json: status=%d code=%q", resp.StatusCode, ae.Code)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := readErr(resp); resp.StatusCode != http.StatusNotFound || ae.Code != CodeUnknownJob {
+		t.Fatalf("unknown job: status=%d code=%q", resp.StatusCode, ae.Code)
+	}
+
+	resp, err = http.Get(base + "/v1/repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := readErr(resp); resp.StatusCode != http.StatusMethodNotAllowed || ae.Code != CodeMethodNotAllowed {
+		t.Fatalf("GET submit: status=%d code=%q", resp.StatusCode, ae.Code)
 	}
 }

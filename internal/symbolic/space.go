@@ -58,7 +58,18 @@ type Space struct {
 // the BDD variable order (earlier variables higher in the order), which for
 // the chain and agreement models of the paper gives compact BDDs.
 func New(specs []VarSpec) (*Space, error) {
-	s := &Space{M: bdd.New(), byName: make(map[string]*Var)}
+	return newSpace(bdd.New(), specs)
+}
+
+// NewSized is New with explicit operation-cache sizing (2^cacheBits entries
+// per cache). Worker spaces in a parallel engine use small caches so that N
+// workers do not multiply the default footprint by N.
+func NewSized(specs []VarSpec, cacheBits int) (*Space, error) {
+	return newSpace(bdd.NewSized(cacheBits), specs)
+}
+
+func newSpace(m *bdd.Manager, specs []VarSpec) (*Space, error) {
+	s := &Space{M: m, byName: make(map[string]*Var)}
 	for _, spec := range specs {
 		if spec.Domain < 2 {
 			return nil, fmt.Errorf("symbolic: variable %q has domain %d; need at least 2", spec.Name, spec.Domain)
@@ -262,15 +273,22 @@ func (s *Space) BackwardReachablePartsCtx(ctx context.Context, target bdd.Node, 
 			if p == bdd.False {
 				continue
 			}
+			// Chain with a frontier: after the first preimage of the full
+			// set, only the newly added states need another preimage.
+			// (The forward fixpoint above deliberately images the full
+			// reached set instead — there the frontier BDDs grow larger
+			// than the set itself on these models.)
+			frontier := reached
 			for {
 				if err := ctx.Err(); err != nil {
 					return reached, err
 				}
-				pre := m.Diff(s.Preimage(reached, p), reached)
+				pre := m.Diff(s.Preimage(frontier, p), reached)
 				if pre == bdd.False {
 					break
 				}
 				reached = m.Or(reached, pre)
+				frontier = pre
 				changed = true
 			}
 		}
@@ -295,16 +313,20 @@ func (s *Space) BackwardReachable(target, trans bdd.Node) bdd.Node {
 }
 
 // CountStates returns the number of states in a state predicate (a function
-// of current-state bits only).
+// of current-state bits only). It panics if f is not a Node of this space's
+// manager (a Node from another manager would silently count an unrelated
+// function, or crash deep inside the apply layer).
 func (s *Space) CountStates(f bdd.Node) float64 {
+	s.M.CheckNode(f)
 	// SatCount ranges over every manager bit; divide out the unconstrained
 	// next-state bits.
 	return s.M.SatCount(s.M.And(f, s.validCur)) / math.Pow(2, float64(s.totalBits))
 }
 
 // CountTransitions returns the number of (s0, s1) pairs in a transition
-// predicate.
+// predicate. Like CountStates it panics on a Node from a different manager.
 func (s *Space) CountTransitions(f bdd.Node) float64 {
+	s.M.CheckNode(f)
 	return s.M.SatCount(s.M.And(f, s.ValidTrans()))
 }
 

@@ -11,6 +11,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -80,6 +81,17 @@ func (r *Report) add(name string, ok bool, detail string) {
 // Result verifies a repair result against the compiled program it was
 // synthesized from.
 func Result(c *program.Compiled, res *repair.Result) *Report {
+	rep, _ := ResultEngine(context.Background(), program.SerialEngine(c), res)
+	return rep
+}
+
+// ResultEngine is Result with the per-process predicates (the maximal
+// realizable subsets every safety and realizability check builds on) and the
+// reachability fixpoints fanned out across the engine's workers. The checks
+// themselves are unchanged — canonical BDDs make the fan-out invisible to
+// the verdict. The error is non-nil only on context cancellation.
+func ResultEngine(ctx context.Context, e *program.Engine, res *repair.Result) (*Report, error) {
+	c := e.C
 	m := c.Space.M
 	s := c.Space
 	rep := &Report{}
@@ -106,11 +118,16 @@ func Result(c *program.Compiled, res *repair.Result) *Report {
 	// Partition the program's transitions by process for image computation;
 	// every realizable δ' is covered by its per-process maximal realizable
 	// subsets, and faults are partitioned per action.
-	procParts := make([]bdd.Node, len(c.Procs))
-	for j, p := range c.Procs {
-		procParts[j] = p.MaxRealizableSubset(trans)
+	procParts, err := e.MapProcs(ctx, trans, func(wc *program.Compiled, j int, tr bdd.Node) bdd.Node {
+		return wc.Procs[j].MaxRealizableSubset(tr)
+	})
+	if err != nil {
+		return nil, err
 	}
-	reach := s.ReachableParts(inv, append(append([]bdd.Node{}, procParts...), c.FaultParts...))
+	reach, err := e.ReachableParts(ctx, inv, append(append([]bdd.Node{}, procParts...), c.FaultParts...))
+	if err != nil {
+		return nil, err
+	}
 	rep.add("reachable within fault-span", m.Implies(reach, span), "")
 	badReach := m.And(reach, c.BadStates)
 	rep.add("no reachable bad state", badReach == bdd.False, "")
@@ -124,13 +141,19 @@ func Result(c *program.Compiled, res *repair.Result) *Report {
 		fmt.Sprintf("%g stuck state(s)", s.CountStates(noOut)))
 	// Greatest fixpoint: states in T'−S' from which some program-only path
 	// stays outside the invariant forever.
+	// The fixpoint runs on the union of the per-process relations restricted
+	// to outside × outside, built once up front: the greatest fixpoint peels
+	// one layer per iteration, so a single static relation whose
+	// relational-product subresults stay cached across iterations beats
+	// re-scanning every partition per iteration (mirrors repair.cyclicCore).
+	inside := m.And(outside, s.Prime(outside))
+	cycRel := bdd.False
+	for _, p := range procParts {
+		cycRel = m.Or(cycRel, m.And(p, inside))
+	}
 	cyclic := outside
 	for {
-		step := bdd.False
-		for _, p := range procParts {
-			step = m.Or(step, m.AndExists(m.And(p, cyclic), s.Prime(cyclic), s.NextCube()))
-		}
-		next := m.And(cyclic, step)
+		next := m.And(cyclic, m.AndExists(cycRel, s.Prime(cyclic), s.NextCube()))
 		if next == cyclic {
 			break
 		}
@@ -158,7 +181,10 @@ func Result(c *program.Compiled, res *repair.Result) *Report {
 	// good iff it is in T, or it has a successor and all its successors are
 	// good. (Checked fault-free, per Definition 10's "computations of P".)
 	if len(c.Liveness) > 0 {
-		progReach := s.ReachableParts(inv, procParts)
+		progReach, err := e.ReachableParts(ctx, inv, procParts)
+		if err != nil {
+			return nil, err
+		}
 		hasSucc := src(c, trans)
 		for _, lt := range c.Liveness {
 			good := m.And(lt.To, s.ValidCur())
@@ -192,7 +218,7 @@ func Result(c *program.Compiled, res *repair.Result) *Report {
 	rep.add("transitions decompose into processes", m.Implies(trans, union),
 		"every transition belongs to a complete group of some process")
 
-	return rep
+	return rep, nil
 }
 
 func src(c *program.Compiled, delta bdd.Node) bdd.Node {

@@ -10,8 +10,9 @@
 //     restrictions and guarded-command actions, fault actions, invariant,
 //     safety specification) with the Def / Process / Action types and the
 //     expression constructors re-exported from internal/expr.
-//   - Repair it with Lazy (the paper's two-step Algorithm 1) or Cautious
-//     (the prior tool's baseline).
+//   - Repair it with Repair, the single entry point: the algorithm (LazyAlg,
+//     the paper's two-step Algorithm 1, or CautiousAlg, the prior tool's
+//     baseline), worker budget, timeout, and logging are functional options.
 //   - Verify the output independently against the paper's definitions.
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
@@ -101,46 +102,35 @@ var (
 // experiments.
 func DefaultOptions() Options { return repair.DefaultOptions() }
 
-// Lazy repairs the program with the paper's two-step lazy-repair algorithm
-// (Algorithm 1): Add-Masking without realizability constraints, then
-// realizability enforcement by transition removal, iterated until no
-// deadlocks remain.
+// Lazy repairs the program with the paper's two-step lazy-repair algorithm.
+//
+// Deprecated: use Repair with WithAlgorithm(LazyAlg) (the default) and
+// WithOptions(opts) instead; Repair is the single entry point carrying
+// algorithm choice, worker budget, timeout, and cancellation.
 func Lazy(def *Def, opts Options) (*Compiled, *Result, error) {
-	return LazyContext(context.Background(), def, opts)
+	return Repair(context.Background(), def, WithOptions(opts))
 }
 
-// LazyContext is Lazy bounded by a context: a deadline or cancellation
-// aborts the synthesis at its next fixpoint-iteration boundary with an
-// error wrapping ctx.Err().
+// LazyContext is Lazy bounded by a context.
+//
+// Deprecated: use Repair(ctx, def, WithOptions(opts)).
 func LazyContext(ctx context.Context, def *Def, opts Options) (*Compiled, *Result, error) {
-	c, err := def.Compile()
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := repair.Lazy(ctx, c, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return c, res, nil
+	return Repair(ctx, def, WithOptions(opts))
 }
 
 // Cautious repairs the program with the baseline algorithm that keeps the
 // model realizable at every intermediate step (Section IV of the paper).
+//
+// Deprecated: use Repair with WithAlgorithm(CautiousAlg).
 func Cautious(def *Def, opts Options) (*Compiled, *Result, error) {
-	return CautiousContext(context.Background(), def, opts)
+	return Repair(context.Background(), def, WithOptions(opts), WithAlgorithm(CautiousAlg))
 }
 
-// CautiousContext is Cautious bounded by a context (see LazyContext).
+// CautiousContext is Cautious bounded by a context.
+//
+// Deprecated: use Repair(ctx, def, WithOptions(opts), WithAlgorithm(CautiousAlg)).
 func CautiousContext(ctx context.Context, def *Def, opts Options) (*Compiled, *Result, error) {
-	c, err := def.Compile()
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := repair.Cautious(ctx, c, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return c, res, nil
+	return Repair(ctx, def, WithOptions(opts), WithAlgorithm(CautiousAlg))
 }
 
 // Verify independently checks a repair result against the paper's
@@ -170,7 +160,11 @@ func CountTransitions(c *Compiled, delta bdd.Node) float64 {
 }
 
 // Intersects reports whether two predicates of the compiled program share at
-// least one assignment.
+// least one assignment. It panics if either Node is not from c's manager:
+// Node values are plain indices, so a foreign Node would silently test an
+// unrelated predicate.
 func Intersects(c *Compiled, a, b bdd.Node) bool {
+	c.Space.M.CheckNode(a)
+	c.Space.M.CheckNode(b)
 	return c.Space.M.And(a, b) != bdd.False
 }
