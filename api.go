@@ -8,6 +8,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/repair"
 	"repro/internal/verify"
+	"repro/internal/witness"
 )
 
 // Algorithm selects the repair algorithm used by Repair.
@@ -38,9 +39,10 @@ func (a Algorithm) String() string {
 
 // repairConfig is the resolved configuration of one Repair call.
 type repairConfig struct {
-	alg     Algorithm
-	timeout time.Duration
-	opts    repair.Options
+	alg       Algorithm
+	timeout   time.Duration
+	witnesses int
+	opts      repair.Options
 }
 
 // Option configures a Repair call.
@@ -71,6 +73,16 @@ func WithTimeout(d time.Duration) Option {
 // Options.Logf for the concurrency contract).
 func WithLogf(f func(format string, args ...any)) Option {
 	return func(c *repairConfig) { c.opts.Logf = f }
+}
+
+// WithWitnesses asks for up to n recovery demonstrations in
+// Result.Witnesses: certified traces, one per fault action, that leave the
+// synthesized invariant via faults and converge back to it via program
+// steps. Extraction is deterministic — the same model yields byte-identical
+// witness JSON regardless of the worker count. n ≤ 0 (the default) extracts
+// nothing.
+func WithWitnesses(n int) Option {
+	return func(c *repairConfig) { c.witnesses = n }
 }
 
 // WithOptions replaces the full low-level Options struct (ablations such as
@@ -118,6 +130,13 @@ func Repair(ctx context.Context, def *Def, opts ...Option) (*Compiled, *Result, 
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.witnesses > 0 {
+		demos, werr := witness.RecoveryDemos(ctx, c, res.Trans, res.Invariant, res.FaultSpan, cfg.witnesses)
+		if werr != nil {
+			return nil, nil, werr
+		}
+		res.Witnesses = demos
 	}
 	return c, res, nil
 }

@@ -46,10 +46,11 @@ func ladder(quick bool) []instance {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_1.json", "output path")
-		quick   = flag.Bool("quick", false, "run only the small instances")
-		timeout = flag.Duration("timeout", 10*time.Minute, "deadline for the whole ladder")
-		workers = flag.Int("workers", 1, "parallel-engine worker managers per job (0 = GOMAXPROCS)")
+		out       = flag.String("out", "BENCH_1.json", "output path")
+		quick     = flag.Bool("quick", false, "run only the small instances")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "deadline for the whole ladder")
+		workers   = flag.Int("workers", 1, "parallel-engine worker managers per job (0 = GOMAXPROCS)")
+		witnesses = flag.Int("witnesses", 0, "recovery demonstrations per job (adds witness extraction to the measured phases)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 			Algorithm: core.LazyRepair,
 			Options:   opts,
 			Verify:    true,
+			Witnesses: *witnesses,
 		}
 		outc, err := core.Run(ctx, job)
 		if err != nil {
@@ -78,9 +80,10 @@ func main() {
 		}
 		r := core.NewRunReport(job, outc, inst.name, inst.n)
 		reports = append(reports, r)
-		fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d reach=%g nodes=%d total=%s verified=%t\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d reach=%g nodes=%d total=%s witness=%s verified=%t\n",
 			inst.name, inst.n, r.ReachableStates, r.BDDNodes,
-			time.Duration(r.TotalNS), r.Verified != nil && *r.Verified)
+			time.Duration(r.TotalNS), time.Duration(r.WitnessNS),
+			r.Verified != nil && *r.Verified)
 	}
 
 	data, err := json.MarshalIndent(reports, "", "  ")

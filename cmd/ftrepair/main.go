@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ftrepair -case ba -n 3 -alg lazy -verify -protocol
+//	ftrepair -case ba -n 3 -explain
 //	ftrepair -case ba -n 3 -json | jq .total_ns
 //
 // Case studies: ba (Byzantine agreement), bafs (Byzantine agreement with
@@ -37,6 +38,8 @@ func main() {
 		pure      = flag.Bool("pure", false, "disable the reachability heuristic (pure lazy)")
 		deferCyc  = flag.Bool("defer-cycles", false, "defer cycle-breaking to after Step 2 (ablation)")
 		protLimit = flag.Int("protocol-limit", 24, "max protocol lines per process")
+		explain   = flag.Bool("explain", false, "extract and pretty-print witness traces: recovery demonstrations on success, failure traces on failed checks")
+		witnesses = flag.Int("witnesses", 4, "max recovery demonstrations with -explain (one per fault action)")
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON report on stdout")
 		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
 		workers   = flag.Int("workers", 0, "parallel-engine worker managers (0 = GOMAXPROCS, 1 = serial)")
@@ -79,6 +82,9 @@ func main() {
 		Algorithm: core.Algorithm(*alg),
 		Options:   opts,
 		Verify:    *doVerify,
+	}
+	if *explain {
+		job.Witnesses = *witnesses
 	}
 	out, err := core.Run(ctx, job)
 	if err != nil {
@@ -125,9 +131,21 @@ func main() {
 
 	if out.Report != nil {
 		fmt.Printf("\nverification:\n%s", out.Report)
-		if !out.Report.OK() {
-			fatal(fmt.Errorf("verification failed: %v", out.Report.Failures()))
+	}
+	if *explain {
+		if out.Report != nil {
+			for _, c := range out.Report.Checks {
+				if c.Witness != nil {
+					fmt.Printf("\nwitness for failed check:\n%s", c.Witness)
+				}
+			}
 		}
+		for _, tr := range res.Witnesses {
+			fmt.Printf("\nrecovery demonstration:\n%s", tr)
+		}
+	}
+	if out.Report != nil && !out.Report.OK() {
+		fatal(fmt.Errorf("verification failed: %v", out.Report.Failures()))
 	}
 
 	if *protocol {

@@ -14,6 +14,8 @@
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /healthz        liveness
 //	GET    /metrics        queue depth, cache hit ratio, per-phase latency
+//	                       (Prometheus text; /metrics.json for the same as JSON)
+//	GET    /debug/pprof/   Go profiling endpoints (only with -pprof)
 //
 // See the README's "Running the service" section for curl examples.
 package main
@@ -26,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +45,7 @@ func main() {
 		queueDepth = flag.Int("queue", 64, "bounded work-queue depth")
 		cacheSize  = flag.Int("cache", 256, "result-cache entries")
 		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the spec sets none")
+		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes goroutine dumps and heap profiles)")
 		verbose    = flag.Bool("v", false, "log job lifecycle events")
 	)
 	flag.Parse()
@@ -63,9 +67,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftrepaird:", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: svc.Handler()}
-	log.Printf("ftrepaird: serving on http://%s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+	handler := svc.Handler()
+	if *withPprof {
+		// The profiling endpoints are mounted only on explicit request: they
+		// expose process internals and cost CPU while scraped, so a production
+		// daemon keeps them off unless an operator is debugging it.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
+	log.Printf("ftrepaird: serving on http://%s (workers=%d queue=%d cache=%d pprof=%t)",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, *withPprof)
 
 	// Graceful shutdown: stop accepting, cancel live jobs, drain workers.
 	done := make(chan struct{})

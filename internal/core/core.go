@@ -13,6 +13,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/repair"
 	"repro/internal/verify"
+	"repro/internal/witness"
 )
 
 // Algorithm selects a repair algorithm.
@@ -34,6 +35,12 @@ type Job struct {
 	Options   repair.Options
 	// Verify runs the independent checker on the result.
 	Verify bool
+	// Witnesses, when positive, asks for up to that many recovery
+	// demonstrations on success (one per fault action) in
+	// Result.Witnesses, and attaches failure traces to failed verifier
+	// checks (when Verify is also set). Extraction is deterministic, so the
+	// traces are byte-identical across worker counts.
+	Witnesses int
 }
 
 // Outcome is the result of a Job.
@@ -44,6 +51,7 @@ type Outcome struct {
 
 	CompileTime time.Duration
 	VerifyTime  time.Duration // zero unless Job.Verify
+	WitnessTime time.Duration // zero unless Job.Witnesses > 0
 	Workers     int           // effective engine worker count
 }
 
@@ -80,9 +88,24 @@ func Run(ctx context.Context, job Job) (*Outcome, error) {
 	}
 	out.Result = res
 
+	if job.Witnesses > 0 {
+		t1 := time.Now()
+		demos, err := witness.RecoveryDemos(ctx, compiled, res.Trans, res.Invariant, res.FaultSpan, job.Witnesses)
+		if err != nil {
+			return nil, err
+		}
+		res.Witnesses = demos
+		out.WitnessTime = time.Since(t1)
+	}
+
 	if job.Verify {
 		t1 := time.Now()
-		rep, err := verify.ResultEngine(ctx, eng, res)
+		var rep *verify.Report
+		if job.Witnesses > 0 {
+			rep, err = verify.ResultWitnessEngine(ctx, eng, res)
+		} else {
+			rep, err = verify.ResultEngine(ctx, eng, res)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -37,7 +37,9 @@ func TestWorkersDeterministic(t *testing.T) {
 				}
 				opts := repair.DefaultOptions()
 				opts.Workers = workers
-				job := Job{Def: def, Algorithm: tc.alg, Options: opts, Verify: true}
+				// Witnesses ride along: extraction must also be byte-identical
+				// across worker counts (Normalized keeps the traces).
+				job := Job{Def: def, Algorithm: tc.alg, Options: opts, Verify: true, Witnesses: 4}
 				out, err := Run(context.Background(), job)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
@@ -47,6 +49,9 @@ func TestWorkersDeterministic(t *testing.T) {
 				}
 				if out.Report == nil || !out.Report.OK() {
 					t.Fatalf("workers=%d: verification failed:\n%s", workers, out.Report)
+				}
+				if len(out.Result.Witnesses) == 0 {
+					t.Fatalf("workers=%d: no recovery demonstrations extracted", workers)
 				}
 				rep := NewRunReport(job, out, tc.name, tc.n).Normalized()
 				if reports[i], err = json.Marshal(rep); err != nil {

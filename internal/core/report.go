@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/verify"
+	"repro/internal/witness"
 )
 
 // RunReport is the machine-readable summary of one repair run: the paper's
@@ -34,11 +35,17 @@ type RunReport struct {
 	Step2NS   int64 `json:"step2_ns"`
 	TotalNS   int64 `json:"total_ns"`
 	VerifyNS  int64 `json:"verify_ns,omitempty"`
+	WitnessNS int64 `json:"witness_ns,omitempty"`
 
 	// Verified is nil when verification was not requested; otherwise the
 	// verifier's verdict, with the individual checks in Checks.
 	Verified *bool          `json:"verified,omitempty"`
 	Checks   []verify.Check `json:"checks,omitempty"`
+
+	// Witnesses holds the recovery demonstrations extracted when the job
+	// asked for them (Job.Witnesses > 0). Deterministic: a function of the
+	// synthesized program alone, so Normalized keeps them.
+	Witnesses []*witness.Trace `json:"witnesses,omitempty"`
 }
 
 // NewRunReport summarizes a finished job. caseName and n may be zero values
@@ -72,6 +79,9 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		Step2NS:   res.Stats.Step2.Nanoseconds(),
 		TotalNS:   res.Stats.Total.Nanoseconds(),
 		VerifyNS:  out.VerifyTime.Nanoseconds(),
+		WitnessNS: out.WitnessTime.Nanoseconds(),
+
+		Witnesses: res.Witnesses,
 	}
 	if out.Report != nil {
 		ok := out.Report.OK()
@@ -93,5 +103,8 @@ func (r RunReport) Normalized() RunReport {
 	r.Workers = 0
 	r.BDDNodes = 0
 	r.CompileNS, r.Step1NS, r.Step2NS, r.TotalNS, r.VerifyNS = 0, 0, 0, 0, 0
+	r.WitnessNS = 0
+	// Witnesses stay: extraction is deterministic, so they are part of the
+	// cross-worker-count identity the determinism tests assert.
 	return r
 }

@@ -77,7 +77,7 @@ func (e eqConst) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return v.EqConst(e.val), nil
 }
 
-func (e eqConst) String() string            { return fmt.Sprintf("%s=%d", e.name, e.val) }
+func (e eqConst) String() string             { return fmt.Sprintf("%s=%d", e.name, e.val) }
 func (e eqConst) Vars(dst []string) []string { return append(dst, e.name) }
 
 type eqVar struct {
@@ -101,7 +101,7 @@ func (e eqVar) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return va.Eq(vb), nil
 }
 
-func (e eqVar) String() string            { return fmt.Sprintf("%s=%s", e.a, e.b) }
+func (e eqVar) String() string             { return fmt.Sprintf("%s=%s", e.a, e.b) }
 func (e eqVar) Vars(dst []string) []string { return append(dst, e.a, e.b) }
 
 type ltConst struct {
@@ -124,7 +124,7 @@ func (e ltConst) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return out, nil
 }
 
-func (e ltConst) String() string            { return fmt.Sprintf("%s<%d", e.name, e.val) }
+func (e ltConst) String() string             { return fmt.Sprintf("%s<%d", e.name, e.val) }
 func (e ltConst) Vars(dst []string) []string { return append(dst, e.name) }
 
 // --- transition-level predicates --------------------------------------------
@@ -148,7 +148,7 @@ func (e nextEqConst) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return v.NextEqConst(e.val), nil
 }
 
-func (e nextEqConst) String() string            { return fmt.Sprintf("%s'=%d", e.name, e.val) }
+func (e nextEqConst) String() string             { return fmt.Sprintf("%s'=%d", e.name, e.val) }
 func (e nextEqConst) Vars(dst []string) []string { return append(dst, e.name) }
 
 type nextEqVar struct {
@@ -171,7 +171,7 @@ func (e nextEqVar) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return va.NextEq(vb), nil
 }
 
-func (e nextEqVar) String() string            { return fmt.Sprintf("%s'=%s", e.a, e.b) }
+func (e nextEqVar) String() string             { return fmt.Sprintf("%s'=%s", e.a, e.b) }
 func (e nextEqVar) Vars(dst []string) []string { return append(dst, e.a, e.b) }
 
 type changed struct {
@@ -192,7 +192,7 @@ func (e changed) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return s.M.Not(v.Unchanged()), nil
 }
 
-func (e changed) String() string            { return fmt.Sprintf("changed(%s)", e.name) }
+func (e changed) String() string             { return fmt.Sprintf("changed(%s)", e.name) }
 func (e changed) Vars(dst []string) []string { return append(dst, e.name) }
 
 // --- connectives -------------------------------------------------------------
@@ -262,7 +262,7 @@ func (e notExpr) Compile(s *symbolic.Space) (bdd.Node, error) {
 	return s.M.Not(n), nil
 }
 
-func (e notExpr) String() string            { return "¬(" + e.e.String() + ")" }
+func (e notExpr) String() string             { return "¬(" + e.e.String() + ")" }
 func (e notExpr) Vars(dst []string) []string { return e.e.Vars(dst) }
 
 type impliesExpr struct{ a, b Expr }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/program"
+	"repro/internal/witness"
 )
 
 // Lazy implements Algorithm 1: adding masking fault-tolerance to a
@@ -52,6 +53,8 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 	if maxIter <= 0 {
 		maxIter = 64
 	}
+	// Last iteration's residue, kept for the non-convergence witness.
+	var lastDL, lastRealized, lastInv bdd.Node = bdd.False, bdd.False, bdd.False
 	for iter := 1; iter <= maxIter; iter++ {
 		stats.OuterIterations = iter
 		if err := cancelled(ctx); err != nil {
@@ -165,6 +168,7 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		}
 		opts.logf("lazy: iteration %d: %g deadlock state(s); augmenting spec",
 			iter, s.CountStates(dl))
+		lastDL, lastRealized, lastInv = dl, realized, mask.Invariant
 
 		// Feedback (Algorithm 1 line 11, refined). A state deadlocks when
 		// Step 2 removed its Step-1 transitions because their groups were
@@ -211,6 +215,17 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		}
 		badTrans = next
 		invariant = mask.Invariant
+	}
+	// Carry evidence out of the failure: a certified trace to one of the
+	// deadlock states the final iteration could not eliminate. Extraction
+	// failure (or cancellation racing the bound) falls back to the bare
+	// sentinel.
+	if lastDL != bdd.False {
+		x := witness.New(c)
+		if tr, werr := x.Deadlock(ctx, lastRealized, lastInv, lastDL); werr == nil && tr != nil {
+			tr.Check = "repair convergence"
+			return nil, &DeadlockError{Witness: tr, err: ErrNoConvergence}
+		}
 	}
 	return nil, ErrNoConvergence
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/program"
+	"repro/internal/witness"
 )
 
 // ErrNotRepairable is returned when the invariant collapses to the empty set,
@@ -34,6 +35,26 @@ var ErrNotRepairable = errors.New("repair: cannot add fault-tolerance (invariant
 // ErrNoConvergence is returned if the outer lazy loop exceeds its iteration
 // bound without eliminating deadlocks.
 var ErrNoConvergence = errors.New("repair: outer repair loop did not converge")
+
+// DeadlockError wraps ErrNoConvergence with concrete evidence: a certified
+// trace reaching one of the deadlock states the final iteration could not
+// eliminate. errors.Is(err, ErrNoConvergence) still holds, and callers that
+// want the trace use errors.As.
+type DeadlockError struct {
+	// Witness demonstrates one residual deadlock: a computation from the last
+	// candidate invariant, under faults, to a state the realized program
+	// cannot leave.
+	Witness *witness.Trace
+	err     error
+}
+
+// Error describes the failure and summarizes the witness.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("%v (%s)", e.err, e.Witness.Detail)
+}
+
+// Unwrap exposes ErrNoConvergence to errors.Is.
+func (e *DeadlockError) Unwrap() error { return e.err }
 
 // cancelled returns a non-nil error wrapping ctx.Err() once the context is
 // done. The repair algorithms call it at fixpoint-iteration boundaries, so a
@@ -119,6 +140,11 @@ type Result struct {
 	// FaultSpan is T': the fault-span certified by the synthesis.
 	FaultSpan bdd.Node
 	Stats     Stats
+	// Witnesses holds recovery demonstrations when the caller asked for them
+	// (repro.WithWitnesses, the daemon's "witnesses" spec field): certified
+	// traces that leave the invariant via faults and converge back. The
+	// repair algorithms themselves leave it nil.
+	Witnesses []*witness.Trace
 }
 
 // src returns the states with at least one outgoing transition in delta.

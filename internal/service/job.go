@@ -35,6 +35,11 @@ func (s State) Terminal() bool {
 // memory.
 const MaxJobWorkers = 16
 
+// MaxWitnesses bounds Spec.Witnesses: each demonstration costs a serial
+// extraction pass and is embedded verbatim in the cached report, so an
+// unbounded request would bloat both the worker and the cache.
+const MaxWitnesses = 8
+
 // Spec is a repair-job submission: either a built-in case study (Case, N) or
 // an inline .ftr model source (Model), plus algorithm and option selectors.
 // It is the JSON body of POST /v1/repair.
@@ -60,6 +65,13 @@ type Spec struct {
 	// NoVerify skips the independent verifier (it runs by default, so every
 	// served result is a certified one unless the client opts out).
 	NoVerify bool `json:"no_verify,omitempty"`
+	// Witnesses asks for up to that many recovery demonstrations (certified
+	// traces that leave the invariant via faults and converge back) embedded
+	// in the result report, and attaches failure traces to failed verifier
+	// checks. 0 (the default) extracts nothing; capped at MaxWitnesses. The
+	// field is part of the content address: a report with witnesses and one
+	// without never alias in the cache.
+	Witnesses int `json:"witnesses,omitempty"`
 	// TimeoutMS bounds the synthesis; 0 uses the service default. The clock
 	// starts at submission, so time spent queued counts against the job.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -96,6 +108,9 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	if sp.Workers < 0 || sp.Workers > MaxJobWorkers {
 		return nil, core.Job{}, "", fmt.Errorf("service: workers %d out of range [0,%d]", sp.Workers, MaxJobWorkers)
 	}
+	if sp.Witnesses < 0 || sp.Witnesses > MaxWitnesses {
+		return nil, core.Job{}, "", fmt.Errorf("service: witnesses %d out of range [0,%d]", sp.Witnesses, MaxWitnesses)
+	}
 
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
@@ -113,11 +128,13 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 		Algorithm: core.Algorithm(alg),
 		Options:   opts,
 		Verify:    !sp.NoVerify,
+		Witnesses: sp.Witnesses,
 	}
-	// Verification is an independent post-pass over the same result, so it
-	// is part of the content address only through the report shape; include
-	// it so a verified and an unverified run never alias.
-	key := defKey(def, alg+fmt.Sprintf("/verify=%t", job.Verify), opts)
+	// Verification and witness extraction are independent post-passes over
+	// the same result, so they are part of the content address only through
+	// the report shape; include them so runs with different report shapes
+	// never alias in the cache.
+	key := defKey(def, alg+fmt.Sprintf("/verify=%t/witnesses=%d", job.Verify, job.Witnesses), opts)
 	return def, job, key, nil
 }
 

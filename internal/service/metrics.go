@@ -23,6 +23,7 @@ type metrics struct {
 	step1NS   int64
 	step2NS   int64
 	verifyNS  int64
+	witnessNS int64
 	totalNS   int64
 }
 
@@ -63,5 +64,60 @@ func (m *metrics) write(w io.Writer, s *Service) {
 	c("ftrepaird_phase_step1_ns_total", "Wall time spent in Step 1 (Add-Masking).", m.get(&m.step1NS))
 	c("ftrepaird_phase_step2_ns_total", "Wall time spent in Step 2 (realize).", m.get(&m.step2NS))
 	c("ftrepaird_phase_verify_ns_total", "Wall time spent in independent verification.", m.get(&m.verifyNS))
+	c("ftrepaird_phase_witness_ns_total", "Wall time spent extracting witness traces.", m.get(&m.witnessNS))
 	c("ftrepaird_phase_repair_ns_total", "Wall time spent in repair (Step 1 + Step 2 + outer loop).", m.get(&m.totalNS))
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.json: the same counters
+// and gauges as the Prometheus text endpoint, for tooling that prefers a
+// structured read (dashboards, tests, jq one-liners).
+type MetricsSnapshot struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	SynthRuns int64 `json:"synthesis_runs"`
+	Running   int64 `json:"running"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	QueueDepth   int   `json:"queue_depth"`
+	Workers      int   `json:"workers"`
+
+	CompileNS int64 `json:"compile_ns"`
+	Step1NS   int64 `json:"step1_ns"`
+	Step2NS   int64 `json:"step2_ns"`
+	VerifyNS  int64 `json:"verify_ns"`
+	WitnessNS int64 `json:"witness_ns"`
+	TotalNS   int64 `json:"total_ns"`
+}
+
+// Metrics snapshots the service's counters and gauges.
+func (s *Service) Metrics() MetricsSnapshot {
+	m := &s.metrics
+	hits, misses := s.cache.Counters()
+	return MetricsSnapshot{
+		Submitted: m.get(&m.submitted),
+		Rejected:  m.get(&m.rejected),
+		Completed: m.get(&m.completed),
+		Failed:    m.get(&m.failed),
+		Cancelled: m.get(&m.cancelled),
+		SynthRuns: m.get(&m.synthRuns),
+		Running:   m.get(&m.running),
+
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: s.cache.Len(),
+		QueueDepth:   s.q.depth(),
+		Workers:      s.cfg.Workers,
+
+		CompileNS: m.get(&m.compileNS),
+		Step1NS:   m.get(&m.step1NS),
+		Step2NS:   m.get(&m.step2NS),
+		VerifyNS:  m.get(&m.verifyNS),
+		WitnessNS: m.get(&m.witnessNS),
+		TotalNS:   m.get(&m.totalNS),
+	}
 }

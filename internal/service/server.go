@@ -15,6 +15,7 @@ import (
 //	DELETE /v1/jobs/{id}   request cancellation
 //	GET    /healthz        liveness + basic readiness
 //	GET    /metrics        Prometheus text exposition
+//	GET    /metrics.json   the same counters/gauges as structured JSON
 //
 // Error responses are structured JSON objects {"code": "...", "message":
 // "..."} with conventional status codes: 400 bad_json/invalid_spec, 404
@@ -27,6 +28,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	return mux
 }
 
@@ -138,4 +140,8 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s)
+}
+
+func (s *Service) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
 }

@@ -333,6 +333,7 @@ func (s *Service) run(j *job) {
 		s.metrics.add(&s.metrics.step1NS, report.Step1NS)
 		s.metrics.add(&s.metrics.step2NS, report.Step2NS)
 		s.metrics.add(&s.metrics.verifyNS, report.VerifyNS)
+		s.metrics.add(&s.metrics.witnessNS, report.WitnessNS)
 		s.metrics.add(&s.metrics.totalNS, report.TotalNS)
 		// Publish to the cache BEFORE waking followers and clearing the
 		// in-flight slot, so anyone released by either always finds it.

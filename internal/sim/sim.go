@@ -8,11 +8,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bdd"
 	"repro/internal/program"
+	"repro/internal/witness"
 )
 
 // Config controls a simulation campaign.
@@ -100,6 +102,13 @@ func (w *Walker) WithStart(pred bdd.Node) *Walker {
 
 // Run executes a campaign and aggregates metrics.
 func (w *Walker) Run(cfg Config) (*Metrics, error) {
+	return w.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked at the start of
+// every run, so a deadline shared with a repair job cannot be blown by a long
+// campaign after the synthesis already timed out.
+func (w *Walker) RunContext(ctx context.Context, cfg Config) (*Metrics, error) {
 	if cfg.Runs <= 0 || cfg.Steps <= 0 {
 		return nil, fmt.Errorf("sim: Runs and Steps must be positive")
 	}
@@ -109,6 +118,9 @@ func (w *Walker) Run(cfg Config) (*Metrics, error) {
 	metrics := &Metrics{Runs: cfg.Runs}
 
 	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: interrupted: %w", err)
+		}
 		state, err := w.randomState(rng, w.start)
 		if err != nil {
 			return nil, err
@@ -181,6 +193,76 @@ func (w *Walker) Run(cfg Config) (*Metrics, error) {
 		}
 	}
 	return metrics, nil
+}
+
+// ReplayResult summarizes the replay of one witness trace.
+type ReplayResult struct {
+	// Steps is the number of transitions executed (len(trace.Steps)-1).
+	Steps int
+	// Faults counts the fault steps among them.
+	Faults int
+	// Departed reports whether the trace left the walker's invariant;
+	// Reentered whether it later returned to it.
+	Departed, Reentered bool
+	// BadStates counts visits to Sf_bs states; BadTransitions counts
+	// executed Sf_bt transitions.
+	BadStates, BadTransitions int
+}
+
+// Replay executes a witness trace step-by-step on the walker's transition
+// system: every program step must be a transition of the walker's relation,
+// every fault step a transition of the model's fault actions. It returns an
+// error at the first step that is not actually executable, so a recovery
+// demonstration doubles as a simulator seed — Replay(demo) succeeding with
+// Reentered=true re-confirms convergence on the concrete execution.
+func (w *Walker) Replay(tr *witness.Trace) (*ReplayResult, error) {
+	if tr == nil || len(tr.Steps) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	s := w.c.Space
+	m := s.M
+	out := &ReplayResult{}
+	var prev bdd.Node
+	for i, st := range tr.Steps {
+		stBDD, err := s.State(st.State)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replay step %d: %w", i, err)
+		}
+		if i == 0 {
+			if st.Kind != witness.StepInit {
+				return nil, fmt.Errorf("sim: replay step 0 must be init, got %q", st.Kind)
+			}
+		} else {
+			out.Steps++
+			var rel bdd.Node
+			switch st.Kind {
+			case witness.StepProgram:
+				rel = w.trans
+			case witness.StepFault:
+				rel = w.c.Fault
+				out.Faults++
+			default:
+				return nil, fmt.Errorf("sim: replay step %d: unknown kind %q", i, st.Kind)
+			}
+			trBDD := m.AndN(prev, s.Prime(stBDD), s.ValidTrans())
+			if m.And(trBDD, rel) == bdd.False {
+				return nil, fmt.Errorf("sim: replay step %d: %s step is not executable", i, st.Kind)
+			}
+			if m.And(trBDD, w.c.BadTrans) != bdd.False {
+				out.BadTransitions++
+			}
+		}
+		if m.And(stBDD, w.c.BadStates) != bdd.False {
+			out.BadStates++
+		}
+		if m.And(stBDD, w.invariant) == bdd.False {
+			out.Departed = true
+		} else if out.Departed {
+			out.Reentered = true
+		}
+		prev = stBDD
+	}
+	return out, nil
 }
 
 // randomState samples a state from a nonempty predicate, randomizing the

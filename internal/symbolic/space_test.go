@@ -235,7 +235,7 @@ func TestCountStatesLargeSpace(t *testing.T) {
 	// chain instance. Exercises float counting at Table-II scale.
 	specs := make([]VarSpec, 30)
 	for i := range specs {
-		specs[i] = VarSpec{Name: string(rune('a' + i%26)) + string(rune('0'+i/26)), Domain: 10}
+		specs[i] = VarSpec{Name: string(rune('a'+i%26)) + string(rune('0'+i/26)), Domain: 10}
 	}
 	s := MustNew(specs)
 	got := s.CountStates(bdd.True)

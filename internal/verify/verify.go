@@ -18,6 +18,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/program"
 	"repro/internal/repair"
+	"repro/internal/witness"
 )
 
 // Check is one verified property. The JSON tags make reports embeddable in
@@ -30,6 +31,12 @@ type Check struct {
 	// properties the paper's definitions do not require but a model author
 	// may care about (e.g. progress lost to new invariant deadlocks).
 	Warning bool `json:"warning,omitempty"`
+	// Witness, when non-nil, is a concrete replayable trace demonstrating
+	// the failure (see ResultWitnessEngine). It is attached only to failed
+	// checks with a trace-shaped failure mode: reachable bad
+	// states/transitions, deadlocks, livelocks, and unrealizable
+	// transitions.
+	Witness *witness.Trace `json:"witness,omitempty"`
 }
 
 // Report is the outcome of verifying a repair result.
@@ -78,6 +85,31 @@ func (r *Report) add(name string, ok bool, detail string) {
 	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: detail})
 }
 
+// failed reports whether the named check exists and did not pass.
+func (r *Report) failed(name string) bool {
+	for _, c := range r.Checks {
+		if c.Name == name {
+			return !c.OK
+		}
+	}
+	return false
+}
+
+// attach stores tr on the named check if that check failed. tr may be nil
+// (extraction found no reachable witness), in which case nothing changes.
+func (r *Report) attach(name string, tr *witness.Trace) {
+	if tr == nil {
+		return
+	}
+	for i := range r.Checks {
+		if r.Checks[i].Name == name && !r.Checks[i].OK {
+			tr.Check = name
+			r.Checks[i].Witness = tr
+			return
+		}
+	}
+}
+
 // Result verifies a repair result against the compiled program it was
 // synthesized from.
 func Result(c *program.Compiled, res *repair.Result) *Report {
@@ -91,6 +123,19 @@ func Result(c *program.Compiled, res *repair.Result) *Report {
 // themselves are unchanged — canonical BDDs make the fan-out invisible to
 // the verdict. The error is non-nil only on context cancellation.
 func ResultEngine(ctx context.Context, e *program.Engine, res *repair.Result) (*Report, error) {
+	return resultEngine(ctx, e, res, false)
+}
+
+// ResultWitnessEngine is ResultEngine plus witness extraction: every failed
+// check with a trace-shaped failure mode carries a concrete Trace that
+// witness.Certify confirms. Extraction runs serially on the engine's owner
+// manager from the same canonical fixpoint sets the checks computed, so the
+// attached witnesses are byte-identical across worker counts.
+func ResultWitnessEngine(ctx context.Context, e *program.Engine, res *repair.Result) (*Report, error) {
+	return resultEngine(ctx, e, res, true)
+}
+
+func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, withWitness bool) (*Report, error) {
 	c := e.C
 	m := c.Space.M
 	s := c.Space
@@ -217,6 +262,46 @@ func ResultEngine(ctx context.Context, e *program.Engine, res *repair.Result) (*
 	}
 	rep.add("transitions decompose into processes", m.Implies(trans, union),
 		"every transition belongs to a complete group of some process")
+
+	// --- witnesses ---------------------------------------------------------
+	// Extraction reuses the canonical sets computed above (the stuck and
+	// cyclic states) and runs serially, so the same model and result yield
+	// byte-identical traces regardless of the engine's worker count.
+	if withWitness {
+		x := witness.New(c)
+		if rep.failed("no reachable bad state") || rep.failed("no reachable bad transition") {
+			tr, werr := x.Safety(ctx, trans, inv)
+			if werr != nil {
+				return nil, werr
+			}
+			name := "no reachable bad state"
+			if !rep.failed(name) {
+				name = "no reachable bad transition"
+			}
+			rep.attach(name, tr)
+		}
+		if rep.failed("no deadlock outside invariant") {
+			tr, werr := x.Deadlock(ctx, trans, inv, noOut)
+			if werr != nil {
+				return nil, werr
+			}
+			rep.attach("no deadlock outside invariant", tr)
+		}
+		if rep.failed("no livelock outside invariant") {
+			tr, werr := x.Livelock(ctx, trans, inv, cyclic)
+			if werr != nil {
+				return nil, werr
+			}
+			rep.attach("no livelock outside invariant", tr)
+		}
+		if rep.failed("transitions decompose into processes") {
+			tr, werr := x.Unrealizable(ctx, trans)
+			if werr != nil {
+				return nil, werr
+			}
+			rep.attach("transitions decompose into processes", tr)
+		}
+	}
 
 	return rep, nil
 }

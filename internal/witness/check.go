@@ -1,0 +1,274 @@
+package witness
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/program"
+	"repro/internal/symbolic"
+)
+
+// This file is the certificate checker: an explicit-state walker that
+// replays a trace step-by-step against the compiled program, independently
+// of the fixpoints that produced it. Membership of one concrete transition
+// in a relation is decided by pointwise BDD evaluation (a single root-to-leaf
+// walk under a total assignment — no symbolic set operations), and the
+// structural claims (group membership, write legality, cycle closure) are
+// checked directly on the named-variable maps. A trace that passes Certify
+// is a genuine computation demonstrating its claim; a fabricated or stale
+// trace fails with a step-indexed error.
+
+// evalState evaluates a state predicate at one concrete state by walking the
+// BDD under a total assignment of the current-state bits.
+func evalState(s *symbolic.Space, f bdd.Node, state map[string]int) bool {
+	return s.M.Eval(f, assignment(s, state, nil))
+}
+
+// evalTrans evaluates a transition predicate at one concrete (from, to) pair.
+func evalTrans(s *symbolic.Space, f bdd.Node, from, to map[string]int) bool {
+	return s.M.Eval(f, assignment(s, from, to))
+}
+
+// assignment builds the level-indexed assignment for cur (and, when next is
+// non-nil, next) bits.
+func assignment(s *symbolic.Space, cur, next map[string]int) []bool {
+	out := make([]bool, s.M.NumVars())
+	for _, v := range s.Vars {
+		val := cur[v.Name]
+		for b, lvl := range v.CurLevels() {
+			out[lvl] = val&(1<<b) != 0
+		}
+		if next != nil {
+			nval := next[v.Name]
+			for b, lvl := range v.NextLevels() {
+				out[lvl] = nval&(1<<b) != 0
+			}
+		}
+	}
+	return out
+}
+
+// checkState validates that state is a total in-domain assignment of the
+// space's variables.
+func checkState(s *symbolic.Space, state map[string]int) error {
+	if len(state) != len(s.Vars) {
+		return fmt.Errorf("state assigns %d variable(s), model has %d", len(state), len(s.Vars))
+	}
+	for _, v := range s.Vars {
+		val, ok := state[v.Name]
+		if !ok {
+			return fmt.Errorf("state misses variable %q", v.Name)
+		}
+		if val < 0 || val >= v.Domain {
+			return fmt.Errorf("value %d of %q outside domain [0,%d)", val, v.Name, v.Domain)
+		}
+	}
+	return nil
+}
+
+// Certify replays tr against the compiled program c: every program step must
+// be a transition of trans, every fault step a transition of c.Fault, and the
+// trace's claim (its Kind) must actually hold — the safety violation occurs,
+// the deadlock state is deadlocked outside inv, the livelock closes a cycle
+// outside inv, the recovery re-enters inv, the unrealizable transition's
+// group member is genuinely absent. inv is the invariant the trace's claims
+// are relative to (the repaired invariant for repair results, the original
+// one when checking the intolerant program).
+func Certify(c *program.Compiled, trans, inv bdd.Node, tr *Trace) error {
+	s := c.Space
+	m := s.M
+	trans = m.And(trans, s.ValidTrans())
+
+	if tr.Kind == KindUnrealizable {
+		return certifyUnrealizable(c, trans, tr)
+	}
+	if len(tr.Steps) == 0 {
+		return fmt.Errorf("witness: %s trace has no steps", tr.Kind)
+	}
+
+	badState, badStep := -1, -1
+	for i, st := range tr.Steps {
+		if err := checkState(s, st.State); err != nil {
+			return fmt.Errorf("witness: step %d: %w", i, err)
+		}
+		if i == 0 {
+			if st.Kind != StepInit {
+				return fmt.Errorf("witness: step 0 must be %q, got %q", StepInit, st.Kind)
+			}
+		} else {
+			prev := tr.Steps[i-1].State
+			switch st.Kind {
+			case StepProgram:
+				if !evalTrans(s, trans, prev, st.State) {
+					return fmt.Errorf("witness: step %d: not a program transition", i)
+				}
+			case StepFault:
+				if !evalTrans(s, c.Fault, prev, st.State) {
+					return fmt.Errorf("witness: step %d: not a fault transition", i)
+				}
+			default:
+				return fmt.Errorf("witness: step %d: unknown step kind %q", i, st.Kind)
+			}
+			if badStep < 0 && evalTrans(s, c.BadTrans, prev, st.State) {
+				badStep = i
+			}
+		}
+		if badState < 0 && evalState(s, c.BadStates, st.State) {
+			badState = i
+		}
+	}
+
+	first, last := tr.Steps[0].State, tr.Steps[len(tr.Steps)-1].State
+	switch tr.Kind {
+	case KindSafety:
+		if !evalState(s, inv, first) {
+			return fmt.Errorf("witness: safety trace does not start in the invariant")
+		}
+		if badState < 0 && badStep < 0 {
+			return fmt.Errorf("witness: safety trace hits no bad state and takes no bad transition")
+		}
+	case KindDeadlock:
+		if !evalState(s, inv, first) {
+			return fmt.Errorf("witness: deadlock trace does not start in the invariant")
+		}
+		if evalState(s, inv, last) {
+			return fmt.Errorf("witness: claimed deadlock state is inside the invariant")
+		}
+		if m.And(stateOf(s, last), trans) != bdd.False {
+			return fmt.Errorf("witness: claimed deadlock state has an outgoing program transition")
+		}
+	case KindLivelock:
+		at := -1
+		for i := 0; i < len(tr.Steps)-1; i++ {
+			if stateKey(tr.Steps[i].State) == stateKey(last) {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return fmt.Errorf("witness: livelock trace closes no cycle")
+		}
+		for i := at; i < len(tr.Steps); i++ {
+			if evalState(s, inv, tr.Steps[i].State) {
+				return fmt.Errorf("witness: livelock cycle passes through the invariant at step %d", i)
+			}
+			if i > at && tr.Steps[i].Kind != StepProgram {
+				return fmt.Errorf("witness: livelock cycle takes a non-program step at %d", i)
+			}
+		}
+	case KindRecovery:
+		if !evalState(s, inv, first) {
+			return fmt.Errorf("witness: recovery trace does not start in the invariant")
+		}
+		if !evalState(s, inv, last) {
+			return fmt.Errorf("witness: recovery trace does not re-enter the invariant")
+		}
+		// The demonstration must involve at least one fault; an excursion is
+		// not required — a fault masked inside the invariant (excursion of
+		// length zero) is the strongest form of recovery.
+		if tr.Faults() == 0 {
+			return fmt.Errorf("witness: recovery trace takes no fault step")
+		}
+		// The liveness half demonstrated; the safety half of masking must
+		// hold along the way.
+		if badState >= 0 {
+			return fmt.Errorf("witness: recovery trace visits a bad state at step %d", badState)
+		}
+		if badStep >= 0 {
+			return fmt.Errorf("witness: recovery trace takes a bad transition at step %d", badStep)
+		}
+	default:
+		return fmt.Errorf("witness: unknown trace kind %q", tr.Kind)
+	}
+	return nil
+}
+
+// certifyUnrealizable checks the structural claim of an unrealizability
+// witness directly on the named-variable maps.
+func certifyUnrealizable(c *program.Compiled, trans bdd.Node, tr *Trace) error {
+	s := c.Space
+	if tr.Move == nil {
+		return fmt.Errorf("witness: unrealizable trace carries no transition")
+	}
+	for _, st := range []map[string]int{tr.Move.From, tr.Move.To} {
+		if err := checkState(s, st); err != nil {
+			return fmt.Errorf("witness: unrealizable move: %w", err)
+		}
+	}
+	if !evalTrans(s, trans, tr.Move.From, tr.Move.To) {
+		return fmt.Errorf("witness: claimed unrealizable transition is not in the relation")
+	}
+	if tr.Process == "" || tr.Member == nil {
+		// Weaker claim: no process can write the transition at all.
+		for _, p := range c.Procs {
+			if writeLegal(p, tr.Move) {
+				return fmt.Errorf("witness: process %s could write the transition", p.Name)
+			}
+		}
+		return nil
+	}
+	var proc *program.CompiledProc
+	for _, p := range c.Procs {
+		if p.Name == tr.Process {
+			proc = p
+			break
+		}
+	}
+	if proc == nil {
+		return fmt.Errorf("witness: unknown process %q", tr.Process)
+	}
+	for _, st := range []map[string]int{tr.Member.From, tr.Member.To} {
+		if err := checkState(s, st); err != nil {
+			return fmt.Errorf("witness: unrealizable member: %w", err)
+		}
+	}
+	if !writeLegal(proc, tr.Move) {
+		return fmt.Errorf("witness: move violates %s's write restriction", proc.Name)
+	}
+	if !inGroup(s, proc, tr.Move, tr.Member) {
+		return fmt.Errorf("witness: member is not in %s's group of the move", proc.Name)
+	}
+	if evalTrans(s, trans, tr.Member.From, tr.Member.To) {
+		return fmt.Errorf("witness: claimed missing member is present in the relation")
+	}
+	return nil
+}
+
+// writeLegal reports whether the move leaves every variable outside the
+// process's write set unchanged.
+func writeLegal(p *program.CompiledProc, mv *Move) bool {
+	for name, v := range mv.From {
+		if !p.Write[name] && mv.To[name] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// inGroup reports whether member belongs to the process's read-restriction
+// group of move (Section III-B): it agrees with move on every readable
+// variable (current and next value) and leaves every unreadable variable
+// unchanged.
+func inGroup(s *symbolic.Space, p *program.CompiledProc, move, member *Move) bool {
+	for _, v := range s.Vars {
+		if p.Read[v.Name] {
+			if member.From[v.Name] != move.From[v.Name] || member.To[v.Name] != move.To[v.Name] {
+				return false
+			}
+		} else if member.From[v.Name] != member.To[v.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// stateOf builds the BDD point of a full assignment (used only for the
+// deadlock check's one-step successor test).
+func stateOf(s *symbolic.Space, state map[string]int) bdd.Node {
+	m := s.M
+	out := bdd.True
+	for _, v := range s.Vars {
+		out = m.And(out, v.EqConst(state[v.Name]))
+	}
+	return out
+}

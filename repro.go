@@ -29,6 +29,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/symbolic"
 	"repro/internal/verify"
+	"repro/internal/witness"
 )
 
 // Expr is a boolean expression over the program's variables, used for
@@ -77,6 +78,13 @@ type (
 	Stats = repair.Stats
 	// Report is the verifier's outcome.
 	Report = verify.Report
+	// Trace is a concrete replayable witness: a recovery demonstration in
+	// Result.Witnesses (see WithWitnesses) or a failure trace attached to a
+	// verifier check.
+	Trace = witness.Trace
+	// DeadlockError decorates ErrNoConvergence with a certified trace to a
+	// deadlock state the repair could not eliminate (use errors.As).
+	DeadlockError = repair.DeadlockError
 )
 
 // Update constructors, re-exported.
@@ -137,6 +145,16 @@ func CautiousContext(ctx context.Context, def *Def, opts Options) (*Compiled, *R
 // definitions: the problem-statement conditions of Section II, masking
 // fault-tolerance (Definition 15), and realizability (Definitions 19–20).
 func Verify(c *Compiled, res *Result) *Report { return verify.Result(c, res) }
+
+// Certify replays a witness trace step-by-step against the compiled program,
+// independently of the symbolic fixpoints that produced it: every step must
+// be a program transition of trans or a fault transition, and the trace's
+// claim (safety violation, deadlock, livelock, recovery, unrealizability)
+// must actually hold relative to inv. A nil return makes the trace a
+// certificate.
+func Certify(c *Compiled, trans, inv bdd.Node, tr *Trace) error {
+	return witness.Certify(c, trans, inv, tr)
+}
 
 // ParseProgram reads a repair-problem definition from the declarative text
 // format (see internal/parse for the grammar and cmd/ftrepair -file for CLI

@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTrafficRoundTrip drives the shipped example model through the whole
+// public surface: parse the .ftr source, repair it with witness extraction,
+// verify the result, certify every recovery demonstration with the
+// independent checker, and replay each one on the explicit simulator.
+func TestTrafficRoundTrip(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("examples", "models", "traffic.ftr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "traffic" {
+		t.Fatalf("parsed program name %q, want traffic", def.Name)
+	}
+
+	c, res, err := Repair(context.Background(), def, WithWitnesses(4))
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	rep, err := VerifyContext(context.Background(), c, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("repaired traffic fails verification:\n%s", rep)
+	}
+
+	// The glitch fault must leave the invariant (light = 2 is illegal), so at
+	// least one demonstration is a genuine excursion-and-return.
+	if len(res.Witnesses) == 0 {
+		t.Fatal("repair produced no recovery demonstrations")
+	}
+	walker := sim.New(c, res.Trans, res.Invariant)
+	departed := 0
+	for i, tr := range res.Witnesses {
+		if err := Certify(c, res.Trans, res.Invariant, tr); err != nil {
+			t.Errorf("demo %d fails certification: %v\n%s", i, err, tr)
+			continue
+		}
+		r, err := walker.Replay(tr)
+		if err != nil {
+			t.Errorf("demo %d does not replay: %v\n%s", i, err, tr)
+			continue
+		}
+		if r.BadStates != 0 || r.BadTransitions != 0 {
+			t.Errorf("demo %d violates safety on replay", i)
+		}
+		if r.Departed {
+			if !r.Reentered {
+				t.Errorf("demo %d departs without re-entering:\n%s", i, tr)
+			}
+			departed++
+		}
+	}
+	if departed == 0 {
+		t.Error("no demonstration leaves the invariant (glitch should force an excursion)")
+	}
+}
