@@ -75,6 +75,15 @@ func WithLogf(f func(format string, args ...any)) Option {
 	return func(c *repairConfig) { c.opts.Logf = f }
 }
 
+// WithNodeBudget bounds the live BDD node count of the synthesis's managers
+// to n nodes. If the synthesis grows past the budget and a garbage
+// collection cannot bring it back under, Repair fails with a *BudgetError
+// (use errors.As) instead of exhausting memory. n ≤ 0 (the default) means
+// unbounded.
+func WithNodeBudget(n int64) Option {
+	return func(c *repairConfig) { c.opts.NodeBudget = n }
+}
+
 // WithWitnesses asks for up to n recovery demonstrations in
 // Result.Witnesses: certified traces, one per fault action, that leave the
 // synthesized invariant via faults and converge back to it via program
@@ -99,7 +108,7 @@ func WithOptions(o Options) Option {
 // and the context carries cancellation. With no options it runs the paper's
 // headline configuration (lazy repair, reachability heuristic on, GOMAXPROCS
 // workers).
-func Repair(ctx context.Context, def *Def, opts ...Option) (*Compiled, *Result, error) {
+func Repair(ctx context.Context, def *Def, opts ...Option) (compiled *Compiled, result *Result, err error) {
 	cfg := repairConfig{opts: repair.DefaultOptions()}
 	for _, o := range opts {
 		o(&cfg)
@@ -117,6 +126,21 @@ func Repair(ctx context.Context, def *Def, opts ...Option) (*Compiled, *Result, 
 	eng, err := program.NewEngine(c, cfg.opts.Workers)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.opts.NodeBudget > 0 {
+		eng.SetNodeBudget(cfg.opts.NodeBudget)
+		// A blown budget surfaces as a *bdd.BudgetError panic at a collection
+		// safe point; Repair is the run boundary that converts it back into
+		// an ordinary error.
+		defer func() {
+			if r := recover(); r != nil {
+				be, ok := r.(*BudgetError)
+				if !ok {
+					panic(r)
+				}
+				compiled, result, err = nil, nil, fmt.Errorf("repro: %w", be)
+			}
+		}()
 	}
 
 	var res *Result
@@ -139,6 +163,14 @@ func Repair(ctx context.Context, def *Def, opts ...Option) (*Compiled, *Result, 
 		res.Witnesses = demos
 	}
 	return c, res, nil
+}
+
+// NodeStats reports the node-lifetime counters of a compiled model's BDD
+// manager: live and peak-live node counts, collections performed, and nodes
+// reclaimed. Useful after Repair to see what the synthesis cost in memory.
+func NodeStats(c *Compiled) (live, peak, gcRuns, freed int64) {
+	st := c.Space.M.Stats()
+	return st.NodesLive, st.PeakLive, st.GCRuns, st.NodesFreed
 }
 
 // VerifyContext is Verify with cancellation and the same parallel engine

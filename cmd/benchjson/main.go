@@ -10,6 +10,13 @@
 //	benchjson -quick          # small instances only
 //	benchjson -out perf.json  # alternate output path
 //	benchjson -workers 4      # parallel engine width (reports gain "workers")
+//	benchjson -gc             # GC on/off comparison -> BENCH_4.json
+//
+// The -gc mode runs the two largest stabilizing-chain instances twice each —
+// once with automatic collection disabled and once with an aggressive
+// collection cadence — and writes records tagged with the GC arm, so the
+// peak-live-node reduction of mark-and-sweep GC is directly visible in the
+// bdd_peak_nodes fields.
 package main
 
 import (
@@ -44,57 +51,117 @@ func ladder(quick bool) []instance {
 	}
 }
 
+// gcReport is one record of the -gc comparison: a RunReport tagged with the
+// collection arm it ran under.
+type gcReport struct {
+	GC string `json:"gc"` // "off" or "on"
+	core.RunReport
+}
+
+// aggressiveGCThreshold collects every 2^16 allocations — frequent enough to
+// fire many times on the chain instances (the manager default of 2^21 may
+// never trigger there, which would make the comparison vacuous).
+const aggressiveGCThreshold = 1 << 16
+
+func runOne(ctx context.Context, inst instance, workers, witnesses int, gcThreshold int64) (core.RunReport, error) {
+	def, err := core.CaseStudy(inst.name, inst.n)
+	if err != nil {
+		return core.RunReport{}, err
+	}
+	opts := repair.DefaultOptions()
+	opts.Workers = workers
+	opts.GCThreshold = gcThreshold
+	job := core.Job{
+		Def:       def,
+		Algorithm: core.LazyRepair,
+		Options:   opts,
+		Verify:    true,
+		Witnesses: witnesses,
+	}
+	outc, err := core.Run(ctx, job)
+	if err != nil {
+		return core.RunReport{}, fmt.Errorf("%s n=%d: %w", inst.name, inst.n, err)
+	}
+	return core.NewRunReport(job, outc, inst.name, inst.n), nil
+}
+
+func gcComparison(ctx context.Context, out string, workers, witnesses int) {
+	instances := []instance{{"sc", 8}, {"sc", 12}}
+	arms := []struct {
+		label     string
+		threshold int64
+	}{
+		{"off", -1}, // disable automatic collection
+		{"on", aggressiveGCThreshold},
+	}
+	var reports []gcReport
+	for _, inst := range instances {
+		for _, arm := range arms {
+			r, err := runOne(ctx, inst, workers, witnesses, arm.threshold)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			reports = append(reports, gcReport{GC: arm.label, RunReport: r})
+			fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d gc=%-3s peak=%d live=%d gcruns=%d freed=%d total=%s\n",
+				inst.name, inst.n, arm.label, r.BDDPeakNodes, r.BDDNodesLive,
+				r.BDDGCRuns, r.BDDNodesFreed, time.Duration(r.TotalNS))
+		}
+	}
+	writeJSON(out, reports, len(reports))
+}
+
+func writeJSON(out string, v any, n int) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d reports to %s\n", n, out)
+}
+
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_1.json", "output path")
+		out       = flag.String("out", "", "output path (default BENCH_1.json, or BENCH_4.json with -gc)")
 		quick     = flag.Bool("quick", false, "run only the small instances")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "deadline for the whole ladder")
 		workers   = flag.Int("workers", 1, "parallel-engine worker managers per job (0 = GOMAXPROCS)")
 		witnesses = flag.Int("witnesses", 0, "recovery demonstrations per job (adds witness extraction to the measured phases)")
+		gc        = flag.Bool("gc", false, "run the GC on/off comparison on the chain instances instead of the ladder")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *gc {
+		if *out == "" {
+			*out = "BENCH_4.json"
+		}
+		gcComparison(ctx, *out, *workers, *witnesses)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_1.json"
+	}
+
 	var reports []core.RunReport
 	for _, inst := range ladder(*quick) {
-		def, err := core.CaseStudy(inst.name, inst.n)
+		r, err := runOne(ctx, inst, *workers, *witnesses, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		opts := repair.DefaultOptions()
-		opts.Workers = *workers
-		job := core.Job{
-			Def:       def,
-			Algorithm: core.LazyRepair,
-			Options:   opts,
-			Verify:    true,
-			Witnesses: *witnesses,
-		}
-		outc, err := core.Run(ctx, job)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s n=%d: %v\n", inst.name, inst.n, err)
-			os.Exit(1)
-		}
-		r := core.NewRunReport(job, outc, inst.name, inst.n)
 		reports = append(reports, r)
 		fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d reach=%g nodes=%d total=%s witness=%s verified=%t\n",
 			inst.name, inst.n, r.ReachableStates, r.BDDNodes,
 			time.Duration(r.TotalNS), time.Duration(r.WitnessNS),
 			r.Verified != nil && *r.Verified)
 	}
-
-	data, err := json.MarshalIndent(reports, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d reports to %s\n", len(reports), *out)
+	writeJSON(*out, reports, len(reports))
 }

@@ -43,6 +43,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON report on stdout")
 		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
 		workers   = flag.Int("workers", 0, "parallel-engine worker managers (0 = GOMAXPROCS, 1 = serial)")
+		budget    = flag.Int64("node-budget", 0, "fail the run if live BDD nodes exceed this after a collection (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 	opts.ReachabilityHeuristic = !*pure
 	opts.DeferCycleBreaking = *deferCyc
 	opts.Workers = *workers
+	opts.NodeBudget = *budget
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

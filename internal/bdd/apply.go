@@ -3,9 +3,20 @@ package bdd
 // This file implements the core logical operations: Not, And, Or, Xor, the
 // general if-then-else (ITE) combinator, and the derived operations built on
 // them. All recursions are memoized in direct-mapped caches.
+//
+// Each public operation is a thin wrapper: a GC safe point (safe) that
+// temp-roots the operands, a private recursive body, and a keep() that
+// records the result in the recent-results root ring. The recursive bodies
+// only ever call other private bodies, so a collection can never run while
+// intermediate nodes live on the Go stack.
 
 // Not returns the complement of f.
 func (m *Manager) Not(f Node) Node {
+	m.safe(f, False, False)
+	return m.keep(m.notRec(f))
+}
+
+func (m *Manager) notRec(f Node) Node {
 	switch f {
 	case False:
 		return True
@@ -16,13 +27,18 @@ func (m *Manager) Not(f Node) Node {
 		return r
 	}
 	n := m.nodes[f]
-	r := m.mk(n.level, m.Not(n.low), m.Not(n.high))
+	r := m.mk(n.level, m.notRec(n.low), m.notRec(n.high))
 	m.unStore(opNot, f, 0, r)
 	return r
 }
 
 // And returns the conjunction of f and g.
 func (m *Manager) And(f, g Node) Node {
+	m.safe(f, g, False)
+	return m.keep(m.andRec(f, g))
+}
+
+func (m *Manager) andRec(f, g Node) Node {
 	// Terminal cases.
 	switch {
 	case f == False || g == False:
@@ -44,11 +60,11 @@ func (m *Manager) And(f, g Node) Node {
 	var r Node
 	switch {
 	case nf.level == ng.level:
-		r = m.mk(nf.level, m.And(nf.low, ng.low), m.And(nf.high, ng.high))
+		r = m.mk(nf.level, m.andRec(nf.low, ng.low), m.andRec(nf.high, ng.high))
 	case nf.level < ng.level:
-		r = m.mk(nf.level, m.And(nf.low, g), m.And(nf.high, g))
+		r = m.mk(nf.level, m.andRec(nf.low, g), m.andRec(nf.high, g))
 	default:
-		r = m.mk(ng.level, m.And(f, ng.low), m.And(f, ng.high))
+		r = m.mk(ng.level, m.andRec(f, ng.low), m.andRec(f, ng.high))
 	}
 	m.binStore(opAnd, f, g, r)
 	return r
@@ -56,6 +72,11 @@ func (m *Manager) And(f, g Node) Node {
 
 // Or returns the disjunction of f and g.
 func (m *Manager) Or(f, g Node) Node {
+	m.safe(f, g, False)
+	return m.keep(m.orRec(f, g))
+}
+
+func (m *Manager) orRec(f, g Node) Node {
 	switch {
 	case f == True || g == True:
 		return True
@@ -76,11 +97,11 @@ func (m *Manager) Or(f, g Node) Node {
 	var r Node
 	switch {
 	case nf.level == ng.level:
-		r = m.mk(nf.level, m.Or(nf.low, ng.low), m.Or(nf.high, ng.high))
+		r = m.mk(nf.level, m.orRec(nf.low, ng.low), m.orRec(nf.high, ng.high))
 	case nf.level < ng.level:
-		r = m.mk(nf.level, m.Or(nf.low, g), m.Or(nf.high, g))
+		r = m.mk(nf.level, m.orRec(nf.low, g), m.orRec(nf.high, g))
 	default:
-		r = m.mk(ng.level, m.Or(f, ng.low), m.Or(f, ng.high))
+		r = m.mk(ng.level, m.orRec(f, ng.low), m.orRec(f, ng.high))
 	}
 	m.binStore(opOr, f, g, r)
 	return r
@@ -88,15 +109,20 @@ func (m *Manager) Or(f, g Node) Node {
 
 // Xor returns the exclusive or of f and g.
 func (m *Manager) Xor(f, g Node) Node {
+	m.safe(f, g, False)
+	return m.keep(m.xorRec(f, g))
+}
+
+func (m *Manager) xorRec(f, g Node) Node {
 	switch {
 	case f == False:
 		return g
 	case g == False:
 		return f
 	case f == True:
-		return m.Not(g)
+		return m.notRec(g)
 	case g == True:
-		return m.Not(f)
+		return m.notRec(f)
 	case f == g:
 		return False
 	}
@@ -110,27 +136,42 @@ func (m *Manager) Xor(f, g Node) Node {
 	var r Node
 	switch {
 	case nf.level == ng.level:
-		r = m.mk(nf.level, m.Xor(nf.low, ng.low), m.Xor(nf.high, ng.high))
+		r = m.mk(nf.level, m.xorRec(nf.low, ng.low), m.xorRec(nf.high, ng.high))
 	case nf.level < ng.level:
-		r = m.mk(nf.level, m.Xor(nf.low, g), m.Xor(nf.high, g))
+		r = m.mk(nf.level, m.xorRec(nf.low, g), m.xorRec(nf.high, g))
 	default:
-		r = m.mk(ng.level, m.Xor(f, ng.low), m.Xor(f, ng.high))
+		r = m.mk(ng.level, m.xorRec(f, ng.low), m.xorRec(f, ng.high))
 	}
 	m.binStore(opXor, f, g, r)
 	return r
 }
 
 // Diff returns f ∧ ¬g (set difference when BDDs encode sets).
-func (m *Manager) Diff(f, g Node) Node { return m.And(f, m.Not(g)) }
+func (m *Manager) Diff(f, g Node) Node {
+	m.Ref(f)
+	r := m.And(f, m.Not(g))
+	m.Deref(f)
+	return r
+}
 
 // Imp returns the implication f ⇒ g.
-func (m *Manager) Imp(f, g Node) Node { return m.Or(m.Not(f), g) }
+func (m *Manager) Imp(f, g Node) Node {
+	m.Ref(g)
+	r := m.Or(m.Not(f), g)
+	m.Deref(g)
+	return r
+}
 
 // Iff returns the biconditional f ⇔ g.
 func (m *Manager) Iff(f, g Node) Node { return m.Not(m.Xor(f, g)) }
 
 // ITE returns the if-then-else combinator: (f ∧ g) ∨ (¬f ∧ h).
 func (m *Manager) ITE(f, g, h Node) Node {
+	m.safe(f, g, h)
+	return m.keep(m.iteRec(f, g, h))
+}
+
+func (m *Manager) iteRec(f, g, h Node) Node {
 	// Terminal simplifications.
 	switch {
 	case f == True:
@@ -142,7 +183,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	case g == True && h == False:
 		return f
 	case g == False && h == True:
-		return m.Not(f)
+		return m.notRec(f)
 	}
 	if r, ok := m.iteLookup(f, g, h); ok {
 		return r
@@ -157,7 +198,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	f0, f1 := m.cofactor(f, top)
 	g0, g1 := m.cofactor(g, top)
 	h0, h1 := m.cofactor(h, top)
-	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	r := m.mk(top, m.iteRec(f0, g0, h0), m.iteRec(f1, g1, h1))
 	m.iteStore(f, g, h, r)
 	return r
 }
@@ -175,24 +216,36 @@ func (m *Manager) cofactor(f Node, level int32) (Node, Node) {
 
 // AndN returns the conjunction of all arguments (True for no arguments).
 func (m *Manager) AndN(fs ...Node) Node {
+	for _, f := range fs {
+		m.Ref(f)
+	}
 	r := True
 	for _, f := range fs {
 		r = m.And(r, f)
 		if r == False {
-			return False
+			break
 		}
+	}
+	for _, f := range fs {
+		m.Deref(f)
 	}
 	return r
 }
 
 // OrN returns the disjunction of all arguments (False for no arguments).
 func (m *Manager) OrN(fs ...Node) Node {
+	for _, f := range fs {
+		m.Ref(f)
+	}
 	r := False
 	for _, f := range fs {
 		r = m.Or(r, f)
 		if r == True {
-			return True
+			break
 		}
+	}
+	for _, f := range fs {
+		m.Deref(f)
 	}
 	return r
 }
@@ -207,7 +260,7 @@ func (m *Manager) Implies(f, g Node) bool {
 
 func (m *Manager) binLookup(op uint32, f, g Node) (Node, bool) {
 	e := &m.bin[hash3(uint64(op), uint64(f), uint64(g))&uint64(len(m.bin)-1)]
-	if e.valid && e.op == op && e.f == f && e.g == g {
+	if e.epoch == m.cacheEpoch && e.op == op && e.f == f && e.g == g {
 		m.stats.CacheHits++
 		return e.res, true
 	}
@@ -217,12 +270,12 @@ func (m *Manager) binLookup(op uint32, f, g Node) (Node, bool) {
 
 func (m *Manager) binStore(op uint32, f, g, res Node) {
 	e := &m.bin[hash3(uint64(op), uint64(f), uint64(g))&uint64(len(m.bin)-1)]
-	*e = binEntry{f: f, g: g, res: res, op: op, valid: true}
+	*e = binEntry{f: f, g: g, res: res, op: op, epoch: m.cacheEpoch}
 }
 
 func (m *Manager) unLookup(op uint32, f, param Node) (Node, bool) {
 	e := &m.un[hash3(uint64(op), uint64(f), uint64(param))&uint64(len(m.un)-1)]
-	if e.valid && e.op == op && e.f == f && e.param == param {
+	if e.epoch == m.cacheEpoch && e.op == op && e.f == f && e.param == param {
 		m.stats.CacheHits++
 		return e.res, true
 	}
@@ -232,12 +285,12 @@ func (m *Manager) unLookup(op uint32, f, param Node) (Node, bool) {
 
 func (m *Manager) unStore(op uint32, f, param, res Node) {
 	e := &m.un[hash3(uint64(op), uint64(f), uint64(param))&uint64(len(m.un)-1)]
-	*e = unEntry{f: f, param: param, res: res, op: op, valid: true}
+	*e = unEntry{f: f, param: param, res: res, op: op, epoch: m.cacheEpoch}
 }
 
 func (m *Manager) iteLookup(f, g, h Node) (Node, bool) {
 	e := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&uint64(len(m.ite)-1)]
-	if e.valid && e.f == f && e.g == g && e.h == h {
+	if e.epoch == m.cacheEpoch && e.f == f && e.g == g && e.h == h {
 		m.stats.CacheHits++
 		return e.res, true
 	}
@@ -247,12 +300,12 @@ func (m *Manager) iteLookup(f, g, h Node) (Node, bool) {
 
 func (m *Manager) iteStore(f, g, h, res Node) {
 	e := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&uint64(len(m.ite)-1)]
-	*e = iteEntry{f: f, g: g, h: h, res: res, valid: true}
+	*e = iteEntry{f: f, g: g, h: h, res: res, epoch: m.cacheEpoch}
 }
 
 func (m *Manager) relLookup(f, g, cube Node) (Node, bool) {
 	e := &m.rel[hash3(uint64(f), uint64(g), uint64(cube))&uint64(len(m.rel)-1)]
-	if e.valid && e.f == f && e.g == g && e.cube == cube {
+	if e.epoch == m.cacheEpoch && e.f == f && e.g == g && e.cube == cube {
 		m.stats.CacheHits++
 		return e.res, true
 	}
@@ -262,7 +315,7 @@ func (m *Manager) relLookup(f, g, cube Node) (Node, bool) {
 
 func (m *Manager) relStore(f, g, cube, res Node) {
 	e := &m.rel[hash3(uint64(f), uint64(g), uint64(cube))&uint64(len(m.rel)-1)]
-	*e = relEntry{f: f, g: g, cube: cube, res: res, valid: true}
+	*e = relEntry{f: f, g: g, cube: cube, res: res, epoch: m.cacheEpoch}
 }
 
 // Restrict computes Coudert–Madre's generalized cofactor f⇓c ("restrict"):
@@ -271,6 +324,11 @@ func (m *Manager) relStore(f, g, cube, res Node) {
 // predicates that are only ever evaluated under an invariant or a
 // reachable-set constraint. c must not be False.
 func (m *Manager) Restrict(f, c Node) Node {
+	m.safe(f, c, False)
+	return m.keep(m.restrictRec(f, c))
+}
+
+func (m *Manager) restrictRec(f, c Node) Node {
 	switch {
 	case c == True || m.IsTerminal(f):
 		return f
@@ -287,23 +345,23 @@ func (m *Manager) Restrict(f, c Node) Node {
 	case nc.level < nf.level:
 		switch {
 		case nc.low == False:
-			r = m.Restrict(f, nc.high)
+			r = m.restrictRec(f, nc.high)
 		case nc.high == False:
-			r = m.Restrict(f, nc.low)
+			r = m.restrictRec(f, nc.low)
 		default:
-			r = m.mk(nc.level, m.Restrict(f, nc.low), m.Restrict(f, nc.high))
+			r = m.mk(nc.level, m.restrictRec(f, nc.low), m.restrictRec(f, nc.high))
 		}
 	case nc.level == nf.level:
 		switch {
 		case nc.low == False:
-			r = m.Restrict(nf.high, nc.high)
+			r = m.restrictRec(nf.high, nc.high)
 		case nc.high == False:
-			r = m.Restrict(nf.low, nc.low)
+			r = m.restrictRec(nf.low, nc.low)
 		default:
-			r = m.mk(nf.level, m.Restrict(nf.low, nc.low), m.Restrict(nf.high, nc.high))
+			r = m.mk(nf.level, m.restrictRec(nf.low, nc.low), m.restrictRec(nf.high, nc.high))
 		}
 	default:
-		r = m.mk(nf.level, m.Restrict(nf.low, c), m.Restrict(nf.high, c))
+		r = m.mk(nf.level, m.restrictRec(nf.low, c), m.restrictRec(nf.high, c))
 	}
 	m.binStore(opSimplify, f, c, r)
 	return r

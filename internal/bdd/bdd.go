@@ -59,31 +59,60 @@ type Manager struct {
 	sat  map[Node]float64
 	perm []permutation
 
+	// cacheEpoch is the generation stamp for all op-cache entries; entries
+	// written under an older epoch read as misses. Starts at 1 so that
+	// zero-valued entries are invalid.
+	cacheEpoch uint32
+
+	// Node lifetime management (see gc.go).
+	refs        map[Node]int32   // explicit roots, with counts
+	freeHead    Node             // head of the freed-slot reuse list (0 = empty)
+	freeCnt     int              // number of slots on the free list
+	gcThreshold int64            // allocations between automatic collections (<=0 disables)
+	allocSince  int64            // allocations since the last collection
+	gcPending   bool             // a collection is due at the next safe point
+	nodeBudget  int64            // live-node ceiling (<=0 disables)
+	budgetHit   bool             // the budget was exceeded; re-check after collecting
+	tmpRoots    [3]Node          // operands of the op currently at its safe point
+	recent      [recentRing]Node // ring of recent public-op results (roots)
+	recentPos   int
+	markBuf     []uint64 // reusable mark bitset
+	markStack   []Node   // reusable mark traversal stack
+
 	// Statistics.
 	stats Stats
 
 	varNames []string
 }
 
-// Stats reports operation and cache counters for a Manager.
+// Stats reports operation, cache and collector counters for a Manager.
 type Stats struct {
 	NodesAllocated int64 // total nodes ever created (excluding terminals)
 	UniqueHits     int64 // mk() calls answered from the unique table
 	CacheHits      int64 // operation cache hits
 	CacheMisses    int64 // operation cache misses
+	NodesLive      int64 // nodes currently live (terminals included)
+	PeakLive       int64 // high-water mark of NodesLive
+	GCRuns         int64 // collections performed
+	NodesFreed     int64 // nodes reclaimed across all collections
 }
+
+// Cache entries carry the epoch they were written in; an entry whose epoch
+// differs from the manager's current one is a miss. FlushCaches bumps the
+// epoch, invalidating every cache in O(1) — essential now that the collector
+// flushes after every sweep.
 
 // iteEntry caches ITE(f,g,h) = res.
 type iteEntry struct {
 	f, g, h, res Node
-	valid        bool
+	epoch        uint32
 }
 
 // binEntry caches op(f,g) = res for the binary apply operations.
 type binEntry struct {
 	f, g, res Node
 	op        uint32
-	valid     bool
+	epoch     uint32
 }
 
 // unEntry caches unary-with-parameter operations: exists, forall, replace,
@@ -91,13 +120,13 @@ type binEntry struct {
 type unEntry struct {
 	f, param, res Node
 	op            uint32
-	valid         bool
+	epoch         uint32
 }
 
 // relEntry caches AndExists(f,g,cube) = res.
 type relEntry struct {
 	f, g, cube, res Node
-	valid           bool
+	epoch           uint32
 }
 
 // permutation is a registered level-to-level map used by Replace.
@@ -144,9 +173,18 @@ func NewSized(cacheBits int) *Manager {
 		rel:   make([]relEntry, 1<<cacheBits),
 		sat:   make(map[Node]float64),
 	}
+	m.cacheEpoch = 1
 	m.nodes[False] = node{level: terminalLevel, low: False, high: False}
 	m.nodes[True] = node{level: terminalLevel, low: True, high: True}
-	m.growUnique(1 << 20)
+	// The unique table starts small; the load-factor check in mk grows it
+	// with the live-node count (and the collector keeps it sized to the
+	// survivors).
+	m.growUnique(1 << 14)
+	m.stats.PeakLive = 2
+	m.gcThreshold = defaultGCThreshold
+	if s := stressThreshold(); s > 0 {
+		m.gcThreshold = s
+	}
 	return m
 }
 
@@ -160,22 +198,31 @@ func (m *Manager) CheckNode(f Node) {
 		panic(fmt.Sprintf("bdd: Node %d is not from this manager (have %d nodes); "+
 			"nodes are only meaningful relative to the Manager that created them", f, len(m.nodes)))
 	}
+	if f > True && m.nodes[f].level == freeLevel {
+		panic(fmt.Sprintf("bdd: Node %d was collected; it was not rooted across a GC "+
+			"(see Ref/Rooted/Protect in package bdd)", f))
+	}
 }
 
 // NumVars returns the number of variables allocated in the manager.
 func (m *Manager) NumVars() int { return m.numVars }
 
 // Size returns the total number of live nodes in the manager, including the
-// two terminals.
-func (m *Manager) Size() int { return len(m.nodes) }
+// two terminals. Slots freed by the collector do not count.
+func (m *Manager) Size() int { return len(m.nodes) - m.freeCnt }
 
 // Stats returns a snapshot of the manager's operation counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.NodesLive = int64(m.Size())
+	return s
+}
 
 // NewVar allocates a fresh variable at the end of the current order and
 // returns the BDD for that variable (the function that is true iff the
 // variable is true). The optional name is used by String and Dot output.
 func (m *Manager) NewVar(name string) Node {
+	m.safe(False, False, False)
 	level := int32(m.numVars)
 	m.numVars++
 	// Cached sat counts are relative to the variable count; invalidate them.
@@ -186,7 +233,7 @@ func (m *Manager) NewVar(name string) Node {
 		name = fmt.Sprintf("x%d", level)
 	}
 	m.varNames = append(m.varNames, name)
-	return m.mk(level, False, True)
+	return m.keep(m.mk(level, False, True))
 }
 
 // NewVars allocates n fresh variables with generated names and returns them.
@@ -204,7 +251,13 @@ func (m *Manager) Var(level int) Node {
 	if level < 0 || level >= m.numVars {
 		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, m.numVars))
 	}
-	return m.mk(int32(level), False, True)
+	m.safe(False, False, False)
+	return m.keep(m.mkVar(int32(level)))
+}
+
+// mkVar is Var without the safe point, for use inside recursions.
+func (m *Manager) mkVar(level int32) Node {
+	return m.mk(level, False, True)
 }
 
 // NVar returns the negation of the variable at the given level.
@@ -212,7 +265,8 @@ func (m *Manager) NVar(level int) Node {
 	if level < 0 || level >= m.numVars {
 		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, m.numVars))
 	}
-	return m.mk(int32(level), True, False)
+	m.safe(False, False, False)
+	return m.keep(m.mk(int32(level), True, False))
 }
 
 // VarName returns the registered name of the variable at the given level.
@@ -251,11 +305,33 @@ func (m *Manager) mk(level int32, low, high Node) Node {
 		}
 		h = (h + 1) & m.uniqueMask
 	}
-	idx := Node(len(m.nodes))
-	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	var idx Node
+	if m.freeHead != 0 {
+		// Reuse the lowest free slot (the sweep orders the list ascending),
+		// so indices stay dense and deterministic after collections.
+		idx = m.freeHead
+		m.freeHead = m.nodes[idx].low
+		m.freeCnt--
+		m.nodes[idx] = node{level: level, low: low, high: high}
+	} else {
+		idx = Node(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	}
 	m.unique[h] = idx
 	m.stats.NodesAllocated++
-	if uint64(len(m.nodes))*4 > uint64(len(m.unique))*3 {
+	m.allocSince++
+	if m.gcThreshold > 0 && m.allocSince >= m.gcThreshold {
+		m.gcPending = true
+	}
+	live := int64(len(m.nodes) - m.freeCnt)
+	if live > m.stats.PeakLive {
+		m.stats.PeakLive = live
+	}
+	if m.nodeBudget > 0 && live > m.nodeBudget {
+		m.gcPending = true
+		m.budgetHit = true
+	}
+	if uint64(live)*4 > uint64(len(m.unique))*3 {
 		m.growUnique(uint64(len(m.unique)) * 2)
 	}
 	return idx
@@ -267,6 +343,9 @@ func (m *Manager) growUnique(capacity uint64) {
 	m.uniqueMask = capacity - 1
 	for i := 2; i < len(m.nodes); i++ {
 		n := &m.nodes[i]
+		if n.level == freeLevel {
+			continue
+		}
 		h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.uniqueMask
 		for m.unique[h] != 0 {
 			h = (h + 1) & m.uniqueMask
@@ -276,19 +355,34 @@ func (m *Manager) growUnique(capacity uint64) {
 }
 
 // ClearCaches drops all memoized operation results. Node storage is kept.
-// Useful between phases of a long-running synthesis to bound cache staleness.
-func (m *Manager) ClearCaches() {
-	for i := range m.ite {
-		m.ite[i].valid = false
-	}
-	for i := range m.bin {
-		m.bin[i].valid = false
-	}
-	for i := range m.un {
-		m.un[i].valid = false
-	}
-	for i := range m.rel {
-		m.rel[i].valid = false
+//
+// Deprecated: use FlushCaches.
+func (m *Manager) ClearCaches() { m.FlushCaches() }
+
+// FlushCaches drops all memoized operation results — the direct-mapped ITE,
+// binary, unary and relational-product caches plus the sat-count memo. Node
+// storage is kept. Useful between phases of a long-running synthesis to
+// bound cache staleness; the collector also calls it after every sweep,
+// because the caches key on raw node indices that may alias once slots are
+// reused.
+func (m *Manager) FlushCaches() {
+	m.cacheEpoch++
+	if m.cacheEpoch == 0 {
+		// Epoch wrapped (after ~4G flushes): old entries could alias the new
+		// generation, so pay for one true clear.
+		for i := range m.ite {
+			m.ite[i] = iteEntry{}
+		}
+		for i := range m.bin {
+			m.bin[i] = binEntry{}
+		}
+		for i := range m.un {
+			m.un[i] = unEntry{}
+		}
+		for i := range m.rel {
+			m.rel[i] = relEntry{}
+		}
+		m.cacheEpoch = 1
 	}
 	m.sat = make(map[Node]float64)
 }

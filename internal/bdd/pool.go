@@ -79,7 +79,7 @@ func (p *Pool) Map(ctx context.Context, tasks int, fn func(w *Manager, worker, t
 				if task >= tasks {
 					return
 				}
-				buf, err := fn(p.workers[worker], worker, task)
+				buf, err := runTask(p.workers[worker], worker, task, fn)
 				if err != nil {
 					fail(err)
 					return
@@ -93,4 +93,21 @@ func (p *Pool) Map(ctx context.Context, tasks int, fn func(w *Manager, worker, t
 		return nil, firstEr
 	}
 	return results, nil
+}
+
+// runTask invokes fn for one task, converting a node-budget panic raised in
+// the worker manager into an ordinary error: a panic on a pool goroutine
+// would otherwise kill the whole process (in the daemon, every job). Other
+// panics propagate unchanged.
+func runTask(w *Manager, worker, task int, fn func(w *Manager, worker, task int) ([]byte, error)) (buf []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if be, ok := r.(*BudgetError); ok {
+				err = be
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(w, worker, task)
 }

@@ -4,11 +4,15 @@ package bdd
 // product And-Exists used for image computation, and variable replacement
 // (renaming), which together are the workhorses of symbolic reachability and
 // the group computation for read restrictions.
+//
+// As in apply.go, each public operation is a safe-point wrapper around a
+// private recursive body; recursive bodies only call other private bodies.
 
 // Cube builds the positive cube (conjunction) of the variables at the given
 // levels. Cubes identify the quantified variable sets for Exists, Forall and
 // AndExists.
 func (m *Manager) Cube(levels []int) Node {
+	m.safe(False, False, False)
 	// Build from the bottom of the order upward so each mk is O(1).
 	sorted := append([]int(nil), levels...)
 	insertionSortDesc(sorted)
@@ -16,7 +20,7 @@ func (m *Manager) Cube(levels []int) Node {
 	for _, l := range sorted {
 		r = m.mk(int32(l), False, r)
 	}
-	return r
+	return m.keep(r)
 }
 
 func insertionSortDesc(a []int) {
@@ -48,6 +52,11 @@ func (m *Manager) CubeLevels(cube Node) []int {
 
 // Exists existentially quantifies the variables of cube out of f.
 func (m *Manager) Exists(f, cube Node) Node {
+	m.safe(f, cube, False)
+	return m.keep(m.existsRec(f, cube))
+}
+
+func (m *Manager) existsRec(f, cube Node) Node {
 	if m.IsTerminal(f) || cube == True {
 		return f
 	}
@@ -64,14 +73,14 @@ func (m *Manager) Exists(f, cube Node) Node {
 	if c == True {
 		r = f
 	} else if m.nodes[c].level == nf.level {
-		lo := m.Exists(nf.low, m.nodes[c].high)
+		lo := m.existsRec(nf.low, m.nodes[c].high)
 		if lo == True {
 			r = True
 		} else {
-			r = m.Or(lo, m.Exists(nf.high, m.nodes[c].high))
+			r = m.orRec(lo, m.existsRec(nf.high, m.nodes[c].high))
 		}
 	} else {
-		r = m.mk(nf.level, m.Exists(nf.low, c), m.Exists(nf.high, c))
+		r = m.mk(nf.level, m.existsRec(nf.low, c), m.existsRec(nf.high, c))
 	}
 	m.unStore(opExists, f, cube, r)
 	return r
@@ -79,6 +88,11 @@ func (m *Manager) Exists(f, cube Node) Node {
 
 // Forall universally quantifies the variables of cube out of f.
 func (m *Manager) Forall(f, cube Node) Node {
+	m.safe(f, cube, False)
+	return m.keep(m.forallRec(f, cube))
+}
+
+func (m *Manager) forallRec(f, cube Node) Node {
 	if m.IsTerminal(f) || cube == True {
 		return f
 	}
@@ -94,14 +108,14 @@ func (m *Manager) Forall(f, cube Node) Node {
 	if c == True {
 		r = f
 	} else if m.nodes[c].level == nf.level {
-		lo := m.Forall(nf.low, m.nodes[c].high)
+		lo := m.forallRec(nf.low, m.nodes[c].high)
 		if lo == False {
 			r = False
 		} else {
-			r = m.And(lo, m.Forall(nf.high, m.nodes[c].high))
+			r = m.andRec(lo, m.forallRec(nf.high, m.nodes[c].high))
 		}
 	} else {
-		r = m.mk(nf.level, m.Forall(nf.low, c), m.Forall(nf.high, c))
+		r = m.mk(nf.level, m.forallRec(nf.low, c), m.forallRec(nf.high, c))
 	}
 	m.unStore(opForall, f, cube, r)
 	return r
@@ -111,6 +125,11 @@ func (m *Manager) Forall(f, cube Node) Node {
 // conjunction — the classic relational product used for image and preimage
 // computation on transition relations.
 func (m *Manager) AndExists(f, g, cube Node) Node {
+	m.safe(f, g, cube)
+	return m.keep(m.andExistsRec(f, g, cube))
+}
+
+func (m *Manager) andExistsRec(f, g, cube Node) Node {
 	// Terminal cases.
 	switch {
 	case f == False || g == False:
@@ -118,11 +137,11 @@ func (m *Manager) AndExists(f, g, cube Node) Node {
 	case f == True && g == True:
 		return True
 	case f == True:
-		return m.Exists(g, cube)
+		return m.existsRec(g, cube)
 	case g == True:
-		return m.Exists(f, cube)
+		return m.existsRec(f, cube)
 	case f == g:
-		return m.Exists(f, cube)
+		return m.existsRec(f, cube)
 	}
 	if f > g {
 		f, g = g, f
@@ -144,14 +163,14 @@ func (m *Manager) AndExists(f, g, cube Node) Node {
 	var r Node
 	if c != True && m.nodes[c].level == top {
 		rest := m.nodes[c].high
-		lo := m.AndExists(f0, g0, rest)
+		lo := m.andExistsRec(f0, g0, rest)
 		if lo == True {
 			r = True
 		} else {
-			r = m.Or(lo, m.AndExists(f1, g1, rest))
+			r = m.orRec(lo, m.andExistsRec(f1, g1, rest))
 		}
 	} else {
-		r = m.mk(top, m.AndExists(f0, g0, c), m.AndExists(f1, g1, c))
+		r = m.mk(top, m.andExistsRec(f0, g0, c), m.andExistsRec(f1, g1, c))
 	}
 	m.relStore(f, g, cube, r)
 	return r
@@ -192,6 +211,11 @@ func (m *Manager) NewPermutation(mapping []int) *Permutation {
 // (order-breaking) permutations such as swapping current- and next-state
 // variables.
 func (m *Manager) Replace(f Node, p *Permutation) Node {
+	m.safe(f, False, False)
+	return m.keep(m.replaceRec(f, p))
+}
+
+func (m *Manager) replaceRec(f Node, p *Permutation) Node {
 	if m.IsTerminal(f) {
 		return f
 	}
@@ -199,9 +223,9 @@ func (m *Manager) Replace(f Node, p *Permutation) Node {
 		return r
 	}
 	n := m.nodes[f]
-	lo := m.Replace(n.low, p)
-	hi := m.Replace(n.high, p)
-	r := m.ITE(m.Var(int(p.mapping[n.level])), hi, lo)
+	lo := m.replaceRec(n.low, p)
+	hi := m.replaceRec(n.high, p)
+	r := m.iteRec(m.mkVar(p.mapping[n.level]), hi, lo)
 	m.unStore(opReplace, f, p.id, r)
 	return r
 }

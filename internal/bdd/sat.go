@@ -50,6 +50,12 @@ func (m *Manager) satRec(f Node) float64 {
 	cl := m.satRec(n.low) * math.Pow(2, float64(m.levelOrTop(n.low)-n.level-1))
 	ch := m.satRec(n.high) * math.Pow(2, float64(m.levelOrTop(n.high)-n.level-1))
 	c := cl + ch
+	// The memo is a cache, not a requirement: bound it so a long-lived
+	// manager cannot grow it without limit. Dropping entries mid-walk only
+	// costs recomputation.
+	if len(m.sat) >= satMemoLimit {
+		m.sat = make(map[Node]float64)
+	}
 	m.sat[f] = c
 	return c
 }

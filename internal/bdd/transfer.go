@@ -83,6 +83,10 @@ func (m *Manager) Export(f Node) []byte {
 // malformed buffer or a variable-count mismatch — both are programming
 // errors in the transfer plumbing, not recoverable conditions.
 func Import(m *Manager, buf []byte) Node {
+	// Safe point up front; the import loop itself only calls mk, which never
+	// collects, so the partially built record list cannot be swept from
+	// under the loop.
+	m.safe(False, False, False)
 	read := func() uint64 {
 		v, n := binary.Uvarint(buf)
 		if n <= 0 {
@@ -120,5 +124,5 @@ func Import(m *Manager, buf []byte) Node {
 		}
 		nodes = append(nodes, m.mk(int32(level), low, high))
 	}
-	return deref(read())
+	return m.keep(deref(read()))
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/casestudies"
 	"repro/internal/program"
 	"repro/internal/repair"
@@ -53,6 +54,13 @@ type Outcome struct {
 	VerifyTime  time.Duration // zero unless Job.Verify
 	WitnessTime time.Duration // zero unless Job.Witnesses > 0
 	Workers     int           // effective engine worker count
+
+	// Node-lifetime counters of the run's owning manager (plus the peak
+	// across worker managers), captured after the job finishes.
+	NodesLive  int64 // live BDD nodes when the job completed
+	PeakNodes  int64 // high-water mark of live nodes across all managers
+	GCRuns     int64 // collections performed by the owning manager
+	NodesFreed int64 // nodes reclaimed by the owning manager
 }
 
 // Run executes a repair job. The context bounds the synthesis: a deadline or
@@ -62,7 +70,7 @@ type Outcome struct {
 // One parallel engine (sized by Job.Options.Workers; 0 selects GOMAXPROCS)
 // is built per run and shared between the synthesis and the verifier, so the
 // worker clones are compiled once.
-func Run(ctx context.Context, job Job) (*Outcome, error) {
+func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 	t0 := time.Now()
 	compiled, err := job.Def.Compile()
 	if err != nil {
@@ -72,7 +80,31 @@ func Run(ctx context.Context, job Job) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Compiled: compiled, CompileTime: time.Since(t0), Workers: eng.Workers()}
+	if job.Options.NodeBudget > 0 {
+		eng.SetNodeBudget(job.Options.NodeBudget)
+		// A blown budget surfaces as a *bdd.BudgetError panic at a collection
+		// safe point (or pre-converted to an error by the worker pool);
+		// convert it to a clean failure here, the run boundary.
+		defer func() {
+			if r := recover(); r != nil {
+				be, ok := r.(*bdd.BudgetError)
+				if !ok {
+					panic(r)
+				}
+				out, err = nil, fmt.Errorf("core: %w", be)
+			}
+		}()
+	}
+	out = &Outcome{Compiled: compiled, CompileTime: time.Since(t0), Workers: eng.Workers()}
+	defer func() {
+		if out != nil {
+			st := compiled.Space.M.Stats()
+			out.NodesLive = st.NodesLive
+			out.PeakNodes = eng.PeakLive()
+			out.GCRuns = st.GCRuns
+			out.NodesFreed = st.NodesFreed
+		}
+	}()
 
 	var res *repair.Result
 	switch job.Algorithm {

@@ -203,15 +203,18 @@ type andExpr []Expr
 func And(es ...Expr) Expr { return andExpr(es) }
 
 func (e andExpr) Compile(s *symbolic.Space) (bdd.Node, error) {
-	out := bdd.True
+	// The accumulator survives arbitrarily large sub-compiles, so it must be
+	// rooted across them.
+	acc := s.M.NewRooted(bdd.True)
+	defer acc.Release()
 	for _, sub := range e {
 		n, err := sub.Compile(s)
 		if err != nil {
 			return bdd.False, err
 		}
-		out = s.M.And(out, n)
+		acc.Set(s.M.And(acc.Node(), n))
 	}
-	return out, nil
+	return acc.Node(), nil
 }
 
 func (e andExpr) String() string { return joinExprs([]Expr(e), " ∧ ", "true") }
@@ -229,15 +232,16 @@ type orExpr []Expr
 func Or(es ...Expr) Expr { return orExpr(es) }
 
 func (e orExpr) Compile(s *symbolic.Space) (bdd.Node, error) {
-	out := bdd.False
+	acc := s.M.NewRooted(bdd.False)
+	defer acc.Release()
 	for _, sub := range e {
 		n, err := sub.Compile(s)
 		if err != nil {
 			return bdd.False, err
 		}
-		out = s.M.Or(out, n)
+		acc.Set(s.M.Or(acc.Node(), n))
 	}
-	return out, nil
+	return acc.Node(), nil
 }
 
 func (e orExpr) String() string { return joinExprs([]Expr(e), " ∨ ", "false") }
@@ -275,6 +279,8 @@ func (e impliesExpr) Compile(s *symbolic.Space) (bdd.Node, error) {
 	if err != nil {
 		return bdd.False, err
 	}
+	s.M.Ref(na) // held across the (possibly large) compile of e.b
+	defer s.M.Deref(na)
 	nb, err := e.b.Compile(s)
 	if err != nil {
 		return bdd.False, err

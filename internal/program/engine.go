@@ -74,6 +74,38 @@ func (e *Engine) Workers() int {
 	return e.pool.Workers()
 }
 
+// SetNodeBudget applies a live-node ceiling to the owner manager and every
+// worker clone. An operation that pushes any of them past the budget (after
+// a collection) panics with *bdd.BudgetError, which Pool.Map and the run
+// boundaries convert back into an ordinary error.
+func (e *Engine) SetNodeBudget(n int64) {
+	e.C.Space.M.SetNodeBudget(n)
+	for _, wc := range e.workers {
+		wc.Space.M.SetNodeBudget(n)
+	}
+}
+
+// SetGCThreshold arms (or, with n <= 0, disarms) automatic collection on the
+// owning manager and every worker manager.
+func (e *Engine) SetGCThreshold(n int64) {
+	e.C.Space.M.SetGCThreshold(n)
+	for _, wc := range e.workers {
+		wc.Space.M.SetGCThreshold(n)
+	}
+}
+
+// PeakLive returns the highest live-node count observed across the owner
+// and all worker managers.
+func (e *Engine) PeakLive() int64 {
+	peak := e.C.Space.M.Stats().PeakLive
+	for _, wc := range e.workers {
+		if p := wc.Space.M.Stats().PeakLive; p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
 // MapNodes evaluates fn once per task, with tasks distributed across the
 // worker clones, and returns the results as nodes of the owning manager in
 // task order. shared is one predicate every task reads (exported once,
@@ -83,12 +115,20 @@ func (e *Engine) Workers() int {
 func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Node,
 	fn func(c *Compiled, shared, input bdd.Node, task int) bdd.Node) ([]bdd.Node, error) {
 	if e.pool == nil {
+		// shared, the remaining inputs, and the already-produced results all
+		// outlive the arbitrarily large fn calls in between — root them.
+		sc := e.C.Space.M.Protect()
+		defer sc.Release()
+		sc.Keep(shared)
+		for _, in := range inputs {
+			sc.Keep(in)
+		}
 		out := make([]bdd.Node, len(inputs))
 		for i, in := range inputs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out[i] = fn(e.C, shared, in, i)
+			out[i] = sc.Keep(fn(e.C, shared, in, i))
 		}
 		return out, nil
 	}
@@ -99,24 +139,38 @@ func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Nod
 		inputBufs[i] = m.Export(in)
 	}
 	// Per-worker import of the shared predicate, done lazily by the single
-	// goroutine that drives each worker (no locking needed).
+	// goroutine that drives each worker (no locking needed). The import is
+	// rooted in the worker's manager — it is reused across every task that
+	// worker runs — and un-rooted after the pool drains.
 	wShared := make([]bdd.Node, len(e.workers))
 	wHave := make([]bool, len(e.workers))
+	defer func() {
+		for i, have := range wHave {
+			if have {
+				e.workers[i].Space.M.Deref(wShared[i])
+			}
+		}
+	}()
 	bufs, err := e.pool.Map(ctx, len(inputs), func(w *bdd.Manager, worker, task int) ([]byte, error) {
 		wc := e.workers[worker]
 		if !wHave[worker] {
-			wShared[worker] = bdd.Import(w, sharedBuf)
+			wShared[worker] = w.Ref(bdd.Import(w, sharedBuf))
 			wHave[worker] = true
 		}
-		in := bdd.Import(w, inputBufs[task])
+		in := w.Ref(bdd.Import(w, inputBufs[task]))
+		defer w.Deref(in)
 		return w.Export(fn(wc, wShared[worker], in, task)), nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Later imports can trigger owner-side collections, so earlier results
+	// must be rooted while the loop runs.
+	sc := m.Protect()
+	defer sc.Release()
 	out := make([]bdd.Node, len(bufs))
 	for i, b := range bufs {
-		out[i] = bdd.Import(m, b)
+		out[i] = sc.Keep(bdd.Import(m, b))
 	}
 	return out, nil
 }
@@ -163,24 +217,40 @@ func (e *Engine) roundFixpoint(ctx context.Context, reached bdd.Node, parts []bd
 	for i, p := range parts {
 		partBufs[i] = m.Export(p)
 	}
+	// Worker-side partition imports are cached for the whole fixpoint, so
+	// each one is rooted in its worker's manager until the function returns.
 	wParts := make([][]bdd.Node, len(e.workers))
 	wHaveP := make([][]bool, len(e.workers))
 	for i := range e.workers {
 		wParts[i] = make([]bdd.Node, len(parts))
 		wHaveP[i] = make([]bool, len(parts))
 	}
+	defer func() {
+		for i := range e.workers {
+			w := e.workers[i].Space.M
+			for t, have := range wHaveP[i] {
+				if have {
+					w.Deref(wParts[i][t])
+				}
+			}
+		}
+	}()
+	// The owner merges 2*len(parts) operations per round against the current
+	// reached set, so it rides in a rooted slot.
+	set := m.NewRooted(reached)
+	defer set.Release()
 	for {
-		setBuf := m.Export(reached)
+		setBuf := m.Export(set.Node())
 		wSet := make([]bdd.Node, len(e.workers))
 		wHaveS := make([]bool, len(e.workers))
 		bufs, err := e.pool.Map(ctx, len(parts), func(w *bdd.Manager, worker, task int) ([]byte, error) {
 			wc := e.workers[worker]
 			if !wHaveS[worker] {
-				wSet[worker] = bdd.Import(w, setBuf)
+				wSet[worker] = w.Ref(bdd.Import(w, setBuf))
 				wHaveS[worker] = true
 			}
 			if !wHaveP[worker][task] {
-				wParts[worker][task] = bdd.Import(w, partBufs[task])
+				wParts[worker][task] = w.Ref(bdd.Import(w, partBufs[task]))
 				wHaveP[worker][task] = true
 			}
 			var img bdd.Node
@@ -191,16 +261,23 @@ func (e *Engine) roundFixpoint(ctx context.Context, reached bdd.Node, parts []bd
 			}
 			return w.Export(img), nil
 		})
+		for i, have := range wHaveS {
+			if have {
+				e.workers[i].Space.M.Deref(wSet[i])
+			}
+		}
 		if err != nil {
 			return bdd.False, err
 		}
-		next := reached
+		next := m.NewRooted(set.Node())
 		for _, b := range bufs {
-			next = m.Or(next, bdd.Import(m, b))
+			next.Set(m.Or(next.Node(), bdd.Import(m, b)))
 		}
-		if next == reached {
-			return reached, nil
+		done := next.Node() == set.Node()
+		set.Set(next.Node())
+		next.Release()
+		if done {
+			return set.Node(), nil
 		}
-		reached = next
 	}
 }

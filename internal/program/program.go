@@ -181,49 +181,63 @@ func (d *Def) compileInto(space *symbolic.Space) (*Compiled, error) {
 	c := &Compiled{Def: d, Space: space, Trans: bdd.False, Fault: bdd.False, AnyWrite: bdd.False}
 	m := space.M
 
+	// Compilation accumulates predicates across per-process compiles that
+	// may each allocate heavily; slots keep the accumulators rooted through
+	// collections, and every Compiled field ends up permanently rooted — the
+	// Compiled lives as long as its manager.
+	sc := m.Protect()
+	defer sc.Release()
+	trans := sc.Slot(bdd.False)
+	anyWrite := sc.Slot(bdd.False)
+	fault := sc.Slot(bdd.False)
+
 	for _, p := range d.Processes {
 		cp, err := compileProcess(space, p)
 		if err != nil {
 			return nil, fmt.Errorf("program %s: %w", d.Name, err)
 		}
 		c.Procs = append(c.Procs, cp)
-		c.Trans = m.Or(c.Trans, cp.Trans)
-		c.AnyWrite = m.Or(c.AnyWrite, m.And(cp.WriteOK, space.ValidTrans()))
+		trans.Set(m.Or(trans.Node(), cp.Trans))
+		anyWrite.Set(m.Or(anyWrite.Node(), m.And(cp.WriteOK, space.ValidTrans())))
 	}
+	c.Trans = m.Ref(trans.Node())
+	c.AnyWrite = m.Ref(anyWrite.Node())
 	for i, fa := range d.Faults {
 		tr, err := compileAction(space, fa, nil)
 		if err != nil {
 			return nil, fmt.Errorf("program %s: fault %d (%s): %w", d.Name, i, fa.Name, err)
 		}
-		c.Fault = m.Or(c.Fault, tr)
-		c.FaultParts = append(c.FaultParts, tr)
+		fault.Set(m.Or(fault.Node(), tr))
+		c.FaultParts = append(c.FaultParts, m.Ref(tr))
 	}
+	c.Fault = m.Ref(fault.Node())
 
 	if c.Invariant, err = compilePred(space, d.Invariant, bdd.True); err != nil {
 		return nil, fmt.Errorf("program %s: invariant: %w", d.Name, err)
 	}
-	c.Invariant = m.And(c.Invariant, space.ValidCur())
+	c.Invariant = m.Ref(m.And(c.Invariant, space.ValidCur()))
 	if c.BadStates, err = compilePred(space, d.BadStates, bdd.False); err != nil {
 		return nil, fmt.Errorf("program %s: bad states: %w", d.Name, err)
 	}
-	c.BadStates = m.And(c.BadStates, space.ValidCur())
+	c.BadStates = m.Ref(m.And(c.BadStates, space.ValidCur()))
 	if c.BadTrans, err = compilePred(space, d.BadTrans, bdd.False); err != nil {
 		return nil, fmt.Errorf("program %s: bad transitions: %w", d.Name, err)
 	}
-	c.BadTrans = m.And(c.BadTrans, space.ValidTrans())
+	c.BadTrans = m.Ref(m.And(c.BadTrans, space.ValidTrans()))
 	for i, lt := range d.Liveness {
 		from, err := compilePred(space, lt.From, bdd.False)
 		if err != nil {
 			return nil, fmt.Errorf("program %s: liveness %d (%s): %w", d.Name, i, lt.Name, err)
 		}
+		sc.Keep(from)
 		to, err := compilePred(space, lt.To, bdd.False)
 		if err != nil {
 			return nil, fmt.Errorf("program %s: liveness %d (%s): %w", d.Name, i, lt.Name, err)
 		}
 		c.Liveness = append(c.Liveness, CompiledLeadsTo{
 			Name: lt.Name,
-			From: m.And(from, space.ValidCur()),
-			To:   m.And(to, space.ValidCur()),
+			From: m.Ref(m.And(from, space.ValidCur())),
+			To:   m.Ref(m.And(to, space.ValidCur())),
 		})
 	}
 	return c, nil
@@ -269,28 +283,35 @@ func compileProcess(s *symbolic.Space, p *Process) (*CompiledProc, error) {
 	}
 
 	m := s.M
-	cp.WriteOK, cp.SameUnread = bdd.True, bdd.True
+	sc := m.Protect()
+	defer sc.Release()
+	writeOK := sc.Slot(bdd.True)
+	sameUnread := sc.Slot(bdd.True)
 	var unreadLevels []int
 	for _, v := range s.Vars {
 		if !cp.Write[v.Name] {
-			cp.WriteOK = m.And(cp.WriteOK, v.Unchanged())
+			writeOK.Set(m.And(writeOK.Node(), v.Unchanged()))
 		}
 		if !cp.Read[v.Name] {
-			cp.SameUnread = m.And(cp.SameUnread, v.Unchanged())
+			sameUnread.Set(m.And(sameUnread.Node(), v.Unchanged()))
 			unreadLevels = append(unreadLevels, v.CurLevels()...)
 			unreadLevels = append(unreadLevels, v.NextLevels()...)
 		}
 	}
-	cp.unreadCube = m.Cube(unreadLevels)
+	// CompiledProc fields share the manager's lifetime; root them for good.
+	cp.WriteOK = m.Ref(writeOK.Node())
+	cp.SameUnread = m.Ref(sameUnread.Node())
+	cp.unreadCube = m.Ref(m.Cube(unreadLevels))
 
-	cp.Trans = bdd.False
+	trans := sc.Slot(bdd.False)
 	for i, a := range p.Actions {
 		tr, err := compileAction(s, a, cp)
 		if err != nil {
 			return nil, fmt.Errorf("process %s: action %d (%s): %w", p.Name, i, a.Name, err)
 		}
-		cp.Trans = m.Or(cp.Trans, tr)
+		trans.Set(m.Or(trans.Node(), tr))
 	}
+	cp.Trans = m.Ref(trans.Node())
 	return cp, nil
 }
 
@@ -299,12 +320,15 @@ func compileProcess(s *symbolic.Space, p *Process) (*CompiledProc, error) {
 // restrictions; fault actions pass cp == nil and are unrestricted.
 func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, error) {
 	m := s.M
+	sc := m.Protect()
+	defer sc.Release()
 	guard := bdd.True
 	if a.Guard != nil {
 		var err error
 		if guard, err = a.Guard.Compile(s); err != nil {
 			return bdd.False, err
 		}
+		sc.Keep(guard) // held across the whole updates + frame accumulation
 		if cp != nil {
 			for _, name := range a.Guard.Vars(nil) {
 				if !cp.Read[name] {
@@ -314,6 +338,7 @@ func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, err
 		}
 	}
 
+	relSlot := sc.Slot(bdd.True)
 	rel := bdd.True
 	assigned := make(map[string]bool, len(a.Updates))
 	for _, u := range a.Updates {
@@ -333,7 +358,7 @@ func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, err
 			if u.Val < 0 || u.Val >= v.Domain {
 				return bdd.False, fmt.Errorf("value %d outside domain of %q", u.Val, u.Var)
 			}
-			rel = m.And(rel, v.NextEqConst(u.Val))
+			rel = relSlot.Set(m.And(rel, v.NextEqConst(u.Val)))
 		case CopyVar:
 			w := s.VarByName(u.From)
 			if w == nil {
@@ -342,7 +367,7 @@ func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, err
 			if cp != nil && !cp.Read[u.From] {
 				return bdd.False, fmt.Errorf("update reads %q outside read set", u.From)
 			}
-			rel = m.And(rel, v.NextEq(w))
+			rel = relSlot.Set(m.And(rel, v.NextEq(w)))
 		case ChooseConst:
 			if len(u.Among) == 0 {
 				return bdd.False, fmt.Errorf("empty choice for %q", u.Var)
@@ -354,7 +379,7 @@ func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, err
 				}
 				choice = m.Or(choice, v.NextEqConst(val))
 			}
-			rel = m.And(rel, choice)
+			rel = relSlot.Set(m.And(rel, choice))
 		default:
 			return bdd.False, fmt.Errorf("unknown update kind %d", u.Kind)
 		}
@@ -363,7 +388,7 @@ func compileAction(s *symbolic.Space, a Action, cp *CompiledProc) (bdd.Node, err
 	// Frame: variables without an update stay unchanged.
 	for _, v := range s.Vars {
 		if !assigned[v.Name] {
-			rel = m.And(rel, v.Unchanged())
+			rel = relSlot.Set(m.And(rel, v.Unchanged()))
 		}
 	}
 	return m.AndN(guard, rel, s.ValidTrans()), nil

@@ -49,13 +49,18 @@ func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTran
 	c := e.C
 	m := c.Space.M
 	s := c.Space
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(invariant)
+	sc.Keep(badTrans)
 
 	ms, mt := ComputeMsMt(c, badTrans)
-	notMT := m.Not(mt)
+	sc.Keep(ms)
+	notMT := sc.Keep(m.Not(mt))
 
 	// First guesses for invariant and fault-span.
-	s1 := m.Diff(invariant, ms)
-	if s1 == bdd.False {
+	s1 := sc.Slot(m.Diff(invariant, ms))
+	if s1.Node() == bdd.False {
 		return nil, ErrNotRepairable
 	}
 	universe := s.ValidCur()
@@ -68,14 +73,21 @@ func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTran
 		var err error
 		universe, err = e.ReachableParts(ctx, invariant, c.PartsWithFaults(notMT))
 		if err != nil {
-			return nil, cancelled(ctx)
+			return nil, engineErr(ctx, err)
 		}
 	}
-	t1 := m.Diff(universe, ms)
+	t1 := sc.Slot(m.Diff(universe, ms))
 
 	iterations := 0
-	var availInside, availOutside bdd.Node
-	var rec bdd.Node
+	// Loop-carried relations: slots, reassigned every shrink iteration.
+	availInside := sc.Slot(bdd.False)
+	availOutside := sc.Slot(bdd.False)
+	rec := sc.Slot(bdd.False)
+	partSlots := make([]*bdd.Rooted, 2*len(c.Procs))
+	for i := range partSlots {
+		partSlots[i] = sc.Slot(bdd.False)
+	}
+	t2 := sc.Slot(bdd.False)
 	for {
 		iterations++
 		if err := cancelled(ctx); err != nil {
@@ -89,44 +101,50 @@ func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTran
 		// even in Step 1 (c.AnyWrite) — they cost one conjunction; the
 		// complexity the paper defers to Step 2 comes from the read
 		// restrictions (grouping).
-		availInside, availOutside = bdd.False, bdd.False
+		availInside.Set(bdd.False)
+		availOutside.Set(bdd.False)
 		availParts := make([]bdd.Node, 0, 2*len(c.Procs))
-		insideCtx := m.AndN(s1, s.Prime(s1), notMT)
+		insideCtx := m.AndN(s1.Node(), s.Prime(s1.Node()), notMT)
+		m.Ref(insideCtx) // survives the outsideCtx chain and the per-proc loop
 		// Self-loops make no recovery progress and would put every state in
 		// the cyclic core, so they are never offered as recovery.
-		outsideCtx := m.AndN(t1, s.Prime(t1), m.Not(s1), notMT, m.Not(s.Identity()), s.ValidTrans())
-		for _, p := range c.Procs {
-			in := m.And(p.Trans, insideCtx)
-			out := m.And(p.WriteOK, outsideCtx)
-			availInside = m.Or(availInside, in)
-			availOutside = m.Or(availOutside, out)
+		outsideCtx := m.AndN(t1.Node(), s.Prime(t1.Node()), m.Not(s1.Node()), notMT, m.Not(s.Identity()), s.ValidTrans())
+		m.Ref(outsideCtx)
+		for i, p := range c.Procs {
+			in := partSlots[2*i].Set(m.And(p.Trans, insideCtx))
+			out := partSlots[2*i+1].Set(m.And(p.WriteOK, outsideCtx))
+			availInside.Set(m.Or(availInside.Node(), in))
+			availOutside.Set(m.Or(availOutside.Node(), out))
 			availParts = append(availParts, in, out)
 		}
+		m.Deref(insideCtx)
+		m.Deref(outsideCtx)
 
 		// Remove fault-span states from which recovery to the invariant is
 		// impossible.
-		back, err := e.BackwardReachableParts(ctx, s1, availParts)
+		back, err := e.BackwardReachableParts(ctx, s1.Node(), availParts)
 		if err != nil {
-			return nil, cancelled(ctx)
+			return nil, engineErr(ctx, err)
 		}
-		t2 := m.And(t1, back)
+		t2.Set(m.And(t1.Node(), back))
 		// Remove fault-span states from which faults escape the span.
 		for {
-			escape := preimageAny(c, m.Diff(s.ValidCur(), t2), c.FaultParts)
-			next := m.Diff(t2, escape)
-			if next == t2 {
+			escape := preimageAny(c, m.Diff(s.ValidCur(), t2.Node()), c.FaultParts)
+			next := m.Diff(t2.Node(), escape)
+			if next == t2.Node() {
 				break
 			}
-			t2 = next
+			t2.Set(next)
 		}
 		// Keep the invariant inside the span and deadlock-free.
-		s2 := m.And(s1, t2)
+		s2 := m.And(s1.Node(), t2.Node())
 		if s2 == bdd.False {
 			return nil, ErrNotRepairable
 		}
 
-		if s2 != s1 || t2 != t1 {
-			s1, t1 = s2, t2
+		if s2 != s1.Node() || t2.Node() != t1.Node() {
+			s1.Set(s2)
+			t1.Set(t2.Node())
 			continue
 		}
 
@@ -141,26 +159,29 @@ func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTran
 		// here and the lazy driver eliminates cycles group-awarely after
 		// Step 2.
 		if opts.DeferCycleBreaking {
-			rec = availOutside
+			rec.Set(availOutside.Node())
 			break
 		}
 		outsideParts := make([]bdd.Node, 0, len(availParts)/2)
 		for i := 1; i < len(availParts); i += 2 {
 			outsideParts = append(outsideParts, availParts[i])
 		}
-		var ranked bdd.Node
-		rec, ranked = LayeredRecovery(c, s1, t1, outsideParts)
-		if ranked != t1 {
-			t1 = ranked
+		r, ranked := LayeredRecovery(c, s1.Node(), t1.Node(), outsideParts)
+		rec.Set(r)
+		if ranked != t1.Node() {
+			t1.Set(ranked)
 			continue
 		}
 		break
 	}
 
+	// The result's relations outlive this scope (the lazy driver holds them
+	// across Step 2 and its fixpoints), so they stay rooted for the life of
+	// the manager.
 	return &Masking{
-		Trans:      m.Or(availInside, rec),
-		Invariant:  s1,
-		FaultSpan:  t1,
+		Trans:      m.Ref(m.Or(availInside.Node(), rec.Node())),
+		Invariant:  m.Ref(s1.Node()),
+		FaultSpan:  m.Ref(t1.Node()),
 		Iterations: iterations,
 	}, nil
 }

@@ -38,29 +38,48 @@ func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, 
 // reachability fixpoints and the per-process group removals of Phase 1 fan
 // out across the engine's workers.
 func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result, error) {
+	if opts.NodeBudget > 0 {
+		eng.SetNodeBudget(opts.NodeBudget)
+	}
+	if opts.GCThreshold != 0 {
+		n := opts.GCThreshold
+		if n < 0 {
+			n = 0 // manager semantics: <= 0 disables automatic GC
+		}
+		eng.SetGCThreshold(n)
+	}
 	c := eng.C
 	m := c.Space.M
 	s := c.Space
 	start := time.Now()
 	var stats Stats
 
+	sc := m.Protect()
+	defer sc.Release()
 	ms, mt := ComputeMsMt(c, c.BadTrans)
+	sc.Keep(ms)
+	sc.Keep(mt)
 
 	reach, err := eng.ReachableParts(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
 	if err != nil {
-		return nil, cancelled(ctx)
+		return nil, engineErr(ctx, err)
 	}
 	stats.ReachableStates = s.CountStates(reach)
 	// The Section-IV heuristic: prohibited transitions whose source the
 	// fault-intolerant program cannot reach are tolerated (for now).
-	mtHard := m.And(mt, reach)
+	mtHard := sc.Keep(m.And(mt, reach))
 
 	// Cautious repair works over the full state space.
-	span := m.Diff(s.ValidCur(), ms)
-	invariant := m.Diff(c.Invariant, ms)
-	banned := bdd.False
+	span := sc.Slot(m.Diff(s.ValidCur(), ms))
+	invariant := sc.Slot(m.Diff(c.Invariant, ms))
+	banned := sc.Slot(bdd.False)
 
 	deltas := make([]bdd.Node, len(c.Procs))
+	deltaSlots := make([]*bdd.Rooted, len(c.Procs))
+	for i := range deltaSlots {
+		deltaSlots[i] = sc.Slot(bdd.False)
+	}
+	unionS := sc.Slot(bdd.False)
 
 	maxOuter := opts.MaxOuterIterations * 16
 	if maxOuter <= 0 {
@@ -76,7 +95,7 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 		// remove harmful groups until stable, re-establishing invariant
 		// closure and deadlock-freedom after each removal round.
 		for j, p := range c.Procs {
-			deltas[j] = p.Trans
+			deltas[j] = deltaSlots[j].Set(p.Trans)
 		}
 		for {
 			// The harmful set is invariant across one removal round, and
@@ -84,9 +103,9 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 			// per-process group closures fan out across the engine.
 			harmful := m.OrN(
 				mtHard,
-				banned,
-				m.AndN(span, m.Not(s.Prime(span))), // escapes the span
-				m.AndN(invariant, m.Not(s.Prime(invariant))), // breaks invariant closure
+				banned.Node(),
+				m.AndN(span.Node(), m.Not(s.Prime(span.Node()))),           // escapes the span
+				m.AndN(invariant.Node(), m.Not(s.Prime(invariant.Node()))), // breaks invariant closure
 			)
 			next, err := eng.MapNodes(ctx, harmful, deltas,
 				func(wc *program.Compiled, harm, dj bdd.Node, j int) bdd.Node {
@@ -98,12 +117,12 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 					return wm.Diff(dj, wc.Procs[j].Group(bad))
 				})
 			if err != nil {
-				return nil, cancelled(ctx)
+				return nil, engineErr(ctx, err)
 			}
 			changed := false
 			for j := range deltas {
 				if next[j] != deltas[j] {
-					deltas[j] = next[j]
+					deltas[j] = deltaSlots[j].Set(next[j])
 					changed = true
 				}
 			}
@@ -122,57 +141,63 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 		// whose members may land anywhere inside the span; Phase 3's cycle
 		// and reachability analyses then police what the lenient pass let
 		// through.
+		isc := m.Protect()
 		okInsideOf := func(p *program.CompiledProc) bdd.Node {
-			return m.And(p.Trans, s.Prime(invariant))
+			return m.And(p.Trans, s.Prime(invariant.Node()))
 		}
-		ranks := []bdd.Node{invariant}
-		ranked := invariant
-		remaining := m.Diff(span, invariant)
-		for pass := 0; pass < 2 && remaining != bdd.False; pass++ {
+		ranks := []bdd.Node{invariant.Node()}
+		ranked := isc.Slot(invariant.Node())
+		remaining := isc.Slot(m.Diff(span.Node(), invariant.Node()))
+		newlyS := isc.Slot(bdd.False)
+		for pass := 0; pass < 2 && remaining.Node() != bdd.False; pass++ {
 			strict := pass == 0
-			for remaining != bdd.False {
-				newly := bdd.False
+			for remaining.Node() != bdd.False {
+				newlyS.Set(bdd.False)
 				for j, p := range c.Procs {
-					cand := m.AndN(p.WriteOK, remaining, s.Prime(ranked),
-						m.Not(mtHard), m.Not(banned), s.ValidTrans())
+					cand := m.AndN(p.WriteOK, remaining.Node(), s.Prime(ranked.Node()),
+						m.Not(mtHard), m.Not(banned.Node()), s.ValidTrans())
 					if cand == bdd.False {
 						continue
 					}
-					group := p.Group(cand)
-					badMembers := m.And(group, m.Or(mtHard, banned))
+					csc := m.Protect()
+					group := csc.Keep(p.Group(cand))
+					bm := csc.Slot(m.And(group, m.Or(mtHard, banned.Node())))
 					// Members inside the invariant must already be original
 					// behavior that stays inside.
-					badMembers = m.Or(badMembers, m.AndN(group, invariant, m.Not(okInsideOf(p))))
+					bm.Set(m.Or(bm.Node(), m.AndN(group, invariant.Node(), m.Not(okInsideOf(p)))))
 					if strict {
 						// Members from unranked states must land in the
 						// ranked set; members from rank r strictly below r.
-						badMembers = m.Or(badMembers, m.AndN(group, remaining, m.Not(s.Prime(ranked))))
-						below := bdd.False
+						bm.Set(m.Or(bm.Node(), m.AndN(group, remaining.Node(), m.Not(s.Prime(ranked.Node())))))
+						below := csc.Slot(bdd.False)
 						for r, rankSet := range ranks {
 							if r > 0 {
-								badMembers = m.Or(badMembers,
-									m.AndN(group, rankSet, m.Not(s.Prime(below))))
+								bm.Set(m.Or(bm.Node(),
+									m.AndN(group, rankSet, m.Not(s.Prime(below.Node())))))
 							}
-							below = m.Or(below, rankSet)
+							below.Set(m.Or(below.Node(), rankSet))
 						}
 					} else {
 						// Lenient: members from span states must stay inside
 						// the span.
-						badMembers = m.Or(badMembers, m.AndN(group, span, m.Not(s.Prime(span))))
+						bm.Set(m.Or(bm.Node(), m.AndN(group, span.Node(), m.Not(s.Prime(span.Node())))))
 					}
-					accepted := m.Diff(group, p.Group(badMembers))
+					accepted := m.Diff(group, p.Group(bm.Node()))
 					if accepted == bdd.False {
+						csc.Release()
 						continue
 					}
-					deltas[j] = m.Or(deltas[j], accepted)
-					newly = m.Or(newly, m.And(src(c, m.AndN(accepted, remaining, s.Prime(ranked))), remaining))
+					csc.Keep(accepted)
+					deltas[j] = deltaSlots[j].Set(m.Or(deltas[j], accepted))
+					newlyS.Set(m.Or(newlyS.Node(), m.And(src(c, m.AndN(accepted, remaining.Node(), s.Prime(ranked.Node()))), remaining.Node())))
+					csc.Release()
 				}
-				if newly == bdd.False {
+				if newlyS.Node() == bdd.False {
 					break
 				}
-				ranks = append(ranks, newly)
-				ranked = m.Or(ranked, newly)
-				remaining = m.Diff(remaining, newly)
+				ranks = append(ranks, isc.Keep(newlyS.Node()))
+				ranked.Set(m.Or(ranked.Node(), newlyS.Node()))
+				remaining.Set(m.Diff(remaining.Node(), newlyS.Node()))
 			}
 		}
 
@@ -183,41 +208,43 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 		// rank-constrained).
 		spanParts := make([]bdd.Node, len(deltas))
 		for i, dl := range deltas {
-			spanParts[i] = m.AndN(dl, span, s.Prime(span))
+			spanParts[i] = isc.Keep(m.AndN(dl, span.Node(), s.Prime(span.Node())))
 		}
-		recoverable, err := eng.BackwardReachableParts(ctx, invariant, spanParts)
+		recoverable, err := eng.BackwardReachableParts(ctx, invariant.Node(), spanParts)
 		if err != nil {
-			return nil, cancelled(ctx)
+			isc.Release()
+			return nil, engineErr(ctx, err)
 		}
-		unreach := m.Diff(m.Diff(span, invariant), recoverable)
+		unreach := m.Diff(m.Diff(span.Node(), invariant.Node()), recoverable)
 		shrunk := false
-		if remaining != bdd.False || unreach != bdd.False {
-			span = m.Diff(span, m.Or(remaining, unreach))
+		if remaining.Node() != bdd.False || unreach != bdd.False {
+			span.Set(m.Diff(span.Node(), m.Or(remaining.Node(), unreach)))
 			shrunk = true
 		}
 		for {
-			escape := preimageAny(c, m.Diff(s.ValidCur(), span), c.FaultParts)
-			next := m.Diff(span, escape)
-			if next == span {
+			escape := preimageAny(c, m.Diff(s.ValidCur(), span.Node()), c.FaultParts)
+			next := m.Diff(span.Node(), escape)
+			if next == span.Node() {
 				break
 			}
-			span = next
+			span.Set(next)
 			shrunk = true
 		}
-		if nextInv := m.And(invariant, span); nextInv != invariant {
-			invariant = nextInv
+		if nextInv := m.And(invariant.Node(), span.Node()); nextInv != invariant.Node() {
+			invariant.Set(nextInv)
 			shrunk = true
 		}
-		if invariant == bdd.False {
+		isc.Release()
+		if invariant.Node() == bdd.False {
 			return nil, ErrNotRepairable
 		}
 
-		union := m.OrN(deltas...)
+		union := unionS.Set(m.OrN(deltas...))
 		// States in T−S from which an infinite program-only path avoids the
 		// invariant forever (greatest fixpoint).
-		cyclic := cyclicCore(c, deltas, m.Diff(span, invariant))
+		cyclic := cyclicCore(c, deltas, m.Diff(span.Node(), invariant.Node()))
 		if cyclic != bdd.False {
-			banned = m.Or(banned, m.AndN(union, cyclic, s.Prime(cyclic)))
+			banned.Set(m.Or(banned.Node(), m.AndN(union, cyclic, s.Prime(cyclic))))
 			continue
 		}
 		if shrunk {
@@ -226,23 +253,25 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 
 		// Structural convergence: audit the Section-IV heuristic's bets
 		// against the repaired program's actual reachable set.
-		trueReach, err := eng.ReachableParts(ctx, invariant, append(append([]bdd.Node{}, deltas...), c.FaultParts...))
+		trueReach, err := eng.ReachableParts(ctx, invariant.Node(), append(append([]bdd.Node{}, deltas...), c.FaultParts...))
 		if err != nil {
-			return nil, cancelled(ctx)
+			return nil, engineErr(ctx, err)
 		}
 		violation := m.AndN(union, mt, trueReach)
 		if violation != bdd.False {
-			banned = m.Or(banned, violation)
+			banned.Set(m.Or(banned.Node(), violation))
 			continue
 		}
 
 		stats.Total = time.Since(start)
 		stats.BDDNodes = m.Size()
 		opts.logf("cautious: converged after %d outer iteration(s)", outer)
+		// The result's relations outlive this call's scope; root them for
+		// the life of the manager.
 		return &Result{
-			Trans:     union,
-			Invariant: invariant,
-			FaultSpan: span,
+			Trans:     m.Ref(union),
+			Invariant: m.Ref(invariant.Node()),
+			FaultSpan: m.Ref(span.Node()),
 			Stats:     stats,
 		}, nil
 	}

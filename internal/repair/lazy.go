@@ -34,27 +34,48 @@ func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, erro
 // LazyEngine is Lazy running on a caller-supplied engine, so the engine's
 // worker clones can be shared with the verifier (see internal/core.Run).
 func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result, error) {
+	if opts.NodeBudget > 0 {
+		eng.SetNodeBudget(opts.NodeBudget)
+	}
+	if opts.GCThreshold != 0 {
+		n := opts.GCThreshold
+		if n < 0 {
+			n = 0 // manager semantics: <= 0 disables automatic GC
+		}
+		eng.SetGCThreshold(n)
+	}
 	c := eng.C
 	m := c.Space.M
 	s := c.Space
 	start := time.Now()
+	sc := m.Protect()
+	defer sc.Release()
 
 	var stats Stats
 	reach, err := eng.ReachableParts(ctx, c.Invariant, c.PartsWithFaults(bdd.True))
 	if err != nil {
-		return nil, cancelled(ctx)
+		return nil, engineErr(ctx, err)
 	}
 	stats.ReachableStates = s.CountStates(reach)
 
-	invariant := c.Invariant
-	badTrans := c.BadTrans
+	invariant := sc.Slot(c.Invariant)
+	badTrans := sc.Slot(c.BadTrans)
 
 	maxIter := opts.MaxOuterIterations
 	if maxIter <= 0 {
 		maxIter = 64
 	}
-	// Last iteration's residue, kept for the non-convergence witness.
-	var lastDL, lastRealized, lastInv bdd.Node = bdd.False, bdd.False, bdd.False
+	// Loop-carried slots: the realized per-process relations, their union,
+	// the certified span, the residual deadlocks, and the residue of the
+	// last iteration (kept for the non-convergence witness).
+	partSlots := make([]*bdd.Rooted, len(c.Procs))
+	for i := range partSlots {
+		partSlots[i] = sc.Slot(bdd.False)
+	}
+	realizedS := sc.Slot(bdd.False)
+	lastDL := sc.Slot(bdd.False)
+	lastRealized := sc.Slot(bdd.False)
+	lastInv := sc.Slot(bdd.False)
 	for iter := 1; iter <= maxIter; iter++ {
 		stats.OuterIterations = iter
 		if err := cancelled(ctx); err != nil {
@@ -62,7 +83,7 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		}
 
 		t0 := time.Now()
-		mask, err := AddMaskingEngine(ctx, eng, invariant, badTrans, opts)
+		mask, err := AddMaskingEngine(ctx, eng, invariant.Node(), badTrans.Node(), opts)
 		stats.Step1 += time.Since(t0)
 		if err != nil {
 			return nil, err
@@ -73,9 +94,12 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		t1 := time.Now()
 		parts, err := RealizePartsEngine(ctx, eng, mask.Trans, mask.FaultSpan)
 		if err != nil {
-			return nil, cancelled(ctx)
+			return nil, engineErr(ctx, err)
 		}
-		realized := m.OrN(parts...)
+		for j, p := range parts {
+			partSlots[j].Set(p)
+		}
+		realized := realizedS.Set(m.OrN(parts...))
 
 		// Group-aware cycle elimination. Step 1 kept recovery maximal, so
 		// the realized program may loop outside the invariant. Cycles are
@@ -93,56 +117,59 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		// breadth-first rank toward the invariant (a rank-decreasing edge
 		// drops the rank, so no cycle can close through one), so the
 		// infinite-path fixpoint runs on the bad-edge subrelation only.
-		region := m.Diff(mask.FaultSpan, mask.Invariant)
+		region := sc.Keep(m.Diff(mask.FaultSpan, mask.Invariant))
 		for opts.DeferCycleBreaking {
 			if err := cancelled(ctx); err != nil {
 				return nil, err
 			}
-			ranked := mask.Invariant
-			remaining := region
-			bad := bdd.False
-			for remaining != bdd.False {
-				newly := srcInto(c, parts, remaining, ranked)
+			isc := m.Protect()
+			ranked := isc.Slot(mask.Invariant)
+			remaining := isc.Slot(region)
+			bad := isc.Slot(bdd.False)
+			for remaining.Node() != bdd.False {
+				newly := isc.Keep(srcInto(c, parts, remaining.Node(), ranked.Node()))
 				if newly == bdd.False {
 					break
 				}
-				notRanked := m.Not(s.Prime(ranked))
+				notRanked := isc.Keep(m.Not(s.Prime(ranked.Node())))
 				for _, part := range parts {
-					bad = m.Or(bad, m.AndN(part, newly, notRanked))
+					bad.Set(m.Or(bad.Node(), m.AndN(part, newly, notRanked)))
 				}
-				ranked = m.Or(ranked, newly)
-				remaining = m.Diff(remaining, newly)
+				ranked.Set(m.Or(ranked.Node(), newly))
+				remaining.Set(m.Diff(remaining.Node(), newly))
 			}
 			// Unranked states can never reach the invariant: their edges
 			// are useless; removing them deadlocks the states, which the
 			// feedback below then makes unreachable.
 			for _, part := range parts {
-				bad = m.Or(bad, m.And(part, remaining))
+				bad.Set(m.Or(bad.Node(), m.And(part, remaining.Node())))
 			}
 			badParts := make([]bdd.Node, len(parts))
 			for j := range parts {
-				badParts[j] = m.And(parts[j], bad)
+				badParts[j] = isc.Keep(m.And(parts[j], bad.Node()))
 			}
-			core := cyclicCore(c, badParts, region)
-			toRemove := m.Or(m.AndN(bad, core, s.Prime(core)), m.And(bad, remaining))
+			core := isc.Keep(cyclicCore(c, badParts, region))
+			toRemove := isc.Keep(m.Or(m.AndN(bad.Node(), core, s.Prime(core)), m.And(bad.Node(), remaining.Node())))
 			changed := false
 			for j, p := range c.Procs {
 				pb := m.And(parts[j], toRemove)
 				if pb == bdd.False {
 					continue
 				}
-				parts[j] = m.Diff(parts[j], p.Group(pb))
+				parts[j] = partSlots[j].Set(m.Diff(parts[j], p.Group(pb)))
 				changed = true
 			}
+			isc.Release()
 			if !changed {
 				break
 			}
-			realized = m.OrN(parts...)
+			realized = realizedS.Set(m.OrN(parts...))
 		}
 		certSpan, err := eng.ReachableParts(ctx, mask.Invariant, append(append([]bdd.Node{}, parts...), c.FaultParts...))
 		if err != nil {
-			return nil, cancelled(ctx)
+			return nil, engineErr(ctx, err)
 		}
+		sc.Keep(certSpan)
 
 		// Deadlocks among the states actually reachable from the repaired
 		// invariant in the realized program under faults, outside the
@@ -152,23 +179,27 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		// itself is the certificate. Deadlocks inside the invariant are
 		// legal finite computations; see the note in repair.go.)
 		noOut := m.Diff(s.ValidCur(), src(c, realized))
-		dl := m.AndN(certSpan, noOut, m.Not(mask.Invariant))
+		dl := sc.Keep(m.AndN(certSpan, noOut, m.Not(mask.Invariant)))
 		stats.Step2 += time.Since(t1)
 
 		if dl == bdd.False {
 			stats.Total = time.Since(start)
 			stats.BDDNodes = m.Size()
 			opts.logf("lazy: converged after %d iteration(s)", iter)
+			// The result's relations outlive this call's scope; root them for
+			// the life of the manager.
 			return &Result{
-				Trans:     realized,
-				Invariant: mask.Invariant,
-				FaultSpan: certSpan,
+				Trans:     m.Ref(realized),
+				Invariant: m.Ref(mask.Invariant),
+				FaultSpan: m.Ref(certSpan),
 				Stats:     stats,
 			}, nil
 		}
 		opts.logf("lazy: iteration %d: %g deadlock state(s); augmenting spec",
 			iter, s.CountStates(dl))
-		lastDL, lastRealized, lastInv = dl, realized, mask.Invariant
+		lastDL.Set(dl)
+		lastRealized.Set(realized)
+		lastInv.Set(mask.Invariant)
 
 		// Feedback (Algorithm 1 line 11, refined). A state deadlocks when
 		// Step 2 removed its Step-1 transitions because their groups were
@@ -178,24 +209,25 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		// transitions into them lets the group complete as free transitions
 		// in the next iteration. Only when no blocker can be eliminated are
 		// the deadlock states themselves made unreachable.
+		isc := m.Protect()
 		free := m.And(m.Not(mask.FaultSpan), s.ValidTrans())
-		have := m.Or(m.And(mask.Trans, s.ValidTrans()), free)
-		dlOut := m.And(mask.Trans, dl)
-		blockers := bdd.False
+		have := isc.Keep(m.Or(m.And(mask.Trans, s.ValidTrans()), free))
+		dlOut := isc.Keep(m.And(mask.Trans, dl))
+		blockersS := isc.Slot(bdd.False)
 		for _, p := range c.Procs {
 			cand := m.And(dlOut, p.WriteOK)
 			if cand == bdd.False {
 				continue
 			}
 			missing := m.Diff(p.Group(cand), have)
-			blockers = m.Or(blockers, src(c, missing))
+			blockersS.Set(m.Or(blockersS.Node(), src(c, missing)))
 		}
-		blockers = m.Diff(blockers, mask.Invariant)
+		blockers := isc.Keep(m.Diff(blockersS.Node(), mask.Invariant))
 
 		escape := m.AndN(mask.FaultSpan, m.Not(s.Prime(mask.FaultSpan)), s.ValidTrans())
-		next := m.Or(badTrans, escape)
+		next := isc.Slot(m.Or(badTrans.Node(), escape))
 		if blockers != bdd.False {
-			next = m.Or(next, m.And(s.Prime(blockers), s.ValidTrans()))
+			next.Set(m.Or(next.Node(), m.And(s.Prime(blockers), s.ValidTrans())))
 			opts.logf("lazy: iteration %d: banning entry to %g blocking state(s)",
 				iter, s.CountStates(blockers))
 		}
@@ -206,23 +238,24 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		// the original protocol, whose groups do survive.
 		unrealizable := m.Diff(dlOut, realized)
 		if unrealizable != bdd.False {
-			next = m.Or(next, unrealizable)
+			next.Set(m.Or(next.Node(), unrealizable))
 		}
-		if next == badTrans {
+		if next.Node() == badTrans.Node() {
 			// No new blocker information: fall back to making the deadlock
 			// states themselves unreachable.
-			next = m.Or(next, m.And(s.Prime(dl), s.ValidTrans()))
+			next.Set(m.Or(next.Node(), m.And(s.Prime(dl), s.ValidTrans())))
 		}
-		badTrans = next
-		invariant = mask.Invariant
+		badTrans.Set(next.Node())
+		invariant.Set(mask.Invariant)
+		isc.Release()
 	}
 	// Carry evidence out of the failure: a certified trace to one of the
 	// deadlock states the final iteration could not eliminate. Extraction
 	// failure (or cancellation racing the bound) falls back to the bare
 	// sentinel.
-	if lastDL != bdd.False {
+	if lastDL.Node() != bdd.False {
 		x := witness.New(c)
-		if tr, werr := x.Deadlock(ctx, lastRealized, lastInv, lastDL); werr == nil && tr != nil {
+		if tr, werr := x.Deadlock(ctx, lastRealized.Node(), lastInv.Node(), lastDL.Node()); werr == nil && tr != nil {
 			tr.Check = "repair convergence"
 			return nil, &DeadlockError{Witness: tr, err: ErrNoConvergence}
 		}

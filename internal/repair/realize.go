@@ -25,11 +25,16 @@ import (
 func Realize(c *program.Compiled, delta, span bdd.Node) bdd.Node {
 	parts := RealizeParts(c, delta, span)
 	m := c.Space.M
-	out := bdd.False
+	sc := m.Protect()
+	defer sc.Release()
 	for _, p := range parts {
-		out = m.Or(out, p)
+		sc.Keep(p)
 	}
-	return out
+	out := sc.Slot(bdd.False)
+	for _, p := range parts {
+		out.Set(m.Or(out.Node(), p))
+	}
+	return out.Node()
 }
 
 // RealizeParts is Realize exposing the per-process transition sets δ_j. Each
@@ -38,11 +43,14 @@ func Realize(c *program.Compiled, delta, span bdd.Node) bdd.Node {
 // groups from a part (e.g. to break livelocks) without losing realizability.
 func RealizeParts(c *program.Compiled, delta, span bdd.Node) []bdd.Node {
 	m := c.Space.M
+	sc := m.Protect()
+	defer sc.Release()
 	free := m.And(m.Not(span), c.Space.ValidTrans())
-	d := m.Or(m.And(delta, c.Space.ValidTrans()), free)
+	d := sc.Keep(m.Or(m.And(delta, c.Space.ValidTrans()), free))
 	parts := make([]bdd.Node, len(c.Procs))
 	for j, p := range c.Procs {
-		parts[j] = p.MaxRealizableSubset(d)
+		// Earlier parts must survive the later processes' group closures.
+		parts[j] = sc.Keep(p.MaxRealizableSubset(d))
 	}
 	return parts
 }

@@ -69,6 +69,16 @@ func cancelled(ctx context.Context) error {
 	return nil
 }
 
+// engineErr classifies an error returned by a parallel-engine call: a
+// context cancellation is wrapped like cancelled(ctx); anything else (e.g. a
+// *bdd.BudgetError converted by the worker pool) propagates unchanged.
+func engineErr(ctx context.Context, err error) error {
+	if cerr := cancelled(ctx); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
 // Options tune the repair algorithms.
 type Options struct {
 	// ReachabilityHeuristic restricts Step 1 to the states reachable by the
@@ -93,6 +103,17 @@ type Options struct {
 	// same synthesized program: intermediate sets are canonical BDDs and
 	// worker results are merged in deterministic task order.
 	Workers int
+	// GCThreshold overrides the managers' automatic-collection cadence for
+	// this run: a positive value collects after that many node allocations, a
+	// negative value disables automatic collection entirely (benchmarking the
+	// GC-off baseline), and 0 keeps the manager default (or the
+	// REPRO_GC_STRESS override).
+	GCThreshold int64
+	// NodeBudget, when positive, bounds the live BDD node count of the run's
+	// managers: if the synthesis pushes the live count past the budget and a
+	// collection cannot bring it back under, the run fails with a
+	// *bdd.BudgetError instead of exhausting memory. Zero means unbounded.
+	NodeBudget int64
 	// Logf, when non-nil, receives progress lines.
 	//
 	// Concurrency contract: a single repair call invokes Logf sequentially
@@ -156,11 +177,17 @@ func src(c *program.Compiled, delta bdd.Node) bdd.Node {
 // preimageAny returns the union of per-partition preimages of target.
 func preimageAny(c *program.Compiled, target bdd.Node, parts []bdd.Node) bdd.Node {
 	m := c.Space.M
-	out := bdd.False
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(target)
 	for _, p := range parts {
-		out = m.Or(out, c.Space.Preimage(target, p))
+		sc.Keep(p)
 	}
-	return out
+	out := sc.Slot(bdd.False)
+	for _, p := range parts {
+		out.Set(m.Or(out.Node(), c.Space.Preimage(target, p)))
+	}
+	return out.Node()
 }
 
 // srcInto returns the states of from with an edge into to, computed per
@@ -172,12 +199,18 @@ func preimageAny(c *program.Compiled, target bdd.Node, parts []bdd.Node) bdd.Nod
 func srcInto(c *program.Compiled, parts []bdd.Node, from, to bdd.Node) bdd.Node {
 	m := c.Space.M
 	s := c.Space
-	out := bdd.False
-	primed := s.Prime(to)
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(from)
 	for _, p := range parts {
-		out = m.Or(out, m.AndExists(p, primed, s.NextCube()))
+		sc.Keep(p)
 	}
-	return m.And(from, out)
+	primed := sc.Keep(s.Prime(to))
+	out := sc.Slot(bdd.False)
+	for _, p := range parts {
+		out.Set(m.Or(out.Node(), m.AndExists(p, primed, s.NextCube())))
+	}
+	return m.And(from, out.Node())
 }
 
 // cyclicCore returns the greatest fixpoint of states in region with a
@@ -192,18 +225,24 @@ func srcInto(c *program.Compiled, parts []bdd.Node, from, to bdd.Node) bdd.Node 
 func cyclicCore(c *program.Compiled, parts []bdd.Node, region bdd.Node) bdd.Node {
 	m := c.Space.M
 	s := c.Space
-	rel := bdd.False
-	inside := m.And(region, s.Prime(region))
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(region)
 	for _, p := range parts {
-		rel = m.Or(rel, m.And(p, inside))
+		sc.Keep(p)
 	}
-	z := region
+	rel := sc.Slot(bdd.False)
+	inside := sc.Keep(m.And(region, s.Prime(region)))
+	for _, p := range parts {
+		rel.Set(m.Or(rel.Node(), m.And(p, inside)))
+	}
+	z := sc.Slot(region)
 	for {
-		next := m.And(z, m.AndExists(rel, s.Prime(z), s.NextCube()))
-		if next == z {
-			return z
+		next := m.And(z.Node(), m.AndExists(rel.Node(), s.Prime(z.Node()), s.NextCube()))
+		if next == z.Node() {
+			return z.Node()
 		}
-		z = next
+		z.Set(next)
 	}
 }
 
@@ -214,17 +253,20 @@ func cyclicCore(c *program.Compiled, parts []bdd.Node, region bdd.Node) bdd.Node
 func ComputeMsMt(c *program.Compiled, badTrans bdd.Node) (ms, mt bdd.Node) {
 	m := c.Space.M
 	s := c.Space
-	ms = c.BadStates
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(badTrans)
 	// Sources of fault transitions that themselves violate safety.
-	ms = m.Or(ms, src(c, m.And(c.Fault, badTrans)))
+	msS := sc.Slot(m.Or(c.BadStates, src(c, m.And(c.Fault, badTrans))))
 	for {
-		pre := s.Preimage(ms, c.Fault)
-		next := m.Or(ms, pre)
-		if next == ms {
+		pre := s.Preimage(msS.Node(), c.Fault)
+		next := m.Or(msS.Node(), pre)
+		if next == msS.Node() {
 			break
 		}
-		ms = next
+		msS.Set(next)
 	}
+	ms = msS.Node()
 	mt = m.Or(badTrans, m.And(s.Prime(ms), s.ValidTrans()))
 	return ms, mt
 }
@@ -259,31 +301,38 @@ func ComputeMsMt(c *program.Compiled, badTrans bdd.Node) (ms, mt bdd.Node) {
 func LayeredRecovery(c *program.Compiled, invariant, span bdd.Node, availParts []bdd.Node) (rec, ranked bdd.Node) {
 	m := c.Space.M
 	s := c.Space
-	outside := m.Diff(span, invariant)
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(invariant)
+	for _, p := range availParts {
+		sc.Keep(p)
+	}
+	outside := sc.Keep(m.Diff(span, invariant))
 
 	// Cyclic core: states of T−S with an infinite avail-path inside T−S.
-	z := cyclicCore(c, availParts, outside)
+	z := sc.Keep(cyclicCore(c, availParts, outside))
 
-	acyclic := m.Diff(outside, z)
-	rec = bdd.False
+	acyclic := sc.Keep(m.Diff(outside, z))
+	recS := sc.Slot(bdd.False)
 	for _, part := range availParts {
-		rec = m.Or(rec, m.And(part, acyclic)) // keep everything from acyclic states
+		recS.Set(m.Or(recS.Node(), m.And(part, acyclic))) // keep everything from acyclic states
 	}
-	ranked = m.Or(invariant, acyclic)
-	remaining := z
-	for remaining != bdd.False {
-		primed := s.Prime(ranked)
-		step := bdd.False
+	rankedS := sc.Slot(m.Or(invariant, acyclic))
+	remaining := sc.Slot(z)
+	stepS := sc.Slot(bdd.False)
+	for remaining.Node() != bdd.False {
+		primed := sc.Keep(s.Prime(rankedS.Node()))
+		stepS.Set(bdd.False)
 		for _, part := range availParts {
-			step = m.Or(step, m.AndN(part, remaining, primed))
+			stepS.Set(m.Or(stepS.Node(), m.AndN(part, remaining.Node(), primed)))
 		}
-		newly := src(c, step)
+		newly := src(c, stepS.Node())
 		if newly == bdd.False {
 			break // leftover states cannot recover; caller prunes them
 		}
-		rec = m.Or(rec, step)
-		ranked = m.Or(ranked, newly)
-		remaining = m.Diff(remaining, newly)
+		recS.Set(m.Or(recS.Node(), stepS.Node()))
+		rankedS.Set(m.Or(rankedS.Node(), newly))
+		remaining.Set(m.Diff(remaining.Node(), newly))
 	}
-	return rec, ranked
+	return recS.Node(), rankedS.Node()
 }

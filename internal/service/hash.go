@@ -35,10 +35,12 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 	// Workers does not change the synthesized program (the engine is
 	// deterministic across worker counts), but the report records the
 	// effective count, so runs with different budgets must not alias in the
-	// cache. The version prefix is bumped whenever the report shape for the
-	// same inputs changes (v3: witnesses embedded in RunReport).
-	wr("v3\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00",
-		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers)
+	// cache. The node budget can turn a success into a failure, so it is part
+	// of the address too. The version prefix is bumped whenever the report
+	// shape for the same inputs changes (v3: witnesses embedded in RunReport;
+	// v4: node-lifetime counters in RunReport and node_budget in the spec).
+	wr("v4\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00nodebudget=%d\x00",
+		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers, opts.NodeBudget)
 
 	wr("name=%s\x00", def.Name)
 	wr("vars=%d\x00", len(def.Vars))

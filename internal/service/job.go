@@ -75,6 +75,12 @@ type Spec struct {
 	// TimeoutMS bounds the synthesis; 0 uses the service default. The clock
 	// starts at submission, so time spent queued counts against the job.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NodeBudget bounds the job's live BDD node count: a synthesis that grows
+	// past it (and that garbage collection cannot shrink back under) fails
+	// with a budget error instead of exhausting the daemon's memory. 0 (the
+	// default) means unbounded. Part of the content address: a budgeted run
+	// can fail where an unbudgeted one succeeds, so they never alias.
+	NodeBudget int64 `json:"node_budget,omitempty"`
 }
 
 // resolve parses/builds the program definition and the core job, and
@@ -111,6 +117,9 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	if sp.Witnesses < 0 || sp.Witnesses > MaxWitnesses {
 		return nil, core.Job{}, "", fmt.Errorf("service: witnesses %d out of range [0,%d]", sp.Witnesses, MaxWitnesses)
 	}
+	if sp.NodeBudget < 0 {
+		return nil, core.Job{}, "", fmt.Errorf("service: node_budget %d must be non-negative", sp.NodeBudget)
+	}
 
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
@@ -122,6 +131,7 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	if opts.Workers == 0 {
 		opts.Workers = 1
 	}
+	opts.NodeBudget = sp.NodeBudget
 
 	job := core.Job{
 		Def:       def,

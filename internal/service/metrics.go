@@ -25,10 +25,26 @@ type metrics struct {
 	verifyNS  int64
 	witnessNS int64
 	totalNS   int64
+
+	gcRuns     int64 // BDD collections across all finished jobs
+	nodesFreed int64 // BDD nodes reclaimed across all finished jobs
+	peakNodes  int64 // gauge: largest per-job peak live node count seen
+	liveNodes  int64 // gauge: live node count of the most recent job
 }
 
 func (m *metrics) add(p *int64, v int64) { atomic.AddInt64(p, v) }
 func (m *metrics) get(p *int64) int64    { return atomic.LoadInt64(p) }
+func (m *metrics) set(p *int64, v int64) { atomic.StoreInt64(p, v) }
+
+// maxOf raises *p to v if v is larger (lock-free running maximum).
+func (m *metrics) maxOf(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
+}
 
 // write renders the metrics in the Prometheus text exposition format.
 func (m *metrics) write(w io.Writer, s *Service) {
@@ -66,6 +82,11 @@ func (m *metrics) write(w io.Writer, s *Service) {
 	c("ftrepaird_phase_verify_ns_total", "Wall time spent in independent verification.", m.get(&m.verifyNS))
 	c("ftrepaird_phase_witness_ns_total", "Wall time spent extracting witness traces.", m.get(&m.witnessNS))
 	c("ftrepaird_phase_repair_ns_total", "Wall time spent in repair (Step 1 + Step 2 + outer loop).", m.get(&m.totalNS))
+
+	c("ftrepaird_bdd_gc_runs_total", "BDD garbage collections across finished jobs.", m.get(&m.gcRuns))
+	c("ftrepaird_bdd_nodes_freed_total", "BDD nodes reclaimed across finished jobs.", m.get(&m.nodesFreed))
+	g("ftrepaird_bdd_peak_nodes", "Largest per-job peak live BDD node count observed.", m.get(&m.peakNodes))
+	g("ftrepaird_bdd_live_nodes", "Live BDD node count of the most recently finished job.", m.get(&m.liveNodes))
 }
 
 // MetricsSnapshot is the JSON shape of GET /metrics.json: the same counters
@@ -92,6 +113,11 @@ type MetricsSnapshot struct {
 	VerifyNS  int64 `json:"verify_ns"`
 	WitnessNS int64 `json:"witness_ns"`
 	TotalNS   int64 `json:"total_ns"`
+
+	BDDGCRuns     int64 `json:"bdd_gc_runs"`
+	BDDNodesFreed int64 `json:"bdd_nodes_freed"`
+	BDDPeakNodes  int64 `json:"bdd_peak_nodes"`
+	BDDLiveNodes  int64 `json:"bdd_live_nodes"`
 }
 
 // Metrics snapshots the service's counters and gauges.
@@ -119,5 +145,10 @@ func (s *Service) Metrics() MetricsSnapshot {
 		VerifyNS:  m.get(&m.verifyNS),
 		WitnessNS: m.get(&m.witnessNS),
 		TotalNS:   m.get(&m.totalNS),
+
+		BDDGCRuns:     m.get(&m.gcRuns),
+		BDDNodesFreed: m.get(&m.nodesFreed),
+		BDDPeakNodes:  m.get(&m.peakNodes),
+		BDDLiveNodes:  m.get(&m.liveNodes),
 	}
 }

@@ -335,6 +335,10 @@ func (s *Service) run(j *job) {
 		s.metrics.add(&s.metrics.verifyNS, report.VerifyNS)
 		s.metrics.add(&s.metrics.witnessNS, report.WitnessNS)
 		s.metrics.add(&s.metrics.totalNS, report.TotalNS)
+		s.metrics.add(&s.metrics.gcRuns, report.BDDGCRuns)
+		s.metrics.add(&s.metrics.nodesFreed, report.BDDNodesFreed)
+		s.metrics.maxOf(&s.metrics.peakNodes, report.BDDPeakNodes)
+		s.metrics.set(&s.metrics.liveNodes, report.BDDNodesLive)
 		// Publish to the cache BEFORE waking followers and clearing the
 		// in-flight slot, so anyone released by either always finds it.
 		s.cache.Put(j.key, report)

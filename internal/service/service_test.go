@@ -465,6 +465,56 @@ func TestWorkersSpecRunsAndRecords(t *testing.T) {
 	}
 }
 
+// TestNodeBudgetSpec covers the node_budget spec field end to end: validation,
+// content addressing, budget enforcement, and the node counters on success.
+func TestNodeBudgetSpec(t *testing.T) {
+	bad := Spec{Case: "ba", N: 2, NodeBudget: -1}
+	if _, _, _, err := bad.resolve(); err == nil {
+		t.Fatal("negative node_budget resolved without error")
+	}
+	key := func(b int64) string {
+		sp := Spec{Case: "ba", N: 2, NodeBudget: b}
+		_, _, k, err := sp.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key(0) == key(1000) {
+		t.Fatal("node_budget not folded into the content address")
+	}
+
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	v, err := s.Submit(Spec{Case: "sc", N: 6, NodeBudget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || !strings.Contains(final.Error, "budget") {
+		t.Fatalf("budgeted job state=%s err=%q, want a failed budget error", final.State, final.Error)
+	}
+
+	v2, err := s.Submit(Spec{Case: "sc", N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, err := s.Wait(context.Background(), v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != StateDone || final2.Result == nil {
+		t.Fatalf("unbudgeted job did not finish: state=%s err=%q", final2.State, final2.Error)
+	}
+	if final2.Result.BDDNodesLive <= 0 || final2.Result.BDDPeakNodes <= 0 {
+		t.Fatalf("report misses node counters: live=%d peak=%d",
+			final2.Result.BDDNodesLive, final2.Result.BDDPeakNodes)
+	}
+}
+
 // TestHTTPStructuredErrors decodes the {code, message} error body on each
 // failure path of the HTTP API.
 func TestHTTPStructuredErrors(t *testing.T) {

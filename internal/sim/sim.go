@@ -89,13 +89,22 @@ type Walker struct {
 // New builds a walker for the given program transitions and invariant
 // (typically either the original c.Trans/c.Invariant or a repair result's
 // Trans/Invariant). Runs start from random invariant states; see WithStart.
+// The walker roots its relations for the life of the manager: campaigns run
+// through many collection safe points.
 func New(c *program.Compiled, trans, invariant bdd.Node) *Walker {
+	m := c.Space.M
+	m.Ref(trans)
+	m.Ref(invariant)
+	m.Ref(invariant) // once more: start aliases it until WithStart
 	return &Walker{c: c, trans: trans, invariant: invariant, start: invariant}
 }
 
 // WithStart restricts the runs' initial states to the given predicate
 // (e.g. the all-undecided configurations of Byzantine agreement).
 func (w *Walker) WithStart(pred bdd.Node) *Walker {
+	m := w.c.Space.M
+	m.Ref(pred)
+	m.Deref(w.start)
 	w.start = pred
 	return w
 }

@@ -122,8 +122,12 @@ func (s *Space) finish() {
 	for i := range mapping {
 		mapping[i] = i
 	}
-	s.validCur, s.validNext = bdd.True, bdd.True
-	s.identity = bdd.True
+	// The accumulators below are carried across one BDD-op chain per
+	// variable; slots keep them rooted through collections, and the final
+	// values are rooted permanently — they live as long as the Space.
+	sc := m.Protect()
+	defer sc.Release()
+	vc, vn, id := sc.Slot(bdd.True), sc.Slot(bdd.True), sc.Slot(bdd.True)
 	for _, v := range s.Vars {
 		curLevels = append(curLevels, v.curLevels...)
 		nextLevels = append(nextLevels, v.nextLevels...)
@@ -131,12 +135,15 @@ func (s *Space) finish() {
 			mapping[v.curLevels[b]] = v.nextLevels[b]
 			mapping[v.nextLevels[b]] = v.curLevels[b]
 		}
-		s.validCur = m.And(s.validCur, v.validRange(v.curLevels))
-		s.validNext = m.And(s.validNext, v.validRange(v.nextLevels))
-		s.identity = m.And(s.identity, v.Unchanged())
+		vc.Set(m.And(vc.Node(), v.validRange(v.curLevels)))
+		vn.Set(m.And(vn.Node(), v.validRange(v.nextLevels)))
+		id.Set(m.And(id.Node(), v.Unchanged()))
 	}
-	s.curCube = m.Cube(curLevels)
-	s.nextCube = m.Cube(nextLevels)
+	s.validCur = m.Ref(vc.Node())
+	s.validNext = m.Ref(vn.Node())
+	s.identity = m.Ref(id.Node())
+	s.curCube = m.Ref(m.Cube(curLevels))
+	s.nextCube = m.Ref(m.Cube(nextLevels))
 	s.swap = m.NewPermutation(mapping)
 }
 
@@ -201,14 +208,17 @@ func (s *Space) Preimage(states, trans bdd.Node) bdd.Node {
 // trans (including init itself).
 func (s *Space) Reachable(init, trans bdd.Node) bdd.Node {
 	m := s.M
-	reached := m.And(init, s.validCur)
-	frontier := reached
-	for frontier != bdd.False {
-		next := m.Diff(s.Image(frontier, trans), reached)
-		reached = m.Or(reached, next)
-		frontier = next
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(trans)
+	reached := sc.Slot(m.And(init, s.validCur))
+	frontier := sc.Slot(reached.Node())
+	for frontier.Node() != bdd.False {
+		next := m.Diff(s.Image(frontier.Node(), trans), reached.Node())
+		reached.Set(m.Or(reached.Node(), next))
+		frontier.Set(next)
 	}
-	return reached
+	return reached.Node()
 }
 
 // ReachableParts computes the states reachable from init under the union of
@@ -230,7 +240,12 @@ func (s *Space) ReachableParts(init bdd.Node, parts []bdd.Node) bdd.Node {
 // (sound but incomplete) set reached so far.
 func (s *Space) ReachablePartsCtx(ctx context.Context, init bdd.Node, parts []bdd.Node) (bdd.Node, error) {
 	m := s.M
-	reached := m.And(init, s.validCur)
+	sc := m.Protect()
+	defer sc.Release()
+	for _, p := range parts {
+		sc.Keep(p)
+	}
+	reached := sc.Slot(m.And(init, s.validCur))
 	for {
 		changed := false
 		for _, p := range parts {
@@ -239,18 +254,18 @@ func (s *Space) ReachablePartsCtx(ctx context.Context, init bdd.Node, parts []bd
 			}
 			for {
 				if err := ctx.Err(); err != nil {
-					return reached, err
+					return reached.Node(), err
 				}
-				img := m.Diff(s.Image(reached, p), reached)
+				img := m.Diff(s.Image(reached.Node(), p), reached.Node())
 				if img == bdd.False {
 					break
 				}
-				reached = m.Or(reached, img)
+				reached.Set(m.Or(reached.Node(), img))
 				changed = true
 			}
 		}
 		if !changed {
-			return reached, nil
+			return reached.Node(), nil
 		}
 	}
 }
@@ -266,7 +281,13 @@ func (s *Space) BackwardReachableParts(target bdd.Node, parts []bdd.Node) bdd.No
 // checked at every preimage-application boundary (see ReachablePartsCtx).
 func (s *Space) BackwardReachablePartsCtx(ctx context.Context, target bdd.Node, parts []bdd.Node) (bdd.Node, error) {
 	m := s.M
-	reached := m.And(target, s.validCur)
+	sc := m.Protect()
+	defer sc.Release()
+	for _, p := range parts {
+		sc.Keep(p)
+	}
+	reached := sc.Slot(m.And(target, s.validCur))
+	frontier := sc.Slot(bdd.False)
 	for {
 		changed := false
 		for _, p := range parts {
@@ -278,22 +299,22 @@ func (s *Space) BackwardReachablePartsCtx(ctx context.Context, target bdd.Node, 
 			// (The forward fixpoint above deliberately images the full
 			// reached set instead — there the frontier BDDs grow larger
 			// than the set itself on these models.)
-			frontier := reached
+			frontier.Set(reached.Node())
 			for {
 				if err := ctx.Err(); err != nil {
-					return reached, err
+					return reached.Node(), err
 				}
-				pre := m.Diff(s.Preimage(frontier, p), reached)
+				pre := m.Diff(s.Preimage(frontier.Node(), p), reached.Node())
 				if pre == bdd.False {
 					break
 				}
-				reached = m.Or(reached, pre)
-				frontier = pre
+				reached.Set(m.Or(reached.Node(), pre))
+				frontier.Set(pre)
 				changed = true
 			}
 		}
 		if !changed {
-			return reached, nil
+			return reached.Node(), nil
 		}
 	}
 }
@@ -302,14 +323,17 @@ func (s *Space) BackwardReachablePartsCtx(ctx context.Context, target bdd.Node, 
 // zero or more steps.
 func (s *Space) BackwardReachable(target, trans bdd.Node) bdd.Node {
 	m := s.M
-	reached := m.And(target, s.validCur)
-	frontier := reached
-	for frontier != bdd.False {
-		prev := m.Diff(s.Preimage(frontier, trans), reached)
-		reached = m.Or(reached, prev)
-		frontier = prev
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(trans)
+	reached := sc.Slot(m.And(target, s.validCur))
+	frontier := sc.Slot(reached.Node())
+	for frontier.Node() != bdd.False {
+		prev := m.Diff(s.Preimage(frontier.Node(), trans), reached.Node())
+		reached.Set(m.Or(reached.Node(), prev))
+		frontier.Set(prev)
 	}
-	return reached
+	return reached.Node()
 }
 
 // CountStates returns the number of states in a state predicate (a function

@@ -212,7 +212,7 @@ func TestDecodeCube(t *testing.T) {
 
 func TestQuickReachableMonotone(t *testing.T) {
 	s := twoCounterSpace(t)
-	tr := incrementMod(s)
+	tr := s.M.Ref(incrementMod(s)) // held across many fixpoint runs
 	prop := func(xv, yv uint8) bool {
 		init, err := s.State(map[string]int{"x": int(xv % 3), "y": int(yv % 4)})
 		if err != nil {

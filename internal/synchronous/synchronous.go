@@ -60,7 +60,11 @@ type System struct {
 func New(c *program.Compiled) *System {
 	s := c.Space
 	m := s.M
-	sys := &System{C: c, Owned: bdd.True}
+	sys := &System{C: c}
+	// The System's relations live as long as the manager; root them
+	// permanently (like a Compiled's fields).
+	sc := m.Protect()
+	defer sc.Release()
 
 	owned := make(map[string]bool)
 	for _, p := range c.Procs {
@@ -68,34 +72,37 @@ func New(c *program.Compiled) *System {
 			owned[name] = true
 		}
 	}
+	ownedS := sc.Slot(bdd.True)
 	for _, v := range s.Vars {
 		if !owned[v.Name] {
-			sys.Owned = m.And(sys.Owned, v.Unchanged())
+			ownedS.Set(m.And(ownedS.Node(), v.Unchanged()))
 		}
 	}
+	sys.Owned = m.Ref(ownedS.Node())
 
 	for _, p := range c.Procs {
-		keepW := bdd.True
+		keepWS := sc.Slot(bdd.True)
 		var writeLevels []int
 		var frameCube []int
 		for _, v := range s.Vars {
 			if p.Write[v.Name] {
 				writeLevels = append(writeLevels, v.NextLevels()...)
-				keepW = m.And(keepW, v.Unchanged())
+				keepWS.Set(m.And(keepWS.Node(), v.Unchanged()))
 			} else {
 				frameCube = append(frameCube, v.NextLevels()...)
 			}
 		}
+		keepW := keepWS.Node()
 		// λ_j: strip the "others unchanged" frame from the compiled δ_j by
 		// projecting away every next bit outside W_j.
-		lambda := m.Exists(p.Trans, m.Cube(frameCube))
+		lambda := sc.Keep(m.Exists(p.Trans, m.Cube(frameCube)))
 		// A process with no enabled action keeps its variables.
 		enabled := m.AndExists(p.Trans, s.ValidTrans(), s.NextCube())
 		lambda = m.Or(lambda, m.And(m.Not(enabled), keepW))
 
-		sys.locals = append(sys.locals, lambda)
-		sys.writeCubes = append(sys.writeCubes, m.Cube(writeLevels))
-		sys.keep = append(sys.keep, keepW)
+		sys.locals = append(sys.locals, m.Ref(lambda))
+		sys.writeCubes = append(sys.writeCubes, m.Ref(m.Cube(writeLevels)))
+		sys.keep = append(sys.keep, m.Ref(keepW))
 
 		var obs []int
 		for _, v := range s.Vars {
@@ -106,10 +113,10 @@ func New(c *program.Compiled) *System {
 				obs = append(obs, v.NextLevels()...)
 			}
 		}
-		sys.obsCube = append(sys.obsCube, m.Cube(obs))
+		sys.obsCube = append(sys.obsCube, m.Ref(m.Cube(obs)))
 	}
 
-	sys.Trans = sys.compose(sys.locals)
+	sys.Trans = m.Ref(sys.compose(sys.locals))
 	return sys
 }
 
@@ -117,11 +124,12 @@ func New(c *program.Compiled) *System {
 // the conjunction of all locals, with unowned variables unchanged.
 func (sys *System) compose(locals []bdd.Node) bdd.Node {
 	m := sys.C.Space.M
-	out := m.And(sys.Owned, sys.C.Space.ValidTrans())
+	out := m.NewRooted(m.And(sys.Owned, sys.C.Space.ValidTrans()))
+	defer out.Release()
 	for _, l := range locals {
-		out = m.And(out, l)
+		out.Set(m.And(out.Node(), l))
 	}
-	return out
+	return out.Node()
 }
 
 // ProjectLocal extracts process j's local relation from a global transition
@@ -137,13 +145,15 @@ func (sys *System) ProjectLocal(j int, delta bdd.Node) bdd.Node {
 // its own per-process projections (the synchronous realizability check).
 func (sys *System) Realizable(delta bdd.Node) bool {
 	m := sys.C.Space.M
-	d := m.AndN(delta, sys.C.Space.ValidTrans(), sys.Owned)
+	sc := m.Protect()
+	defer sc.Release()
+	d := sc.Keep(m.AndN(delta, sys.C.Space.ValidTrans(), sys.Owned))
 	if d != m.And(delta, sys.C.Space.ValidTrans()) {
 		return false // changes an unowned variable
 	}
 	locals := make([]bdd.Node, len(sys.locals))
 	for j := range sys.locals {
-		locals[j] = sys.ProjectLocal(j, d)
+		locals[j] = sc.Keep(sys.ProjectLocal(j, d))
 	}
 	return sys.compose(locals) == d
 }
@@ -174,8 +184,10 @@ func Lazy(sys *System, opts repair.Options) (*Result, error) {
 	stats.ReachableStates = s.CountStates(
 		s.ReachableParts(c.Invariant, []bdd.Node{sys.Trans, c.Fault}))
 
-	invariant := c.Invariant
-	badTrans := c.BadTrans
+	sc := m.Protect()
+	defer sc.Release()
+	invariantS := sc.Slot(c.Invariant)
+	badTransS := sc.Slot(c.BadTrans)
 	maxIter := opts.MaxOuterIterations
 	if maxIter <= 0 {
 		maxIter = 64
@@ -183,37 +195,53 @@ func Lazy(sys *System, opts repair.Options) (*Result, error) {
 	for iter := 1; iter <= maxIter; iter++ {
 		stats.OuterIterations = iter
 		t0 := time.Now()
-		mask, err := syncProg.addMasking(invariant, badTrans, opts)
+		mask, err := syncProg.addMasking(invariantS.Node(), badTransS.Node(), opts)
 		stats.Step1 += time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
+		isc := m.Protect()
+		isc.Keep(mask.Trans)
+		isc.Keep(mask.Invariant)
+		isc.Keep(mask.FaultSpan)
 
 		t1 := time.Now()
 		locals, realized := sys.realize(mask)
+		for _, l := range locals {
+			isc.Keep(l)
+		}
+		isc.Keep(realized)
 		// Deadlock analysis: in synchronous semantics every state has the
 		// all-stutter successor, so "deadlocked" means the only successor
 		// is the state itself while it lies outside the invariant.
-		certSpan := s.ReachableParts(mask.Invariant, []bdd.Node{realized, c.Fault})
+		certSpan := isc.Keep(s.ReachableParts(mask.Invariant, []bdd.Node{realized, c.Fault}))
 		moving := m.AndExists(m.Diff(realized, s.Identity()), s.ValidTrans(), s.NextCube())
-		dl := m.AndN(certSpan, m.Not(moving), m.Not(mask.Invariant))
+		dl := isc.Keep(m.AndN(certSpan, m.Not(moving), m.Not(mask.Invariant)))
 		stats.Step2 += time.Since(t1)
 
 		if dl == bdd.False {
 			stats.Total = time.Since(start)
 			stats.BDDNodes = m.Size()
-			return &Result{
-				Trans:     realized,
-				Invariant: mask.Invariant,
-				FaultSpan: certSpan,
+			// The result's relations outlive this call's scopes; root them
+			// for the life of the manager.
+			res := &Result{
+				Trans:     m.Ref(realized),
+				Invariant: m.Ref(mask.Invariant),
+				FaultSpan: m.Ref(certSpan),
 				Stats:     stats,
 				Locals:    locals,
-			}, nil
+			}
+			for j := range res.Locals {
+				m.Ref(res.Locals[j])
+			}
+			isc.Release()
+			return res, nil
 		}
-		badTrans = m.OrN(badTrans,
+		badTransS.Set(m.OrN(badTransS.Node(),
 			m.And(s.Prime(dl), s.ValidTrans()),
-			m.AndN(mask.FaultSpan, m.Not(s.Prime(mask.FaultSpan)), s.ValidTrans()))
-		invariant = mask.Invariant
+			m.AndN(mask.FaultSpan, m.Not(s.Prime(mask.FaultSpan)), s.ValidTrans())))
+		invariantS.Set(mask.Invariant)
+		isc.Release()
 	}
 	return nil, ErrNoConvergence
 }
@@ -227,19 +255,25 @@ func (sys *System) realize(mask *syncMasking) ([]bdd.Node, bdd.Node) {
 	s := c.Space
 	m := s.M
 
+	sc := m.Protect()
+	defer sc.Release()
 	free := m.And(m.Not(mask.FaultSpan), s.ValidTrans())
-	allowed := m.OrN(m.And(mask.Trans, s.ValidTrans()), free, s.Identity())
+	allowed := sc.Keep(m.OrN(m.And(mask.Trans, s.ValidTrans()), free, s.Identity()))
 
 	locals := make([]bdd.Node, len(sys.locals))
+	localSlots := make([]*bdd.Rooted, len(sys.locals))
 	for j := range locals {
-		locals[j] = sys.ProjectLocal(j, allowed)
+		localSlots[j] = sc.Slot(bdd.False)
+		locals[j] = localSlots[j].Set(sys.ProjectLocal(j, allowed))
 	}
+	prodS := sc.Slot(bdd.False)
 	for {
-		prod := sys.compose(locals)
+		prod := prodS.Set(sys.compose(locals))
 		bad := m.Diff(prod, allowed)
 		if bad == bdd.False {
 			return locals, prod
 		}
+		sc.Keep(bad)
 		// Remove the local rows that participate in disallowed
 		// combinations, round-robin: drop from the first process whose
 		// projection of the bad set is nonempty. (Removing from all at once
@@ -253,7 +287,7 @@ func (sys *System) realize(mask *syncMasking) ([]bdd.Node, bdd.Node) {
 			if rows == bdd.False {
 				continue
 			}
-			locals[j] = m.Diff(locals[j], rows)
+			locals[j] = localSlots[j].Set(m.Diff(locals[j], rows))
 			removed = true
 			break
 		}
@@ -284,51 +318,65 @@ func (sc *syncCompiled) addMasking(invariant, badTrans bdd.Node, opts repair.Opt
 	s := c.Space
 	m := s.M
 
+	psc := m.Protect()
+	defer psc.Release()
 	ms, mt := repair.ComputeMsMt(c, badTrans)
-	notMT := m.Not(mt)
+	psc.Keep(ms)
+	psc.Keep(mt)
+	notMT := psc.Keep(m.Not(mt))
 
-	s1 := m.Diff(m.And(invariant, s.ValidCur()), ms)
-	if s1 == bdd.False {
+	s1S := psc.Slot(m.Diff(m.And(invariant, s.ValidCur()), ms))
+	if s1S.Node() == bdd.False {
 		return nil, ErrNotRepairable
 	}
 	universe := s.ValidCur()
 	if opts.ReachabilityHeuristic {
+		psc.Keep(invariant)
 		universe = s.ReachableParts(invariant, []bdd.Node{m.And(sys.Trans, notMT), c.Fault})
 	}
-	t1 := m.Diff(universe, ms)
+	t1S := psc.Slot(m.Diff(universe, ms))
 
-	var availInside, availOutside bdd.Node
-	var rec bdd.Node
+	availInsideS := psc.Slot(bdd.False)
+	availOutsideS := psc.Slot(bdd.False)
+	recS := psc.Slot(bdd.False)
+	t2S := psc.Slot(bdd.False)
 	for {
-		availInside = m.AndN(sys.Trans, s1, s.Prime(s1), notMT)
+		s1, t1 := s1S.Node(), t1S.Node()
+		availInside := availInsideS.Set(m.AndN(sys.Trans, s1, s.Prime(s1), notMT))
 		stay := m.AndN(sys.Owned, s.ValidTrans(), t1, s.Prime(t1))
-		availOutside = m.AndN(stay, m.Not(s1), notMT, m.Not(s.Identity()))
+		availOutside := availOutsideS.Set(m.AndN(stay, m.Not(s1), notMT, m.Not(s.Identity())))
 		avail := m.Or(availInside, availOutside)
 
-		t2 := m.And(t1, s.BackwardReachableParts(s1, []bdd.Node{avail}))
+		t2S.Set(m.And(t1, s.BackwardReachableParts(s1, []bdd.Node{avail})))
 		for {
-			escape := s.Preimage(m.Diff(s.ValidCur(), t2), c.Fault)
-			next := m.Diff(t2, escape)
-			if next == t2 {
+			escape := s.Preimage(m.Diff(s.ValidCur(), t2S.Node()), c.Fault)
+			next := m.Diff(t2S.Node(), escape)
+			if next == t2S.Node() {
 				break
 			}
-			t2 = next
+			t2S.Set(next)
 		}
+		t2 := t2S.Node()
 		s2 := m.And(s1, t2)
 		if s2 == bdd.False {
 			return nil, ErrNotRepairable
 		}
 		if s2 != s1 || t2 != t1 {
-			s1, t1 = s2, t2
+			s1S.Set(s2)
+			t1S.Set(t2)
 			continue
 		}
-		var ranked bdd.Node
-		rec, ranked = repair.LayeredRecovery(c, s1, t1, []bdd.Node{availOutside})
+		rec, ranked := repair.LayeredRecovery(c, s1, t1, []bdd.Node{availOutside})
+		recS.Set(rec)
 		if ranked != t1 {
-			t1 = ranked
+			t1S.Set(ranked)
 			continue
 		}
 		break
 	}
-	return &syncMasking{Trans: m.Or(availInside, rec), Invariant: s1, FaultSpan: t1}, nil
+	return &syncMasking{
+		Trans:     m.Or(availInsideS.Node(), recS.Node()),
+		Invariant: s1S.Node(),
+		FaultSpan: t1S.Node(),
+	}, nil
 }

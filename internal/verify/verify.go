@@ -140,10 +140,14 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 	m := c.Space.M
 	s := c.Space
 	rep := &Report{}
+	sc := m.Protect()
+	defer sc.Release()
 
 	inv, span, trans := res.Invariant, res.FaultSpan, res.Trans
+	sc.Keep(inv)
+	sc.Keep(span)
 	valid := s.ValidTrans()
-	trans = m.And(trans, valid)
+	trans = sc.Keep(m.And(trans, valid))
 
 	// --- problem-statement conditions (Section II) -----------------------
 	rep.add("invariant nonempty", inv != bdd.False, "")
@@ -155,7 +159,7 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 	escInv := m.AndN(trans, inv, m.Not(s.Prime(inv)))
 	rep.add("invariant closed in program", escInv == bdd.False, "")
 	rep.add("invariant inside fault-span", m.Implies(inv, span), "S' ⊆ T'")
-	combined := m.Or(trans, c.Fault)
+	combined := sc.Keep(m.Or(trans, c.Fault))
 	escSpan := m.AndN(combined, span, m.Not(s.Prime(span)))
 	rep.add("fault-span closed in program∪fault", escSpan == bdd.False, "")
 
@@ -169,10 +173,14 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 	if err != nil {
 		return nil, err
 	}
+	for _, p := range procParts {
+		sc.Keep(p) // the per-process parts feed every later check
+	}
 	reach, err := e.ReachableParts(ctx, inv, append(append([]bdd.Node{}, procParts...), c.FaultParts...))
 	if err != nil {
 		return nil, err
 	}
+	sc.Keep(reach)
 	rep.add("reachable within fault-span", m.Implies(reach, span), "")
 	badReach := m.And(reach, c.BadStates)
 	rep.add("no reachable bad state", badReach == bdd.False, "")
@@ -180,8 +188,8 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 	rep.add("no reachable bad transition", badStep == bdd.False, "")
 
 	// --- recovery (the liveness half of masking) ---------------------------
-	outside := m.Diff(span, inv)
-	noOut := m.Diff(outside, src(c, trans))
+	outside := sc.Keep(m.Diff(span, inv))
+	noOut := sc.Keep(m.Diff(outside, src(c, trans)))
 	rep.add("no deadlock outside invariant", noOut == bdd.False,
 		fmt.Sprintf("%g stuck state(s)", s.CountStates(noOut)))
 	// Greatest fixpoint: states in T'−S' from which some program-only path
@@ -191,19 +199,21 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 	// one layer per iteration, so a single static relation whose
 	// relational-product subresults stay cached across iterations beats
 	// re-scanning every partition per iteration (mirrors repair.cyclicCore).
-	inside := m.And(outside, s.Prime(outside))
-	cycRel := bdd.False
+	inside := sc.Keep(m.And(outside, s.Prime(outside)))
+	cycRelS := sc.Slot(bdd.False)
 	for _, p := range procParts {
-		cycRel = m.Or(cycRel, m.And(p, inside))
+		cycRelS.Set(m.Or(cycRelS.Node(), m.And(p, inside)))
 	}
-	cyclic := outside
+	cycRel := cycRelS.Node()
+	cyclicS := sc.Slot(outside)
 	for {
-		next := m.And(cyclic, m.AndExists(cycRel, s.Prime(cyclic), s.NextCube()))
-		if next == cyclic {
+		next := m.And(cyclicS.Node(), m.AndExists(cycRel, s.Prime(cyclicS.Node()), s.NextCube()))
+		if next == cyclicS.Node() {
 			break
 		}
-		cyclic = next
+		cyclicS.Set(next)
 	}
+	cyclic := cyclicS.Node()
 	rep.add("no livelock outside invariant", cyclic == bdd.False,
 		fmt.Sprintf("%g state(s) on non-recovering paths", s.CountStates(cyclic)))
 	// New finite computations: invariant states deadlocked now but not
@@ -230,18 +240,19 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 		if err != nil {
 			return nil, err
 		}
-		hasSucc := src(c, trans)
+		sc.Keep(progReach)
+		hasSucc := sc.Keep(src(c, trans))
 		for _, lt := range c.Liveness {
-			good := m.And(lt.To, s.ValidCur())
+			goodS := sc.Slot(m.And(lt.To, s.ValidCur()))
 			for {
-				escapes := src(c, m.And(trans, m.Not(s.Prime(good))))
-				next := m.Or(good, m.And(hasSucc, m.Not(escapes)))
-				if next == good {
+				escapes := src(c, m.And(trans, m.Not(s.Prime(goodS.Node()))))
+				next := m.Or(goodS.Node(), m.And(hasSucc, m.Not(escapes)))
+				if next == goodS.Node() {
 					break
 				}
-				good = next
+				goodS.Set(next)
 			}
-			pending := m.AndN(progReach, lt.From, m.Not(good))
+			pending := m.AndN(progReach, lt.From, m.Not(goodS.Node()))
 			name := lt.Name
 			if name == "" {
 				name = "leads-to"
@@ -252,15 +263,15 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, wi
 	}
 
 	// --- realizability (Definitions 19 and 20) -----------------------------
-	union := bdd.False
+	unionS := sc.Slot(bdd.False)
 	for j, p := range c.Procs {
 		part := procParts[j]
 		if !p.Realizable(part) {
 			rep.add("process "+p.Name+" subset realizable", false, "")
 		}
-		union = m.Or(union, part)
+		unionS.Set(m.Or(unionS.Node(), part))
 	}
-	rep.add("transitions decompose into processes", m.Implies(trans, union),
+	rep.add("transitions decompose into processes", m.Implies(trans, unionS.Node()),
 		"every transition belongs to a complete group of some process")
 
 	// --- witnesses ---------------------------------------------------------

@@ -77,7 +77,10 @@ func checkState(s *symbolic.Space, state map[string]int) error {
 func Certify(c *program.Compiled, trans, inv bdd.Node, tr *Trace) error {
 	s := c.Space
 	m := s.M
-	trans = m.And(trans, s.ValidTrans())
+	sc := m.Protect()
+	defer sc.Release()
+	trans = sc.Keep(m.And(trans, s.ValidTrans()))
+	sc.Keep(inv)
 
 	if tr.Kind == KindUnrealizable {
 		return certifyUnrealizable(c, trans, tr)

@@ -65,21 +65,23 @@ func (x *Extractor) stateNode(state map[string]int) bdd.Node {
 // followed by an anonymous remainder slice (transitions of trans no single
 // process realizes — they still belong to the relation being witnessed), and
 // finally the per-action fault slices.
-func (x *Extractor) parts(trans bdd.Node, withFaults bool) []part {
+func (x *Extractor) parts(sc *bdd.Scope, trans bdd.Node, withFaults bool) []part {
 	c := x.c
 	m := c.Space.M
-	trans = m.And(trans, c.Space.ValidTrans())
+	trans = sc.Keep(m.And(trans, c.Space.ValidTrans()))
 	var out []part
-	union := bdd.False
+	union := sc.Slot(bdd.False)
 	for _, p := range c.Procs {
-		sub := p.MaxRealizableSubset(trans)
-		union = m.Or(union, sub)
+		// Each slice is used for the caller's whole reconstruction, so it is
+		// rooted in the caller's scope.
+		sub := sc.Keep(p.MaxRealizableSubset(trans))
+		union.Set(m.Or(union.Node(), sub))
 		if sub != bdd.False {
 			out = append(out, part{rel: sub, kind: StepProgram, by: p.Name})
 		}
 	}
-	if rest := m.Diff(trans, union); rest != bdd.False {
-		out = append(out, part{rel: rest, kind: StepProgram})
+	if rest := m.Diff(trans, union.Node()); rest != bdd.False {
+		out = append(out, part{rel: sc.Keep(rest), kind: StepProgram})
 	}
 	if withFaults {
 		for i, f := range c.FaultParts {
@@ -98,29 +100,32 @@ func (x *Extractor) parts(trans bdd.Node, withFaults bool) []part {
 // soon as the reached set intersects stop (or at the fixpoint). The context
 // is checked every layer, so a caller's deadline interrupts a long
 // reconstruction even after the main fixpoint already finished.
-func (x *Extractor) forwardLayers(ctx context.Context, init bdd.Node, parts []part, stop bdd.Node) ([]bdd.Node, error) {
+func (x *Extractor) forwardLayers(ctx context.Context, sc *bdd.Scope, init bdd.Node, parts []part, stop bdd.Node) ([]bdd.Node, error) {
 	s := x.c.Space
 	m := s.M
-	reached := m.And(init, s.ValidCur())
-	layers := []bdd.Node{reached}
+	sc.Keep(stop)
+	reachedS := sc.Slot(sc.Keep(m.And(init, s.ValidCur())))
+	layers := []bdd.Node{reachedS.Node()}
+	nextS := sc.Slot(bdd.False)
 	for len(layers) < maxTraceSteps {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("witness: extraction interrupted: %w", err)
 		}
-		if m.And(reached, stop) != bdd.False {
+		if m.And(reachedS.Node(), stop) != bdd.False {
 			return layers, nil
 		}
 		frontier := layers[len(layers)-1]
-		next := bdd.False
+		nextS.Set(bdd.False)
 		for _, p := range parts {
-			next = m.Or(next, s.Image(frontier, p.rel))
+			nextS.Set(m.Or(nextS.Node(), s.Image(frontier, p.rel)))
 		}
-		next = m.Diff(next, reached)
+		next := nextS.Set(m.Diff(nextS.Node(), reachedS.Node()))
 		if next == bdd.False {
 			return layers, nil
 		}
-		reached = m.Or(reached, next)
-		layers = append(layers, next)
+		reachedS.Set(m.Or(reachedS.Node(), next))
+		// Every layer is walked back through later; root them all.
+		layers = append(layers, sc.Keep(next))
 	}
 	return layers, nil
 }
@@ -169,9 +174,9 @@ func (x *Extractor) walkBack(ctx context.Context, layers []bdd.Node, parts []par
 // tracePath reconstructs one shortest concrete path from init to target under
 // the labeled parts: a frontier-stack BFS followed by backward predecessor
 // popping. It returns nil (no error) when target is unreachable.
-func (x *Extractor) tracePath(ctx context.Context, init bdd.Node, parts []part, target bdd.Node) ([]Step, error) {
+func (x *Extractor) tracePath(ctx context.Context, sc *bdd.Scope, init bdd.Node, parts []part, target bdd.Node) ([]Step, error) {
 	m := x.c.Space.M
-	layers, err := x.forwardLayers(ctx, init, parts, target)
+	layers, err := x.forwardLayers(ctx, sc, init, parts, target)
 	if err != nil {
 		return nil, err
 	}
@@ -203,18 +208,20 @@ func (x *Extractor) Safety(ctx context.Context, trans, init bdd.Node) (*Trace, e
 	c := x.c
 	s := c.Space
 	m := s.M
-	parts := x.parts(trans, true)
+	sc := m.Protect()
+	defer sc.Release()
+	parts := x.parts(sc, trans, true)
 
 	// Sources of bad transitions of the program-or-fault relation.
-	combined := bdd.False
+	combinedS := sc.Slot(bdd.False)
 	for _, p := range parts {
-		combined = m.Or(combined, p.rel)
+		combinedS.Set(m.Or(combinedS.Node(), p.rel))
 	}
-	badStep := m.And(combined, c.BadTrans)
+	badStep := sc.Keep(m.And(combinedS.Node(), c.BadTrans))
 	badSrc := m.AndExists(badStep, s.ValidTrans(), s.NextCube())
-	target := m.Or(c.BadStates, badSrc)
+	target := sc.Keep(m.Or(c.BadStates, badSrc))
 
-	steps, err := x.tracePath(ctx, init, parts, target)
+	steps, err := x.tracePath(ctx, sc, init, parts, target)
 	if err != nil || steps == nil {
 		return nil, err
 	}
@@ -249,8 +256,10 @@ func (x *Extractor) Safety(ctx context.Context, trans, init bdd.Node) (*Trace, e
 // caller asserts has no outgoing trans step. It returns nil when no dead
 // state is reachable.
 func (x *Extractor) Deadlock(ctx context.Context, trans, init, dead bdd.Node) (*Trace, error) {
-	parts := x.parts(trans, true)
-	steps, err := x.tracePath(ctx, init, parts, dead)
+	sc := x.c.Space.M.Protect()
+	defer sc.Release()
+	parts := x.parts(sc, trans, true)
+	steps, err := x.tracePath(ctx, sc, init, parts, dead)
 	if err != nil || steps == nil {
 		return nil, err
 	}
@@ -268,8 +277,11 @@ func (x *Extractor) Deadlock(ctx context.Context, trans, init, dead bdd.Node) (*
 func (x *Extractor) Livelock(ctx context.Context, trans, init, cyclic bdd.Node) (*Trace, error) {
 	s := x.c.Space
 	m := s.M
-	parts := x.parts(trans, true)
-	steps, err := x.tracePath(ctx, init, parts, cyclic)
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(cyclic) // read on every reconstruction step below
+	parts := x.parts(sc, trans, true)
+	steps, err := x.tracePath(ctx, sc, init, parts, cyclic)
 	if err != nil || steps == nil {
 		return nil, err
 	}
@@ -277,7 +289,7 @@ func (x *Extractor) Livelock(ctx context.Context, trans, init, cyclic bdd.Node) 
 	// cyclic set is a greatest fixpoint under exactly that edge relation, so
 	// a successor inside the set always exists and the finite set forces a
 	// repeat.
-	progParts := x.parts(trans, false)
+	progParts := x.parts(sc, trans, false)
 	seen := map[string]int{stateKey(steps[len(steps)-1].State): len(steps) - 1}
 	cur := steps[len(steps)-1].State
 	for len(steps) < maxTraceSteps {
@@ -321,12 +333,14 @@ func (x *Extractor) Unrealizable(ctx context.Context, trans bdd.Node) (*Trace, e
 	c := x.c
 	s := c.Space
 	m := s.M
-	d := m.And(trans, s.ValidTrans())
-	union := bdd.False
+	sc := m.Protect()
+	defer sc.Release()
+	d := sc.Keep(m.And(trans, s.ValidTrans()))
+	union := sc.Slot(bdd.False)
 	for _, p := range c.Procs {
-		union = m.Or(union, p.MaxRealizableSubset(d))
+		union.Set(m.Or(union.Node(), p.MaxRealizableSubset(d)))
 	}
-	resid := m.Diff(d, union)
+	resid := sc.Keep(m.Diff(d, union.Node()))
 	if resid == bdd.False {
 		return nil, nil
 	}
@@ -335,6 +349,7 @@ func (x *Extractor) Unrealizable(ctx context.Context, trans bdd.Node) (*Trace, e
 	}
 	move := x.pickMove(resid)
 	moveBDD, _ := s.Transition(move.From, move.To)
+	sc.Keep(moveBDD)
 	for _, p := range c.Procs {
 		// Only a process that could write this transition can be betrayed by
 		// its group; find the member the relation is missing.
@@ -395,6 +410,7 @@ const (
 // (trans, inv, span), so RecoveryDemos shares one table across fault
 // indices; full marks the fixpoint.
 type rankTable struct {
+	sc     *bdd.Scope // roots the layers for the table's lifetime
 	ranks  []bdd.Node
 	ranked bdd.Node
 	full   bool
@@ -416,8 +432,8 @@ func (x *Extractor) extendRanks(rt *rankTable, progParts []part, span bdd.Node) 
 		rt.full = true
 		return false
 	}
-	rt.ranks = append(rt.ranks, next)
-	rt.ranked = m.Or(rt.ranked, next)
+	rt.ranks = append(rt.ranks, rt.sc.Keep(next))
+	rt.ranked = rt.sc.Keep(m.Or(rt.ranked, next))
 	return true
 }
 
@@ -439,24 +455,26 @@ func (x *Extractor) recovery(ctx context.Context, trans, inv, span bdd.Node, fau
 	if faultIndex < 0 || faultIndex >= len(c.FaultParts) {
 		return nil, fmt.Errorf("witness: fault index %d out of range [0,%d)", faultIndex, len(c.FaultParts))
 	}
-	inv = m.And(inv, s.ValidCur())
-	span = m.And(span, s.ValidCur())
-	progParts := x.parts(trans, false)
+	sc := m.Protect()
+	defer sc.Release()
+	inv = sc.Keep(m.And(inv, s.ValidCur()))
+	span = sc.Keep(m.And(span, s.ValidCur()))
+	progParts := x.parts(sc, trans, false)
 
 	// Departure: the chosen fault's one-step exits from the invariant, then
 	// further fault drift within the span, layer by layer (capped — see
 	// maxDemoDrift).
-	entry := m.AndN(s.Image(inv, c.FaultParts[faultIndex]), m.Not(inv), span)
+	entry := sc.Keep(m.AndN(s.Image(inv, c.FaultParts[faultIndex]), m.Not(inv), span))
 	if entry == bdd.False {
 		// The fault cannot leave the invariant. If it is enabled there at
 		// all, that containment is itself the strongest demonstration: the
 		// excursion has length zero (see containedDemo). Otherwise the fault
 		// contributes no witness.
-		return x.containedDemo(ctx, progParts, inv, faultIndex)
+		return x.containedDemo(ctx, sc, progParts, inv, faultIndex)
 	}
-	faultParts := x.parts(bdd.False, true)
+	faultParts := x.parts(sc, bdd.False, true)
 	outLayers := []bdd.Node{entry}
-	outReached := entry
+	outReachedS := sc.Slot(entry)
 	for len(outLayers) <= maxDemoDrift {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("witness: extraction interrupted: %w", err)
@@ -466,23 +484,24 @@ func (x *Extractor) recovery(ctx context.Context, trans, inv, span bdd.Node, fau
 		for _, p := range faultParts {
 			next = m.Or(next, s.Image(frontier, p.rel))
 		}
-		next = m.AndN(m.Diff(next, outReached), m.Not(inv), span)
+		next = m.AndN(m.Diff(next, outReachedS.Node()), m.Not(inv), span)
 		if next == bdd.False {
 			break
 		}
-		outLayers = append(outLayers, next)
-		outReached = m.Or(outReached, next)
+		outLayers = append(outLayers, sc.Keep(next))
+		outReachedS.Set(m.Or(outReachedS.Node(), next))
 	}
+	outReached := outReachedS.Node()
 
 	// Grow the rank layers until the excursion is fully covered or
 	// maxDemoRank layers exist — and, past the cap, only until the excursion
 	// has at least one ranked state (guaranteed to terminate for a verified
 	// repair: every span state has finite rank).
 	if rt == nil {
-		rt = &rankTable{}
+		rt = &rankTable{sc: sc}
 	}
 	if rt.ranks == nil {
-		rt.ranks, rt.ranked = []bdd.Node{inv}, inv
+		rt.ranks, rt.ranked = []bdd.Node{rt.sc.Keep(inv)}, rt.sc.Keep(inv)
 	}
 	for !rt.full {
 		if err := ctx.Err(); err != nil {
@@ -527,6 +546,7 @@ func (x *Extractor) recovery(ctx context.Context, trans, inv, span bdd.Node, fau
 		// rank layers do not cover (cannot happen for a verified repair).
 		return nil, fmt.Errorf("witness: fault %d reaches no ranked excursion state", faultIndex)
 	}
+	sc.Keep(target)
 
 	// Reconstruct the fault prefix through the excursion layers.
 	k := -1
@@ -560,8 +580,9 @@ func (x *Extractor) recovery(ctx context.Context, trans, inv, span bdd.Node, fau
 	// rank suffices and the rank strictly decreases: the walk reaches the
 	// invariant in at most targetRank steps.
 	cur, curRank := steps[len(steps)-1].State, targetRank
+	curS := sc.Slot(bdd.False)
 	for {
-		curBDD := x.stateNode(cur)
+		curBDD := curS.Set(x.stateNode(cur))
 		if m.And(curBDD, inv) != bdd.False {
 			break
 		}
@@ -602,20 +623,20 @@ func (x *Extractor) recovery(ctx context.Context, trans, inv, span bdd.Node, fau
 // showing the computation proceeding undisturbed. The closure checks
 // guarantee the whole trace stays inside the invariant — an excursion of
 // length zero, which is the strongest form of recovery.
-func (x *Extractor) containedDemo(ctx context.Context, progParts []part, inv bdd.Node, faultIndex int) (*Trace, error) {
+func (x *Extractor) containedDemo(ctx context.Context, sc *bdd.Scope, progParts []part, inv bdd.Node, faultIndex int) (*Trace, error) {
 	c := x.c
 	s := c.Space
 	m := s.M
-	rel := m.AndN(c.FaultParts[faultIndex], inv, s.Prime(inv), s.ValidTrans())
-	if rel == bdd.False {
+	relS := sc.Slot(m.AndN(c.FaultParts[faultIndex], inv, s.Prime(inv), s.ValidTrans()))
+	if relS.Node() == bdd.False {
 		return nil, nil // the fault is not enabled anywhere in the invariant
 	}
 	// Prefer a fault step that visibly changes the state; some fault
 	// relations include stutters, which demonstrate nothing.
-	if moving := m.Diff(rel, x.identity()); moving != bdd.False {
-		rel = moving
+	if moving := m.Diff(relS.Node(), x.identity()); moving != bdd.False {
+		relS.Set(moving)
 	}
-	mv := x.pickMove(rel)
+	mv := x.pickMove(relS.Node())
 	name := ""
 	if faultIndex < len(c.Def.Faults) {
 		name = c.Def.Faults[faultIndex].Name
@@ -660,15 +681,18 @@ func (x *Extractor) containedDemo(ctx context.Context, progParts []part, inv bdd
 func (x *Extractor) identity() bdd.Node {
 	s := x.c.Space
 	m := s.M
-	out := bdd.True
+	out := m.NewRooted(bdd.True)
+	defer out.Release()
+	same := m.NewRooted(bdd.False)
+	defer same.Release()
 	for _, v := range s.Vars {
-		same := bdd.False
+		same.Set(bdd.False)
 		for val := 0; val < v.Domain; val++ {
-			same = m.Or(same, m.And(v.EqConst(val), v.NextEqConst(val)))
+			same.Set(m.Or(same.Node(), m.And(v.EqConst(val), v.NextEqConst(val))))
 		}
-		out = m.And(out, same)
+		out.Set(m.And(out.Node(), same.Node()))
 	}
-	return out
+	return out.Node()
 }
 
 // RecoveryDemos extracts up to n recovery demonstrations for a repaired
@@ -685,8 +709,11 @@ func RecoveryDemos(ctx context.Context, c *program.Compiled, trans, inv, span bd
 	var out []*Trace
 	// One rank table serves every fault: the layers depend only on
 	// (trans, inv, span), and the per-fault target selection reads a fixed
-	// prefix of them, so sharing changes no trace.
-	rt := &rankTable{}
+	// prefix of them, so sharing changes no trace. Its scope outlives the
+	// per-fault extraction scopes so the shared layers stay rooted.
+	rtsc := c.Space.M.Protect()
+	defer rtsc.Release()
+	rt := &rankTable{sc: rtsc}
 	for i := 0; i < len(c.FaultParts) && len(out) < n; i++ {
 		tr, err := x.recovery(ctx, trans, inv, span, i, rt)
 		if err != nil {

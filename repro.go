@@ -85,6 +85,9 @@ type (
 	// DeadlockError decorates ErrNoConvergence with a certified trace to a
 	// deadlock state the repair could not eliminate (use errors.As).
 	DeadlockError = repair.DeadlockError
+	// BudgetError reports that a synthesis exceeded the node budget set with
+	// WithNodeBudget (use errors.As).
+	BudgetError = bdd.BudgetError
 )
 
 // Update constructors, re-exported.
