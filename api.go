@@ -84,6 +84,20 @@ func WithNodeBudget(n int64) Option {
 	return func(c *repairConfig) { c.opts.NodeBudget = n }
 }
 
+// WithReorder arms dynamic variable reordering on the run's BDD managers: a
+// sifting pass runs once n nodes have been allocated since the last pass
+// and the table has materially outgrown the previous pass's result,
+// shrinking the shared node table by moving variables to locally optimal
+// order positions. n < 0
+// disables reordering even when the REPRO_REORDER_STRESS environment
+// variable is set; n = 0 (the default) keeps the manager default.
+// Reordering changes only memory and time, never results: the synthesized
+// program, the verifier verdict, and the witness traces are byte-identical
+// with it on or off.
+func WithReorder(n int64) Option {
+	return func(c *repairConfig) { c.opts.Reorder = n }
+}
+
 // WithWitnesses asks for up to n recovery demonstrations in
 // Result.Witnesses: certified traces, one per fault action, that leave the
 // synthesized invariant via faults and converge back to it via program
@@ -127,21 +141,21 @@ func Repair(ctx context.Context, def *Def, opts ...Option) (compiled *Compiled, 
 	if err != nil {
 		return nil, nil, err
 	}
-	if cfg.opts.NodeBudget > 0 {
-		eng.SetNodeBudget(cfg.opts.NodeBudget)
-		// A blown budget surfaces as a *bdd.BudgetError panic at a collection
-		// safe point; Repair is the run boundary that converts it back into
-		// an ordinary error.
-		defer func() {
-			if r := recover(); r != nil {
-				be, ok := r.(*BudgetError)
-				if !ok {
-					panic(r)
-				}
-				compiled, result, err = nil, nil, fmt.Errorf("repro: %w", be)
+	cfg.opts.ApplyEngine(eng)
+	// A blown budget surfaces as a *bdd.BudgetError panic at a collection
+	// safe point; Repair is a run boundary, so it converts the panic back
+	// into an ordinary error unconditionally — a budget can be armed even
+	// when this call didn't set one (WithOptions carrying a budget-bearing
+	// Options value, a stressed manager default).
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(*BudgetError)
+			if !ok {
+				panic(r)
 			}
-		}()
-	}
+			compiled, result, err = nil, nil, fmt.Errorf("repro: %w", be)
+		}
+	}()
 
 	var res *Result
 	switch cfg.alg {
@@ -173,12 +187,41 @@ func NodeStats(c *Compiled) (live, peak, gcRuns, freed int64) {
 	return st.NodesLive, st.PeakLive, st.GCRuns, st.NodesFreed
 }
 
-// VerifyContext is Verify with cancellation and the same parallel engine
-// machinery as Repair: the per-process checks fan out across workers.
-func VerifyContext(ctx context.Context, c *Compiled, res *Result, workers int) (*Report, error) {
-	eng, err := program.NewEngine(c, workers)
+// Verify independently checks a repair result against the paper's
+// definitions: the problem-statement conditions of Section II, masking
+// fault-tolerance (Definition 15), and realizability (Definitions 19–20).
+// It accepts the same functional options as Repair — WithWorkers fans the
+// per-process checks out across private managers, WithTimeout bounds the
+// checking, WithNodeBudget and WithReorder tune the BDD managers the same
+// way they do for synthesis. Options that only steer synthesis
+// (WithAlgorithm, WithWitnesses) are accepted and ignored.
+func Verify(ctx context.Context, c *Compiled, res *Result, opts ...Option) (report *Report, err error) {
+	cfg := repairConfig{opts: repair.DefaultOptions()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	eng, err := program.NewEngine(c, cfg.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
+	cfg.opts.ApplyEngine(eng)
+	// Verification is a run boundary of its own: a *bdd.BudgetError panic
+	// from c's manager (whose budget may have been armed by the synthesis
+	// that produced res, or by this call's options) must come back as an
+	// error here, not unwind into the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(*BudgetError)
+			if !ok {
+				panic(r)
+			}
+			report, err = nil, fmt.Errorf("repro: %w", be)
+		}
+	}()
 	return verify.ResultEngine(ctx, eng, res)
 }

@@ -21,7 +21,7 @@ func TestRepairSingleEntry(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
-		rep, err := VerifyContext(context.Background(), c, res, 2)
+		rep, err := Verify(context.Background(), c, res, WithWorkers(2))
 		if err != nil {
 			t.Fatalf("%v: verify: %v", alg, err)
 		}
@@ -51,23 +51,43 @@ func TestRepairTimeout(t *testing.T) {
 	}
 }
 
-// The deprecated wrappers must remain exact synonyms for the corresponding
-// Repair calls: same invariant, fault-span, and transition counts.
-func TestDeprecatedWrappersAgree(t *testing.T) {
-	def1, _ := CaseStudy("sc", 4)
-	c1, r1, err := Lazy(def1, DefaultOptions())
+// TestVerifyOptionsAgree checks the redesigned Verify against itself across
+// worker counts and manager tuning: same verdict, any options.
+func TestVerifyOptionsAgree(t *testing.T) {
+	def, _ := CaseStudy("sc", 4)
+	c, res, err := Repair(context.Background(), def)
 	if err != nil {
 		t.Fatal(err)
 	}
-	def2, _ := CaseStudy("sc", 4)
-	c2, r2, err := Repair(context.Background(), def2)
+	serial, err := Verify(context.Background(), c, res, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if CountStates(c1, r1.Invariant) != CountStates(c2, r2.Invariant) ||
-		CountStates(c1, r1.FaultSpan) != CountStates(c2, r2.FaultSpan) ||
-		CountTransitions(c1, r1.Trans) != CountTransitions(c2, r2.Trans) {
-		t.Fatal("Lazy wrapper and Repair disagree on sc n=4")
+	parallel, err := Verify(context.Background(), c, res, WithWorkers(3), WithReorder(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.OK() != parallel.OK() || !serial.OK() {
+		t.Fatalf("verify verdicts disagree: serial %v, parallel %v", serial.OK(), parallel.OK())
+	}
+}
+
+// TestVerifyBudgetError pins the run-boundary contract on the verification
+// path: a node budget blown while checking must come back as a *BudgetError
+// wrapped in an ordinary error, never as a panic escaping Verify.
+func TestVerifyBudgetError(t *testing.T) {
+	def, _ := CaseStudy("sc", 4)
+	c, res, err := Repair(context.Background(), def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(context.Background(), c, res, WithNodeBudget(16))
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Live <= be.Budget || be.Budget != 16 {
+		t.Fatalf("implausible BudgetError: %+v", be)
 	}
 }
 
@@ -76,12 +96,12 @@ func TestDeprecatedWrappersAgree(t *testing.T) {
 // manager mismatch rather than silently counting the wrong function.
 func TestCrossManagerPanics(t *testing.T) {
 	bigDef, _ := CaseStudy("ba", 3)
-	_, bigRes, err := Lazy(bigDef, DefaultOptions())
+	_, bigRes, err := Repair(context.Background(), bigDef)
 	if err != nil {
 		t.Fatal(err)
 	}
 	smallDef, _ := CaseStudy("sc", 3)
-	small, _, err := Lazy(smallDef, DefaultOptions())
+	small, _, err := Repair(context.Background(), smallDef)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,12 +11,18 @@
 //	benchjson -out perf.json  # alternate output path
 //	benchjson -workers 4      # parallel engine width (reports gain "workers")
 //	benchjson -gc             # GC on/off comparison -> BENCH_4.json
+//	benchjson -reorder        # reordering on/off comparison -> BENCH_5.json
 //
 // The -gc mode runs the two largest stabilizing-chain instances twice each —
 // once with automatic collection disabled and once with an aggressive
 // collection cadence — and writes records tagged with the GC arm, so the
 // peak-live-node reduction of mark-and-sweep GC is directly visible in the
 // bdd_peak_nodes fields.
+//
+// The -reorder mode runs the chain and Byzantine-agreement instances twice
+// each — reordering off and on, same GC cadence — and writes records tagged
+// with the reordering arm, so the node-table reduction of dynamic sifting is
+// directly visible in the bdd_peak_nodes / bdd_nodes_live fields.
 package main
 
 import (
@@ -63,7 +69,7 @@ type gcReport struct {
 // never trigger there, which would make the comparison vacuous).
 const aggressiveGCThreshold = 1 << 16
 
-func runOne(ctx context.Context, inst instance, workers, witnesses int, gcThreshold int64) (core.RunReport, error) {
+func runOne(ctx context.Context, inst instance, workers, witnesses int, gcThreshold, reorder int64) (core.RunReport, error) {
 	def, err := core.CaseStudy(inst.name, inst.n)
 	if err != nil {
 		return core.RunReport{}, err
@@ -71,6 +77,7 @@ func runOne(ctx context.Context, inst instance, workers, witnesses int, gcThresh
 	opts := repair.DefaultOptions()
 	opts.Workers = workers
 	opts.GCThreshold = gcThreshold
+	opts.Reorder = reorder
 	job := core.Job{
 		Def:       def,
 		Algorithm: core.LazyRepair,
@@ -97,7 +104,7 @@ func gcComparison(ctx context.Context, out string, workers, witnesses int) {
 	var reports []gcReport
 	for _, inst := range instances {
 		for _, arm := range arms {
-			r, err := runOne(ctx, inst, workers, witnesses, arm.threshold)
+			r, err := runOne(ctx, inst, workers, witnesses, arm.threshold, 0)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
@@ -106,6 +113,53 @@ func gcComparison(ctx context.Context, out string, workers, witnesses int) {
 			fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d gc=%-3s peak=%d live=%d gcruns=%d freed=%d total=%s\n",
 				inst.name, inst.n, arm.label, r.BDDPeakNodes, r.BDDNodesLive,
 				r.BDDGCRuns, r.BDDNodesFreed, time.Duration(r.TotalNS))
+		}
+	}
+	writeJSON(out, reports, len(reports))
+}
+
+// reorderReport is one record of the -reorder comparison: a RunReport tagged
+// with the reordering arm it ran under.
+type reorderReport struct {
+	Reorder string `json:"reorder"` // "off" or "on"
+	core.RunReport
+}
+
+// reorderSiftThreshold arms a sifting pass every 2^16 allocations (the
+// growth gate keeps actual passes much rarer): on the chain instances this
+// fires early enough to shrink the Step 1 fixpoint's working set, which is
+// where the peak lives.
+const reorderSiftThreshold = 1 << 16
+
+// reorderComparison runs the chain and Byzantine-agreement instances with
+// reordering off and on. Both arms keep the manager's default GC cadence:
+// an aggressive cadence would itself flatten the peaks reordering targets,
+// masking the comparison — at the default, the peak-live fields reflect the
+// fixpoints' actual working sets under each variable order.
+func reorderComparison(ctx context.Context, out string, quick bool, workers, witnesses int) {
+	instances := []instance{{"sc", 8}, {"sc", 12}, {"ba", 6}}
+	if quick {
+		instances = []instance{{"sc", 8}, {"ba", 3}}
+	}
+	arms := []struct {
+		label   string
+		reorder int64
+	}{
+		{"off", 0},
+		{"on", reorderSiftThreshold},
+	}
+	var reports []reorderReport
+	for _, inst := range instances {
+		for _, arm := range arms {
+			r, err := runOne(ctx, inst, workers, witnesses, 0, arm.reorder)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			reports = append(reports, reorderReport{Reorder: arm.label, RunReport: r})
+			fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d reorder=%-3s peak=%d live=%d passes=%d total=%s\n",
+				inst.name, inst.n, arm.label, r.BDDPeakNodes, r.BDDNodesLive,
+				r.BDDReorderRuns, time.Duration(r.TotalNS))
 		}
 	}
 	writeJSON(out, reports, len(reports))
@@ -133,6 +187,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel-engine worker managers per job (0 = GOMAXPROCS)")
 		witnesses = flag.Int("witnesses", 0, "recovery demonstrations per job (adds witness extraction to the measured phases)")
 		gc        = flag.Bool("gc", false, "run the GC on/off comparison on the chain instances instead of the ladder")
+		reorder   = flag.Bool("reorder", false, "run the variable-reordering on/off comparison instead of the ladder")
 	)
 	flag.Parse()
 
@@ -146,13 +201,20 @@ func main() {
 		gcComparison(ctx, *out, *workers, *witnesses)
 		return
 	}
+	if *reorder {
+		if *out == "" {
+			*out = "BENCH_5.json"
+		}
+		reorderComparison(ctx, *out, *quick, *workers, *witnesses)
+		return
+	}
 	if *out == "" {
 		*out = "BENCH_1.json"
 	}
 
 	var reports []core.RunReport
 	for _, inst := range ladder(*quick) {
-		r, err := runOne(ctx, inst, *workers, *witnesses, 0)
+		r, err := runOne(ctx, inst, *workers, *witnesses, 0, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)

@@ -44,6 +44,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
 		workers   = flag.Int("workers", 0, "parallel-engine worker managers (0 = GOMAXPROCS, 1 = serial)")
 		budget    = flag.Int64("node-budget", 0, "fail the run if live BDD nodes exceed this after a collection (0 = unbounded)")
+		reorder   = flag.Int64("reorder", 0, "run a BDD variable-reordering (sifting) pass after this many node allocations (0 = off)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 	opts.DeferCycleBreaking = *deferCyc
 	opts.Workers = *workers
 	opts.NodeBudget = *budget
+	opts.Reorder = *reorder
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -23,14 +24,19 @@ func Example() {
 		}},
 		Invariant: repro.Eq("a", 0),
 	}
-	c, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		fmt.Println("repair failed:", err)
 		return
 	}
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		fmt.Println("verify failed:", err)
+		return
+	}
 	fmt.Printf("invariant: %g state(s)\n", repro.CountStates(c, res.Invariant))
 	fmt.Printf("recovery:  %g transition(s)\n", repro.CountTransitions(c, res.Trans))
-	fmt.Printf("verified:  %v\n", repro.Verify(c, res).OK())
+	fmt.Printf("verified:  %v\n", rep.OK())
 	for _, line := range c.Procs[0].DescribeActions(res.Trans, 4) {
 		fmt.Println("protocol: ", line)
 	}
@@ -60,12 +66,17 @@ invariant light < 2
 		fmt.Println("parse failed:", err)
 		return
 	}
-	c, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		fmt.Println("repair failed:", err)
 		return
 	}
-	fmt.Printf("%s: verified %v\n", def.Name, repro.Verify(c, res).OK())
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		fmt.Println("verify failed:", err)
+		return
+	}
+	fmt.Printf("%s: verified %v\n", def.Name, rep.OK())
 	// Output:
 	// lamp: verified true
 }
@@ -78,13 +89,18 @@ func ExampleCaseStudy() {
 		fmt.Println(err)
 		return
 	}
-	c, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		fmt.Println("repair failed:", err)
 		return
 	}
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		fmt.Println("verify failed:", err)
+		return
+	}
 	fmt.Printf("%s: invariant %g states, verified %v\n",
-		def.Name, repro.CountStates(c, res.Invariant), repro.Verify(c, res).OK())
+		def.Name, repro.CountStates(c, res.Invariant), rep.OK())
 	// Output:
 	// BA(3): invariant 484 states, verified true
 }

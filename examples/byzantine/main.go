@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,7 +27,7 @@ func main() {
 	}
 	fmt.Printf("repairing %s (Byzantine general or one Byzantine non-general)…\n", def.Name)
 
-	c, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,10 @@ func main() {
 		repro.CountStates(c, s.ValidCur()), res.Stats.ReachableStates,
 		repro.CountStates(c, res.Invariant), res.Stats.Total, res.Stats.Step1, res.Stats.Step2)
 
-	rep := repro.Verify(c, res)
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("verified masking fault-tolerant and realizable: %v\n\n", rep.OK())
 
 	// Show process 0's synthesized decision logic for the d.g = 1 slice.

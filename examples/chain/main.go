@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,14 +27,18 @@ func main() {
 	}
 	fmt.Printf("repairing %s (%g states)…\n", def.Name, pow10(*n)*2)
 
-	c, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("repaired in %v (step1 %v, step2 %v), invariant %.3g states\n",
 		res.Stats.Total, res.Stats.Step1, res.Stats.Step2,
 		repro.CountStates(c, res.Invariant))
-	fmt.Printf("verified: %v\n\n", repro.Verify(c, res).OK())
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %v\n\n", rep.OK())
 
 	// The synthesized protocol of one middle process.
 	p := c.Procs[*n/2]

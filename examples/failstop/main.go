@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,13 +26,17 @@ func main() {
 	}
 	fmt.Printf("repairing %s (one Byzantine OR one crashed process)…\n", def.Name)
 
-	c, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("reachable %.3g states, repaired in %v (step1 %v, step2 %v)\n",
 		res.Stats.ReachableStates, res.Stats.Total, res.Stats.Step1, res.Stats.Step2)
-	fmt.Printf("verified: %v\n\n", repro.Verify(c, res).OK())
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %v\n\n", rep.OK())
 
 	// Crashed processes never act: intersect the program with "up.0 = 0 and
 	// p0 changes something" — it must be empty.

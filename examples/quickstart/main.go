@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,7 +74,7 @@ func main() {
 		}},
 		Invariant: repro.Eq("a", 0),
 	}
-	fc, res, err := repro.Lazy(flip, repro.DefaultOptions())
+	fc, res, err := repro.Repair(context.Background(), flip)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,6 +88,9 @@ func main() {
 		}
 	}
 
-	rep := repro.Verify(fc, res)
+	rep, err := repro.Verify(context.Background(), fc, res)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("verified: %v\n", rep.OK())
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -58,7 +59,7 @@ func main() {
 	}
 	fmt.Printf("fault-intolerant %s:\n  %s\n\n", def.Name, before)
 
-	c2, res, err := repro.Lazy(def, repro.DefaultOptions())
+	c2, res, err := repro.Repair(context.Background(), def)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -214,6 +214,32 @@ func (m *Manager) cofactor(f Node, level int32) (Node, Node) {
 	return n.low, n.high
 }
 
+// cofVarRec returns one cofactor of f with respect to the variable at the
+// given level, which — unlike cofactor's — may lie anywhere in the order,
+// not just at f's root. which selects high (1) or low (0). This is what lets
+// model picking walk variables in id order while the level order underneath
+// is arbitrary: when the order is the identity the recursion never descends
+// (the level is always at or above f's root), so it costs nothing extra.
+func (m *Manager) cofVarRec(f Node, level int32, which uint32) Node {
+	n := m.nodes[f]
+	if m.IsTerminal(f) || n.level > level {
+		return f
+	}
+	if n.level == level {
+		if which == 1 {
+			return n.high
+		}
+		return n.low
+	}
+	op := opCof0 + which
+	if r, ok := m.unLookup(op, f, Node(level)); ok {
+		return r
+	}
+	r := m.mk(n.level, m.cofVarRec(n.low, level, which), m.cofVarRec(n.high, level, which))
+	m.unStore(op, f, Node(level), r)
+	return r
+}
+
 // AndN returns the conjunction of all arguments (True for no arguments).
 func (m *Manager) AndN(fs ...Node) Node {
 	for _, f := range fs {

@@ -51,6 +51,12 @@ type Manager struct {
 
 	numVars int
 
+	// Variable order (see order.go). A variable's id is its creation index
+	// and never changes; its level is its current position in the order.
+	// Node records store levels; the public API speaks ids.
+	var2level []int32 // var2level[id] = level
+	level2var []int32 // level2var[level] = id
+
 	// Operation caches (direct-mapped).
 	ite  []iteEntry
 	bin  []binEntry
@@ -79,6 +85,23 @@ type Manager struct {
 	markBuf     []uint64 // reusable mark bitset
 	markStack   []Node   // reusable mark traversal stack
 
+	// Dynamic reordering (see order.go).
+	reorderThreshold  int64     // allocations between automatic sifting passes (<=0 disables)
+	allocSinceReorder int64     // allocations since the last sifting pass
+	reorderPending    bool      // a sifting pass is due at the next safe point
+	inReorder         bool      // a swap session is active
+	rl                [][]Node  // per-level node lists, valid during a session
+	depBuf            []swapDep // scratch: level-x nodes depending on level y
+	indepBuf          []Node    // scratch: level-x nodes independent of level y
+	lastCollectSize   int       // table size after the session's last collect
+	swapsThisPass     int       // adjacent swaps consumed by the current pass
+	touchedThisPass   int       // level-node touches consumed by the current pass
+	passWorkBudget    int       // touch budget of the current pass
+	reorderNextSize   int       // table size gate for the next automatic pass
+	pc                []int32   // session-local parent counts (live parents only)
+	extBits           []uint64  // session-local bitset of externally rooted nodes
+	deadCnt           int       // nodes currently dead (unreachable) in the session
+
 	// Statistics.
 	stats Stats
 
@@ -95,6 +118,8 @@ type Stats struct {
 	PeakLive       int64 // high-water mark of NodesLive
 	GCRuns         int64 // collections performed
 	NodesFreed     int64 // nodes reclaimed across all collections
+	ReorderRuns    int64 // sifting passes performed
+	ReorderSwaps   int64 // adjacent-level swaps across all passes
 }
 
 // Cache entries carry the epoch they were written in; an entry whose epoch
@@ -129,9 +154,9 @@ type relEntry struct {
 	epoch           uint32
 }
 
-// permutation is a registered level-to-level map used by Replace.
+// permutation is a registered variable-id renaming used by Replace.
 type permutation struct {
-	mapping []int32 // mapping[level] = new level
+	mapping []int32 // mapping[id] = new id
 }
 
 // op codes for the binary and unary caches.
@@ -144,6 +169,8 @@ const (
 	opForall
 	opReplace
 	opSimplify
+	opCof0 // cofactor w.r.t. the variable at a level (param = level)
+	opCof1
 )
 
 const (
@@ -185,6 +212,10 @@ func NewSized(cacheBits int) *Manager {
 	if s := stressThreshold(); s > 0 {
 		m.gcThreshold = s
 	}
+	if s := reorderStress(); s > 0 {
+		m.reorderThreshold = s
+	}
+	m.reorderNextSize = reorderFirstSize
 	return m
 }
 
@@ -220,17 +251,21 @@ func (m *Manager) Stats() Stats {
 
 // NewVar allocates a fresh variable at the end of the current order and
 // returns the BDD for that variable (the function that is true iff the
-// variable is true). The optional name is used by String and Dot output.
+// variable is true). The variable's id equals its creation index and is
+// stable across reorders. The optional name is used by String and Dot.
 func (m *Manager) NewVar(name string) Node {
 	m.safe(False, False, False)
-	level := int32(m.numVars)
+	id := int32(m.numVars)
+	level := id // a new variable always enters at the bottom of the order
 	m.numVars++
+	m.var2level = append(m.var2level, level)
+	m.level2var = append(m.level2var, id)
 	// Cached sat counts are relative to the variable count; invalidate them.
 	if len(m.sat) > 0 {
 		m.sat = make(map[Node]float64)
 	}
 	if name == "" {
-		name = fmt.Sprintf("x%d", level)
+		name = fmt.Sprintf("x%d", id)
 	}
 	m.varNames = append(m.varNames, name)
 	return m.keep(m.mk(level, False, True))
@@ -245,35 +280,37 @@ func (m *Manager) NewVars(n int) []Node {
 	return out
 }
 
-// Var returns the BDD for the variable at the given level. It panics if no
-// such variable has been allocated.
-func (m *Manager) Var(level int) Node {
-	if level < 0 || level >= m.numVars {
-		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, m.numVars))
+// Var returns the BDD for the variable with the given id (creation index).
+// It panics if no such variable has been allocated.
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
 	}
 	m.safe(False, False, False)
-	return m.keep(m.mkVar(int32(level)))
+	return m.keep(m.mkVar(m.var2level[v]))
 }
 
-// mkVar is Var without the safe point, for use inside recursions.
+// mkVar is Var without the safe point, for use inside recursions. It takes a
+// level, not a variable id.
 func (m *Manager) mkVar(level int32) Node {
 	return m.mk(level, False, True)
 }
 
-// NVar returns the negation of the variable at the given level.
-func (m *Manager) NVar(level int) Node {
-	if level < 0 || level >= m.numVars {
-		panic(fmt.Sprintf("bdd: variable level %d out of range [0,%d)", level, m.numVars))
+// NVar returns the negation of the variable with the given id.
+func (m *Manager) NVar(v int) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
 	}
 	m.safe(False, False, False)
-	return m.keep(m.mk(int32(level), True, False))
+	return m.keep(m.mk(m.var2level[v], True, False))
 }
 
-// VarName returns the registered name of the variable at the given level.
-func (m *Manager) VarName(level int) string { return m.varNames[level] }
+// VarName returns the registered name of the variable with the given id.
+func (m *Manager) VarName(v int) string { return m.varNames[v] }
 
-// Level returns the variable level of the root of f, or a value larger than
-// any variable level if f is a terminal.
+// Level returns the current order position of the root of f, or a value
+// larger than any variable level if f is a terminal. Levels move under
+// reordering; use VarOf for the stable variable id.
 func (m *Manager) Level(f Node) int {
 	return int(m.nodes[f].level)
 }
@@ -322,6 +359,11 @@ func (m *Manager) mk(level int32, low, high Node) Node {
 	m.allocSince++
 	if m.gcThreshold > 0 && m.allocSince >= m.gcThreshold {
 		m.gcPending = true
+	}
+	m.allocSinceReorder++
+	if m.reorderThreshold > 0 && m.allocSinceReorder >= m.reorderThreshold &&
+		len(m.nodes)-m.freeCnt >= m.reorderNextSize {
+		m.reorderPending = true
 	}
 	live := int64(len(m.nodes) - m.freeCnt)
 	if live > m.stats.PeakLive {

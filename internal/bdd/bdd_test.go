@@ -404,19 +404,19 @@ func TestSupport(t *testing.T) {
 func TestCubeRoundTrip(t *testing.T) {
 	m := New()
 	m.NewVars(10)
-	levels := []int{7, 2, 5}
-	cube := m.Cube(levels)
-	got := m.CubeLevels(cube)
+	vars := []int{7, 2, 5}
+	cube := m.Cube(vars)
+	got := m.CubeVars(cube)
 	if len(got) != 3 {
-		t.Fatalf("CubeLevels returned %v", got)
+		t.Fatalf("CubeVars returned %v", got)
 	}
 	seen := map[int]bool{}
-	for _, l := range got {
-		seen[l] = true
+	for _, v := range got {
+		seen[v] = true
 	}
-	for _, l := range levels {
-		if !seen[l] {
-			t.Fatalf("cube lost level %d: %v", l, got)
+	for _, v := range vars {
+		if !seen[v] {
+			t.Fatalf("cube lost variable %d: %v", v, got)
 		}
 	}
 }

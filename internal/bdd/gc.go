@@ -221,17 +221,23 @@ func (m *Manager) keep(r Node) Node {
 	return r
 }
 
-// safe is the collection safe point at the entry of every public operation.
-// The operands are temporarily rooted so the operation about to run cannot
-// lose them; unused operand positions are passed as terminals. After a
-// budget-triggered collection that still leaves the manager over budget,
-// safe panics with *BudgetError.
+// safe is the collection and reordering safe point at the entry of every
+// public operation. The operands are temporarily rooted so the operation
+// about to run cannot lose them; unused operand positions are passed as
+// terminals. A pending sifting pass subsumes a pending collection (it
+// collects at both session boundaries). After a budget-triggered collection
+// that still leaves the manager over budget, safe panics with *BudgetError.
 func (m *Manager) safe(f, g, h Node) {
-	if !m.gcPending {
+	if !m.gcPending && !m.reorderPending {
 		return
 	}
 	m.tmpRoots = [3]Node{f, g, h}
-	m.collect()
+	if m.reorderPending {
+		m.reorderPending = false
+		m.reorderNow()
+	} else {
+		m.collect()
+	}
 	m.tmpRoots = [3]Node{False, False, False}
 	if m.budgetHit {
 		m.budgetHit = false

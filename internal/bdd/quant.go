@@ -8,13 +8,16 @@ package bdd
 // As in apply.go, each public operation is a safe-point wrapper around a
 // private recursive body; recursive bodies only call other private bodies.
 
-// Cube builds the positive cube (conjunction) of the variables at the given
-// levels. Cubes identify the quantified variable sets for Exists, Forall and
-// AndExists.
-func (m *Manager) Cube(levels []int) Node {
+// Cube builds the positive cube (conjunction) of the variables with the
+// given ids. Cubes identify the quantified variable sets for Exists, Forall
+// and AndExists.
+func (m *Manager) Cube(vars []int) Node {
 	m.safe(False, False, False)
-	// Build from the bottom of the order upward so each mk is O(1).
-	sorted := append([]int(nil), levels...)
+	// Build from the bottom of the current order upward so each mk is O(1).
+	sorted := make([]int, len(vars))
+	for i, v := range vars {
+		sorted[i] = int(m.var2level[v])
+	}
 	insertionSortDesc(sorted)
 	r := True
 	for _, l := range sorted {
@@ -35,18 +38,20 @@ func insertionSortDesc(a []int) {
 	}
 }
 
-// CubeLevels returns the variable levels of a positive cube built by Cube.
-func (m *Manager) CubeLevels(cube Node) []int {
+// CubeVars returns the variable ids of a positive cube built by Cube,
+// ascending.
+func (m *Manager) CubeVars(cube Node) []int {
 	var out []int
 	for cube != True {
 		n := m.nodes[cube]
-		out = append(out, int(n.level))
+		out = append(out, int(m.level2var[n.level]))
 		if n.low == False {
 			cube = n.high
 		} else {
 			cube = n.low
 		}
 	}
+	insertionSortAsc(out)
 	return out
 }
 
@@ -177,15 +182,15 @@ func (m *Manager) andExistsRec(f, g, cube Node) Node {
 }
 
 // Permutation registers a variable renaming for use with Replace. mapping
-// maps old levels to new levels; it must be a bijection on the levels it
-// moves. Unlisted levels (mapping[i] == i) stay in place.
+// maps variable ids to variable ids; it must be a bijection on the ids it
+// moves. Unlisted ids (mapping[i] == i) stay in place.
 type Permutation struct {
 	id      Node // index into m.perm, used as cache parameter
 	mapping []int32
 }
 
-// NewPermutation registers mapping (old level -> new level) with the manager.
-// The mapping slice must have one entry per allocated variable.
+// NewPermutation registers mapping (old variable id -> new variable id) with
+// the manager. The mapping slice must have one entry per allocated variable.
 func (m *Manager) NewPermutation(mapping []int) *Permutation {
 	if len(mapping) != m.numVars {
 		panic("bdd: permutation length must equal NumVars")
@@ -225,7 +230,7 @@ func (m *Manager) replaceRec(f Node, p *Permutation) Node {
 	n := m.nodes[f]
 	lo := m.replaceRec(n.low, p)
 	hi := m.replaceRec(n.high, p)
-	r := m.iteRec(m.mkVar(p.mapping[n.level]), hi, lo)
+	r := m.iteRec(m.mkVar(m.var2level[p.mapping[m.level2var[n.level]]]), hi, lo)
 	m.unStore(opReplace, f, p.id, r)
 	return r
 }

@@ -1,0 +1,423 @@
+package bdd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkOrderInvariants verifies the structural invariants reordering must
+// preserve: var2level/level2var are inverse bijections, every live node is
+// reduced and ordered under the current level assignment, no two live slots
+// hold the same triple, and every live slot is findable in the unique table.
+func checkOrderInvariants(t *testing.T, m *Manager) {
+	t.Helper()
+	if len(m.var2level) != m.numVars || len(m.level2var) != m.numVars {
+		t.Fatalf("order arrays sized %d/%d, want %d", len(m.var2level), len(m.level2var), m.numVars)
+	}
+	for v, l := range m.var2level {
+		if m.level2var[l] != int32(v) {
+			t.Fatalf("var2level/level2var not inverse at var %d (level %d)", v, l)
+		}
+	}
+	type triple struct {
+		level     int32
+		low, high Node
+	}
+	seen := make(map[triple]Node)
+	for i := 2; i < len(m.nodes); i++ {
+		n := m.nodes[i]
+		if n.level == freeLevel {
+			continue
+		}
+		if n.level < 0 || int(n.level) >= m.numVars {
+			t.Fatalf("node %d has level %d outside [0,%d)", i, n.level, m.numVars)
+		}
+		if n.low == n.high {
+			t.Fatalf("node %d is not reduced", i)
+		}
+		for _, c := range [2]Node{n.low, n.high} {
+			cl := m.nodes[c].level
+			if cl == freeLevel {
+				t.Fatalf("node %d has freed child %d", i, c)
+			}
+			if cl <= n.level {
+				t.Fatalf("node %d (level %d) has child %d at level %d — not ordered", i, n.level, c, cl)
+			}
+		}
+		tr := triple{n.level, n.low, n.high}
+		if prev, dup := seen[tr]; dup {
+			t.Fatalf("nodes %d and %d share triple %+v — canonicity broken", prev, i, tr)
+		}
+		seen[tr] = Node(i)
+		// The slot must be reachable by probing.
+		h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.uniqueMask
+		for {
+			slot := m.unique[h]
+			if slot == Node(i) {
+				break
+			}
+			if slot == 0 {
+				t.Fatalf("node %d missing from the unique table", i)
+			}
+			h = (h + 1) & m.uniqueMask
+		}
+	}
+}
+
+// buildRandomFuncs makes a reproducible batch of functions over nvars
+// variables, exercising all the binary ops.
+func buildRandomFuncs(m *Manager, nvars, count int, seed int64) []Node {
+	rng := rand.New(rand.NewSource(seed))
+	vars := m.NewVars(nvars)
+	out := make([]Node, 0, count)
+	for i := 0; i < count; i++ {
+		f := vars[rng.Intn(nvars)]
+		for j := 0; j < 6; j++ {
+			g := vars[rng.Intn(nvars)]
+			if rng.Intn(3) == 0 {
+				g = m.Not(g)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				f = m.And(f, g)
+			case 1:
+				f = m.Or(f, g)
+			default:
+				f = m.Xor(f, g)
+			}
+		}
+		out = append(out, m.Ref(f))
+	}
+	return out
+}
+
+func TestSetOrderPreservesFunctionsAndHandles(t *testing.T) {
+	const nvars = 9
+	m := New()
+	funcs := buildRandomFuncs(m, nvars, 24, 1)
+	before := make([][]bool, len(funcs))
+	for i, f := range funcs {
+		before[i] = truthTable(m, f, nvars)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 8; round++ {
+		order := rng.Perm(nvars)
+		m.SetOrder(order)
+		checkOrderInvariants(t, m)
+		got := m.Order()
+		if !reflect.DeepEqual(got, order) {
+			t.Fatalf("round %d: Order() = %v, want %v", round, got, order)
+		}
+		for i, f := range funcs {
+			if after := truthTable(m, f, nvars); !reflect.DeepEqual(after, before[i]) {
+				t.Fatalf("round %d: function %d changed semantics after SetOrder(%v)", round, i, order)
+			}
+		}
+	}
+	// Back to the identity.
+	ident := make([]int, nvars)
+	for i := range ident {
+		ident[i] = i
+	}
+	m.SetOrder(ident)
+	checkOrderInvariants(t, m)
+	for i, f := range funcs {
+		if after := truthTable(m, f, nvars); !reflect.DeepEqual(after, before[i]) {
+			t.Fatalf("function %d changed semantics after returning to identity", i)
+		}
+	}
+}
+
+func TestReorderShrinksDisjointCover(t *testing.T) {
+	// The classic sifting win: f = (a0∧b0) ∨ (a1∧b1) ∨ … built under an
+	// order that separates every pair (all a's first, then all b's) is
+	// exponential; pairing the variables up makes it linear.
+	const pairs = 7
+	m := New()
+	vars := m.NewVars(2 * pairs)
+	f := False
+	for i := 0; i < pairs; i++ {
+		f = m.Or(f, m.And(vars[i], vars[pairs+i]))
+	}
+	m.Ref(f)
+	wide := m.NodeCount(f)
+	m.Reorder()
+	checkOrderInvariants(t, m)
+	narrow := m.NodeCount(f)
+	if narrow >= wide {
+		t.Fatalf("sifting did not shrink the cover: %d -> %d nodes", wide, narrow)
+	}
+	// 3 nodes per pair plus the terminal pair is the optimum shape.
+	if narrow > 3*pairs+2 {
+		t.Fatalf("sifting landed far from optimal: %d nodes for %d pairs", narrow, pairs)
+	}
+	if s := m.Stats(); s.ReorderRuns != 1 || s.ReorderSwaps == 0 {
+		t.Fatalf("stats not updated: runs=%d swaps=%d", s.ReorderRuns, s.ReorderSwaps)
+	}
+}
+
+func TestAutoReorderThreshold(t *testing.T) {
+	// Small tables never trigger automatically: the growth gate starts at
+	// reorderFirstSize regardless of how aggressive the threshold is.
+	m := New()
+	m.SetReorderThreshold(16)
+	buildRandomFuncs(m, 10, 40, 3)
+	if runs := m.Stats().ReorderRuns; runs != 0 {
+		t.Fatalf("reordering triggered on a table of %d nodes (gate is %d)", m.Size(), reorderFirstSize)
+	}
+	// A table past the gate does trigger. The separated disjoint cover is
+	// exponential in the pair count, so 12 pairs comfortably exceeds the gate.
+	m = New()
+	m.SetReorderThreshold(256)
+	const pairs = 12
+	vars := m.NewVars(2 * pairs)
+	f := False
+	for i := 0; i < pairs; i++ {
+		f = m.Or(f, m.And(vars[i], vars[pairs+i]))
+	}
+	m.Ref(f)
+	if runs := m.Stats().ReorderRuns; runs == 0 {
+		t.Fatal("automatic reordering never triggered")
+	}
+	checkOrderInvariants(t, m)
+	m.SetReorderThreshold(0)
+	runs := m.Stats().ReorderRuns
+	buildRandomFuncs(m, 2, 8, 4)
+	if m.Stats().ReorderRuns != runs {
+		t.Fatal("reordering triggered while disabled")
+	}
+}
+
+func TestPickCubeStableAcrossOrders(t *testing.T) {
+	const nvars = 8
+	m := New()
+	funcs := buildRandomFuncs(m, nvars, 16, 5)
+	picks := make([][]int8, len(funcs))
+	sups := make([][]int, len(funcs))
+	for i, f := range funcs {
+		picks[i] = m.PickCube(f)
+		sups[i] = m.Support(f)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < 5; round++ {
+		m.SetOrder(rng.Perm(nvars))
+		for i, f := range funcs {
+			if got := m.PickCube(f); !reflect.DeepEqual(got, picks[i]) {
+				t.Fatalf("round %d: PickCube changed under reorder: %v vs %v", round, got, picks[i])
+			}
+			if got := m.Support(f); !reflect.DeepEqual(got, sups[i]) {
+				t.Fatalf("round %d: Support changed under reorder: %v vs %v", round, got, sups[i])
+			}
+		}
+	}
+}
+
+func TestAllSatStableAcrossOrders(t *testing.T) {
+	const nvars = 6
+	m := New()
+	funcs := buildRandomFuncs(m, nvars, 8, 7)
+	collect := func(f Node) [][]int8 {
+		var out [][]int8
+		m.AllSat(f, func(cube []int8) bool {
+			out = append(out, append([]int8(nil), cube...))
+			return true
+		})
+		return out
+	}
+	before := make([][][]int8, len(funcs))
+	for i, f := range funcs {
+		before[i] = collect(f)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 4; round++ {
+		m.SetOrder(rng.Perm(nvars))
+		for i, f := range funcs {
+			if got := collect(f); !reflect.DeepEqual(got, before[i]) {
+				t.Fatalf("round %d: AllSat enumeration changed under reorder", round)
+			}
+		}
+	}
+}
+
+func TestPickCubeRandStableAcrossOrders(t *testing.T) {
+	const nvars = 8
+	m := New()
+	funcs := buildRandomFuncs(m, nvars, 8, 9)
+	sample := func(f Node) [][]int8 {
+		rng := rand.New(rand.NewSource(42))
+		coin := func() bool { return rng.Intn(2) == 1 }
+		var out [][]int8
+		for k := 0; k < 10; k++ {
+			out = append(out, m.PickCubeRand(f, coin))
+		}
+		return out
+	}
+	before := make([][][]int8, len(funcs))
+	for i, f := range funcs {
+		before[i] = sample(f)
+	}
+	m.SetOrder(rand.New(rand.NewSource(10)).Perm(nvars))
+	for i, f := range funcs {
+		if got := sample(f); !reflect.DeepEqual(got, before[i]) {
+			t.Fatalf("PickCubeRand coin-path changed under reorder for function %d", i)
+		}
+	}
+}
+
+func TestTransferAcrossDifferentOrders(t *testing.T) {
+	const nvars = 9
+	src := New()
+	funcs := buildRandomFuncs(src, nvars, 12, 11)
+	tables := make([][]bool, len(funcs))
+	for i, f := range funcs {
+		tables[i] = truthTable(src, f, nvars)
+	}
+	src.SetOrder(rand.New(rand.NewSource(12)).Perm(nvars))
+	dst := New()
+	dst.NewVars(nvars)
+	dst.SetOrder(rand.New(rand.NewSource(13)).Perm(nvars))
+	for i, f := range funcs {
+		g := dst.Ref(Import(dst, src.Export(f)))
+		if got := truthTable(dst, g, nvars); !reflect.DeepEqual(got, tables[i]) {
+			t.Fatalf("function %d corrupted by transfer across mismatched orders", i)
+		}
+		// Round-trip back into the source manager.
+		h := src.Ref(Import(src, dst.Export(g)))
+		if h != f {
+			t.Fatalf("function %d did not round-trip to the same node (got %d, want %d)", i, h, f)
+		}
+		src.Deref(h)
+		dst.Deref(g)
+	}
+}
+
+func TestTransferSameOrderStaysByteIdentical(t *testing.T) {
+	const nvars = 8
+	src := New()
+	funcs := buildRandomFuncs(src, nvars, 10, 14)
+	order := rand.New(rand.NewSource(15)).Perm(nvars)
+	src.SetOrder(order)
+	dst := New()
+	dst.NewVars(nvars)
+	dst.SetOrder(order)
+	for i, f := range funcs {
+		buf := src.Export(f)
+		alloc0 := dst.Stats().NodesAllocated
+		g := dst.Ref(Import(dst, buf))
+		first := dst.Stats().NodesAllocated - alloc0
+		// Re-import is free: the structural fast path hash-conses onto the
+		// nodes the first import built.
+		if g2 := Import(dst, buf); g2 != g {
+			t.Fatalf("function %d: re-import produced a different node", i)
+		}
+		if again := dst.Stats().NodesAllocated - alloc0; again != first {
+			t.Fatalf("function %d: re-import allocated %d fresh nodes", i, again-first)
+		}
+		if got := dst.Export(g); !reflect.DeepEqual(got, buf) {
+			t.Fatalf("function %d: matching orders did not re-export byte-identically", i)
+		}
+		dst.Deref(g)
+	}
+}
+
+func TestRootedHandlesSurviveReorder(t *testing.T) {
+	const nvars = 8
+	m := New()
+	vars := m.NewVars(nvars)
+	r := m.NewRooted(m.And(vars[0], m.Or(vars[5], m.Not(vars[3]))))
+	sc := m.Protect()
+	defer sc.Release()
+	kept := sc.Keep(m.Xor(vars[1], vars[6]))
+	want := truthTable(m, r.Node(), nvars)
+	wantKept := truthTable(m, kept, nvars)
+	for round := 0; round < 6; round++ {
+		m.SetOrder(rand.New(rand.NewSource(int64(round))).Perm(nvars))
+		m.GC()
+		if got := truthTable(m, r.Node(), nvars); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: rooted handle no longer denotes its function", round)
+		}
+		if got := truthTable(m, kept, nvars); !reflect.DeepEqual(got, wantKept) {
+			t.Fatalf("round %d: protected node no longer denotes its function", round)
+		}
+	}
+	r.Release()
+}
+
+func TestUniqueRemoveKeepsProbeChains(t *testing.T) {
+	m := New()
+	funcs := buildRandomFuncs(m, 11, 60, 16)
+	_ = funcs
+	// Remove every other live node from the table, verify the rest stay
+	// findable, then re-insert and verify again.
+	var removed []Node
+	for i := Node(2); int(i) < len(m.nodes); i++ {
+		if m.nodes[i].level == freeLevel {
+			continue
+		}
+		if i%2 == 0 {
+			m.uniqueRemove(i)
+			removed = append(removed, i)
+		}
+	}
+	for i := Node(2); int(i) < len(m.nodes); i++ {
+		n := m.nodes[i]
+		if n.level == freeLevel || i%2 == 0 {
+			continue
+		}
+		h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.uniqueMask
+		for {
+			slot := m.unique[h]
+			if slot == i {
+				break
+			}
+			if slot == 0 {
+				t.Fatalf("node %d unreachable after unrelated removals", i)
+			}
+			h = (h + 1) & m.uniqueMask
+		}
+	}
+	for _, n := range removed {
+		m.uniqueInsert(n)
+	}
+	checkOrderInvariants(t, m)
+}
+
+func TestReorderUnderGCStressInterleaving(t *testing.T) {
+	// Tiny thresholds for both systems force collections and sifts to
+	// interleave densely — the combined REPRO_GC_STRESS/REPRO_REORDER_STRESS
+	// mode in miniature.
+	const nvars = 10
+	m := New()
+	m.SetGCThreshold(128)
+	m.SetReorderThreshold(512)
+	funcs := buildRandomFuncs(m, nvars, 30, 17)
+	tables := make([][]bool, len(funcs))
+	for i, f := range funcs {
+		tables[i] = truthTable(m, f, nvars)
+	}
+	rng := rand.New(rand.NewSource(18))
+	acc := m.NewRooted(True)
+	defer acc.Release()
+	for step := 0; step < 200; step++ {
+		f := funcs[rng.Intn(len(funcs))]
+		g := funcs[rng.Intn(len(funcs))]
+		switch rng.Intn(3) {
+		case 0:
+			acc.Set(m.And(m.Or(f, acc.Node()), m.Not(g)))
+		case 1:
+			acc.Set(m.Xor(acc.Node(), m.And(f, g)))
+		default:
+			acc.Set(m.ITE(f, g, acc.Node()))
+		}
+	}
+	checkOrderInvariants(t, m)
+	for i, f := range funcs {
+		if got := truthTable(m, f, nvars); !reflect.DeepEqual(got, tables[i]) {
+			t.Fatalf("function %d corrupted by interleaved GC and reordering", i)
+		}
+	}
+	if s := m.Stats(); s.GCRuns == 0 || s.ReorderRuns == 0 {
+		t.Fatalf("stress interleaving did not exercise both systems: gc=%d reorder=%d", s.GCRuns, s.ReorderRuns)
+	}
+}

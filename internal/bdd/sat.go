@@ -63,11 +63,12 @@ func (m *Manager) satRec(f Node) float64 {
 // IsSat reports whether f has at least one satisfying assignment.
 func (m *Manager) IsSat(f Node) bool { return f != False }
 
-// Eval evaluates f under the given total assignment (indexed by level).
+// Eval evaluates f under the given total assignment (indexed by variable
+// id).
 func (m *Manager) Eval(f Node, assignment []bool) bool {
 	for !m.IsTerminal(f) {
 		n := m.nodes[f]
-		if assignment[n.level] {
+		if assignment[m.level2var[n.level]] {
 			f = n.high
 		} else {
 			f = n.low
@@ -77,24 +78,38 @@ func (m *Manager) Eval(f Node, assignment []bool) bool {
 }
 
 // PickCube returns one satisfying assignment of f as a slice indexed by
-// level with values 1 (true), 0 (false) and -1 (don't care). It returns nil
-// if f is unsatisfiable.
+// variable id with values 1 (true), 0 (false) and -1 (don't care). It
+// returns nil if f is unsatisfiable.
+//
+// The pick is canonical in the variable ids, not the order: variables are
+// examined in id order, choosing the false branch whenever it is satisfiable
+// and leaving variables the remaining function does not depend on as don't
+// cares. Two managers holding the same function under different variable
+// orders therefore pick the same cube — the property that keeps witness
+// traces byte-identical with reordering enabled. When the order is the
+// identity this degenerates into the plain root-to-terminal walk.
 func (m *Manager) PickCube(f Node) []int8 {
 	if f == False {
 		return nil
 	}
+	m.safe(f, False, False)
 	out := make([]int8, m.numVars)
 	for i := range out {
 		out[i] = -1
 	}
-	for !m.IsTerminal(f) {
-		n := m.nodes[f]
-		if n.low != False {
-			out[n.level] = 0
-			f = n.low
+	for v := 0; v < m.numVars && !m.IsTerminal(f); v++ {
+		lvl := m.var2level[v]
+		f0 := m.cofVarRec(f, lvl, 0)
+		f1 := m.cofVarRec(f, lvl, 1)
+		if f0 == f1 {
+			continue // f does not depend on v
+		}
+		if f0 != False {
+			out[v] = 0
+			f = f0
 		} else {
-			out[n.level] = 1
-			f = n.high
+			out[v] = 1
+			f = f1
 		}
 	}
 	return out
@@ -102,74 +117,98 @@ func (m *Manager) PickCube(f Node) []int8 {
 
 // PickCubeRand is PickCube with randomized branch choices: whenever both
 // cofactors are satisfiable, coin() decides which branch to take, so
-// repeated calls sample different models. Levels not on the chosen path are
-// left as -1 (don't care).
+// repeated calls sample different models. Variables the chosen model does
+// not constrain are left as -1 (don't care). Like PickCube, the walk is in
+// variable-id order, so the sequence of coin() consultations depends only on
+// the function, not on the current variable order.
 func (m *Manager) PickCubeRand(f Node, coin func() bool) []int8 {
 	if f == False {
 		return nil
 	}
+	m.safe(f, False, False)
 	out := make([]int8, m.numVars)
 	for i := range out {
 		out[i] = -1
 	}
-	for !m.IsTerminal(f) {
-		n := m.nodes[f]
+	for v := 0; v < m.numVars && !m.IsTerminal(f); v++ {
+		lvl := m.var2level[v]
+		f0 := m.cofVarRec(f, lvl, 0)
+		f1 := m.cofVarRec(f, lvl, 1)
 		switch {
-		case n.low == False:
-			out[n.level] = 1
-			f = n.high
-		case n.high == False:
-			out[n.level] = 0
-			f = n.low
+		case f0 == f1:
+			continue
+		case f0 == False:
+			out[v] = 1
+			f = f1
+		case f1 == False:
+			out[v] = 0
+			f = f0
 		case coin():
-			out[n.level] = 1
-			f = n.high
+			out[v] = 1
+			f = f1
 		default:
-			out[n.level] = 0
-			f = n.low
+			out[v] = 0
+			f = f0
 		}
 	}
 	return out
 }
 
 // AllSat calls visit for every satisfying cube of f. The cube slice is
-// indexed by level with values 1, 0 and -1 (don't care); it is reused across
-// calls, so visit must copy it if it retains it. Enumeration stops early if
-// visit returns false.
+// indexed by variable id with values 1, 0 and -1 (don't care); it is reused
+// across calls, so visit must copy it if it retains it. Enumeration stops
+// early if visit returns false. Cubes are produced in variable-id
+// lexicographic order (false before true), independent of the current
+// variable order.
 func (m *Manager) AllSat(f Node, visit func(cube []int8) bool) {
+	m.safe(f, False, False)
 	cube := make([]int8, m.numVars)
 	for i := range cube {
 		cube[i] = -1
 	}
-	m.allSatRec(f, cube, visit)
+	m.allSatRec(f, 0, cube, visit)
 }
 
-func (m *Manager) allSatRec(f Node, cube []int8, visit func([]int8) bool) bool {
+func (m *Manager) allSatRec(f Node, v int, cube []int8, visit func([]int8) bool) bool {
 	if f == False {
 		return true
 	}
-	if f == True {
+	if f == True || v == m.numVars {
 		return visit(cube)
 	}
-	n := m.nodes[f]
-	cube[n.level] = 0
-	if !m.allSatRec(n.low, cube, visit) {
-		cube[n.level] = -1
+	lvl := m.var2level[v]
+	f0 := m.cofVarRec(f, lvl, 0)
+	f1 := m.cofVarRec(f, lvl, 1)
+	if f0 == f1 {
+		return m.allSatRec(f0, v+1, cube, visit)
+	}
+	// The restricted functions are fresh nodes, not part of f's DAG — root
+	// them across the recursion in case visit calls back into the manager
+	// and lands on a collection or reorder safe point.
+	m.Ref(f0)
+	m.Ref(f1)
+	defer func() {
+		m.Deref(f0)
+		m.Deref(f1)
+	}()
+	cube[v] = 0
+	if !m.allSatRec(f0, v+1, cube, visit) {
+		cube[v] = -1
 		return false
 	}
-	cube[n.level] = 1
-	if !m.allSatRec(n.high, cube, visit) {
-		cube[n.level] = -1
+	cube[v] = 1
+	if !m.allSatRec(f1, v+1, cube, visit) {
+		cube[v] = -1
 		return false
 	}
-	cube[n.level] = -1
+	cube[v] = -1
 	return true
 }
 
-// Support returns the levels of the variables f depends on, in order.
+// Support returns the ids of the variables f depends on, ascending.
 func (m *Manager) Support(f Node) []int {
 	seen := make(map[Node]bool)
-	levels := make(map[int32]bool)
+	vars := make(map[int32]bool)
 	var rec func(Node)
 	rec = func(g Node) {
 		if m.IsTerminal(g) || seen[g] {
@@ -177,14 +216,14 @@ func (m *Manager) Support(f Node) []int {
 		}
 		seen[g] = true
 		n := m.nodes[g]
-		levels[n.level] = true
+		vars[m.level2var[n.level]] = true
 		rec(n.low)
 		rec(n.high)
 	}
 	rec(f)
-	out := make([]int, 0, len(levels))
-	for l := range levels {
-		out = append(out, int(l))
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, int(v))
 	}
 	insertionSortAsc(out)
 	return out
@@ -245,7 +284,7 @@ func (m *Manager) String(f Node) string {
 		}
 		sb.WriteString("(")
 		first := true
-		for lvl, v := range cube {
+		for id, v := range cube {
 			if v == -1 {
 				continue
 			}
@@ -256,7 +295,7 @@ func (m *Manager) String(f Node) string {
 			if v == 0 {
 				sb.WriteString("¬")
 			}
-			sb.WriteString(m.varNames[lvl])
+			sb.WriteString(m.varNames[id])
 		}
 		sb.WriteString(")")
 		count++
@@ -288,7 +327,7 @@ func (m *Manager) Dot(f Node, name string) string {
 		}
 		seen[g] = true
 		n := m.nodes[g]
-		fmt.Fprintf(&sb, "  n%d [label=%q];\n", g, m.varNames[n.level])
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", g, m.varNames[m.level2var[n.level]])
 		fmt.Fprintf(&sb, "  n%d -> %s [style=dashed];\n", g, label(n.low))
 		fmt.Fprintf(&sb, "  n%d -> %s;\n", g, label(n.high))
 		rec(n.low)

@@ -8,19 +8,30 @@ package bdd
 //
 // Format (all integers unsigned LEB128 varints):
 //
-//	magic byte 0xBD, version byte 0x01
+//	magic byte 0xBD, version byte 0x02
 //	numVars   — variable count the DAG was exported under
+//	orderFlag — 0: the sender's order is the identity; 1: explicit order
+//	[order]   — with orderFlag 1: numVars varints, the variable id at each
+//	            level of the sender's order
 //	count     — number of non-terminal nodes
-//	count × (level, low, high) node records in bottom-up DFS order
+//	count × (level, low, high) node records in bottom-up DFS order, with
+//	            levels in the sender's order
 //	root      — reference to the exported function
 //
 // A node reference is 0 for False, 1 for True, and k+2 for the k-th record.
 // Records appear in deterministic depth-first post-order (low before high
 // before the node itself), so each record only references earlier ones and
-// import is a single pass of mk() calls. Because an ROBDD is canonical, the
-// byte encoding of a function is identical no matter which manager it is
-// exported from: two managers over the same variable order always produce
+// import is a single pass. Because an ROBDD is canonical, the byte encoding
+// of a function is identical no matter which manager it is exported from:
+// two managers over the same variables in the same order always produce
 // byte-identical buffers for semantically equal predicates.
+//
+// With dynamic reordering the sender's and receiver's orders can differ.
+// The order section pins down what the record levels mean; Import takes a
+// fast structural path when the receiver's order matches and otherwise
+// rebuilds the function over the receiver's order with ITE — same function,
+// different shape. Version 0x01 buffers (no order section, identity order
+// implied) remain readable.
 
 import (
 	"encoding/binary"
@@ -28,8 +39,9 @@ import (
 )
 
 const (
-	transferMagic   = 0xBD
-	transferVersion = 0x01
+	transferMagic     = 0xBD
+	transferVersion   = 0x02
+	transferVersionV1 = 0x01
 )
 
 // Export serializes the DAG rooted at f into the transfer format. The buffer
@@ -56,9 +68,17 @@ func (m *Manager) Export(f Node) []byte {
 	}
 	walk(f)
 
-	buf := make([]byte, 0, 4+10*len(order))
+	buf := make([]byte, 0, 8+10*len(order))
 	buf = append(buf, transferMagic, transferVersion)
 	buf = binary.AppendUvarint(buf, uint64(m.numVars))
+	if m.orderIsIdentity() {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for _, v := range m.level2var {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(order)))
 	deref := func(g Node) uint64 {
 		if g <= True {
@@ -77,15 +97,17 @@ func (m *Manager) Export(f Node) []byte {
 }
 
 // Import deserializes a buffer produced by Export into m and returns the
-// root. The manager must have at least as many variables as the exporting
-// manager, allocated in the same order; hash-consing makes re-importing an
-// already-present function free of new allocations. Import panics on a
-// malformed buffer or a variable-count mismatch — both are programming
-// errors in the transfer plumbing, not recoverable conditions.
+// root. The manager must hold at least the variables of the exporting
+// manager, identified by id; when the receiver's order over those variables
+// matches the sender's, hash-consing makes re-importing an already-present
+// function free of new allocations, and otherwise the function is rebuilt
+// over the receiver's order. Import panics on a malformed buffer or a
+// variable-count mismatch — both are programming errors in the transfer
+// plumbing, not recoverable conditions.
 func Import(m *Manager, buf []byte) Node {
-	// Safe point up front; the import loop itself only calls mk, which never
-	// collects, so the partially built record list cannot be swept from
-	// under the loop.
+	// Safe point up front; the import loop itself only calls mk and iteRec,
+	// which never collect, so the partially built record list cannot be
+	// swept from under the loop.
 	m.safe(False, False, False)
 	read := func() uint64 {
 		v, n := binary.Uvarint(buf)
@@ -95,13 +117,49 @@ func Import(m *Manager, buf []byte) Node {
 		buf = buf[n:]
 		return v
 	}
-	if len(buf) < 2 || buf[0] != transferMagic || buf[1] != transferVersion {
+	if len(buf) < 2 || buf[0] != transferMagic ||
+		(buf[1] != transferVersion && buf[1] != transferVersionV1) {
 		panic("bdd: Import: bad magic or version")
 	}
+	version := buf[1]
 	buf = buf[2:]
 	nv := read()
 	if int(nv) > m.numVars {
 		panic(fmt.Sprintf("bdd: Import: buffer uses %d variables, manager has %d", nv, m.numVars))
+	}
+	// senderVar[l] is the variable id at level l of the sender's order.
+	var senderVar []int32
+	if version == transferVersion {
+		if len(buf) < 1 {
+			panic("bdd: Import: truncated buffer")
+		}
+		flag := buf[0]
+		buf = buf[1:]
+		if flag != 0 {
+			senderVar = make([]int32, nv)
+			seen := make([]bool, nv)
+			for l := range senderVar {
+				v := read()
+				if v >= nv || seen[v] {
+					panic("bdd: Import: malformed order section")
+				}
+				seen[v] = true
+				senderVar[l] = int32(v)
+			}
+		}
+	}
+	// The fast path replays the records with mk: valid iff every sender
+	// level means the same variable at the same position on the receiver.
+	structural := true
+	for l := 0; l < int(nv); l++ {
+		sv := int32(l)
+		if senderVar != nil {
+			sv = senderVar[l]
+		}
+		if m.level2var[l] != sv {
+			structural = false
+			break
+		}
 	}
 	count := read()
 	nodes := make([]Node, 2, count+2)
@@ -122,7 +180,19 @@ func Import(m *Manager, buf []byte) Node {
 		if low == high {
 			panic("bdd: Import: non-reduced node record")
 		}
-		nodes = append(nodes, m.mk(int32(level), low, high))
+		if structural {
+			nodes = append(nodes, m.mk(int32(level), low, high))
+			continue
+		}
+		// Order mismatch: rebuild over the receiver's order. The record's
+		// level names a sender position; translate to the variable id and
+		// then to the receiver's position for that variable.
+		sv := int32(level)
+		if senderVar != nil {
+			sv = senderVar[level]
+		}
+		rl := m.var2level[sv]
+		nodes = append(nodes, m.iteRec(m.mkVar(rl), high, low))
 	}
 	return m.keep(deref(read()))
 }

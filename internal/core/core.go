@@ -57,10 +57,11 @@ type Outcome struct {
 
 	// Node-lifetime counters of the run's owning manager (plus the peak
 	// across worker managers), captured after the job finishes.
-	NodesLive  int64 // live BDD nodes when the job completed
-	PeakNodes  int64 // high-water mark of live nodes across all managers
-	GCRuns     int64 // collections performed by the owning manager
-	NodesFreed int64 // nodes reclaimed by the owning manager
+	NodesLive   int64 // live BDD nodes when the job completed
+	PeakNodes   int64 // high-water mark of live nodes across all managers
+	GCRuns      int64 // collections performed by the owning manager
+	NodesFreed  int64 // nodes reclaimed by the owning manager
+	ReorderRuns int64 // sifting passes run by the owning manager
 }
 
 // Run executes a repair job. The context bounds the synthesis: a deadline or
@@ -80,21 +81,22 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 	if err != nil {
 		return nil, err
 	}
-	if job.Options.NodeBudget > 0 {
-		eng.SetNodeBudget(job.Options.NodeBudget)
-		// A blown budget surfaces as a *bdd.BudgetError panic at a collection
-		// safe point (or pre-converted to an error by the worker pool);
-		// convert it to a clean failure here, the run boundary.
-		defer func() {
-			if r := recover(); r != nil {
-				be, ok := r.(*bdd.BudgetError)
-				if !ok {
-					panic(r)
-				}
-				out, err = nil, fmt.Errorf("core: %w", be)
+	job.Options.ApplyEngine(eng)
+	// A blown budget surfaces as a *bdd.BudgetError panic at a collection
+	// safe point (or pre-converted to an error by the worker pool); convert
+	// it to a clean failure here, the run boundary. The recovery is
+	// unconditional: budgets can be armed below this frame (a manager
+	// carried over from an earlier bounded run), so gating it on this job's
+	// own NodeBudget would let those panics escape.
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(*bdd.BudgetError)
+			if !ok {
+				panic(r)
 			}
-		}()
-	}
+			out, err = nil, fmt.Errorf("core: %w", be)
+		}
+	}()
 	out = &Outcome{Compiled: compiled, CompileTime: time.Since(t0), Workers: eng.Workers()}
 	defer func() {
 		if out != nil {
@@ -103,6 +105,7 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 			out.PeakNodes = eng.PeakLive()
 			out.GCRuns = st.GCRuns
 			out.NodesFreed = st.NodesFreed
+			out.ReorderRuns = st.ReorderRuns
 		}
 	}()
 

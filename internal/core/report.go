@@ -33,10 +33,11 @@ type RunReport struct {
 	// Node-lifetime counters (see internal/bdd's collector): live nodes at
 	// job completion, the high-water mark across the run's managers, and the
 	// owning manager's collection activity.
-	BDDNodesLive  int64 `json:"bdd_nodes_live,omitempty"`
-	BDDPeakNodes  int64 `json:"bdd_peak_nodes,omitempty"`
-	BDDGCRuns     int64 `json:"bdd_gc_runs,omitempty"`
-	BDDNodesFreed int64 `json:"bdd_nodes_freed,omitempty"`
+	BDDNodesLive   int64 `json:"bdd_nodes_live,omitempty"`
+	BDDPeakNodes   int64 `json:"bdd_peak_nodes,omitempty"`
+	BDDGCRuns      int64 `json:"bdd_gc_runs,omitempty"`
+	BDDNodesFreed  int64 `json:"bdd_nodes_freed,omitempty"`
+	BDDReorderRuns int64 `json:"bdd_reorder_runs,omitempty"`
 
 	CompileNS int64 `json:"compile_ns"`
 	Step1NS   int64 `json:"step1_ns"`
@@ -82,10 +83,11 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		OuterIterations: res.Stats.OuterIterations,
 		BDDNodes:        res.Stats.BDDNodes,
 
-		BDDNodesLive:  out.NodesLive,
-		BDDPeakNodes:  out.PeakNodes,
-		BDDGCRuns:     out.GCRuns,
-		BDDNodesFreed: out.NodesFreed,
+		BDDNodesLive:   out.NodesLive,
+		BDDPeakNodes:   out.PeakNodes,
+		BDDGCRuns:      out.GCRuns,
+		BDDNodesFreed:  out.NodesFreed,
+		BDDReorderRuns: out.ReorderRuns,
 
 		CompileNS: out.CompileTime.Nanoseconds(),
 		Step1NS:   res.Stats.Step1.Nanoseconds(),
@@ -115,9 +117,10 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 func (r RunReport) Normalized() RunReport {
 	r.Workers = 0
 	r.BDDNodes = 0
-	// Node-lifetime counters vary with worker count and GC cadence exactly
-	// like BDDNodes does.
+	// Node-lifetime counters vary with worker count, GC cadence, and
+	// reordering cadence exactly like BDDNodes does.
 	r.BDDNodesLive, r.BDDPeakNodes, r.BDDGCRuns, r.BDDNodesFreed = 0, 0, 0, 0
+	r.BDDReorderRuns = 0
 	r.CompileNS, r.Step1NS, r.Step2NS, r.TotalNS, r.VerifyNS = 0, 0, 0, 0, 0
 	r.WitnessNS = 0
 	// Witnesses stay: extraction is deterministic, so they are part of the

@@ -94,6 +94,31 @@ func (e *Engine) SetGCThreshold(n int64) {
 	}
 }
 
+// SetReorderThreshold arms (or, with n <= 0, disarms) automatic variable
+// reordering on the owning manager and every worker manager.
+func (e *Engine) SetReorderThreshold(n int64) {
+	e.C.Space.M.SetReorderThreshold(n)
+	for _, wc := range e.workers {
+		wc.Space.M.SetReorderThreshold(n)
+	}
+}
+
+// syncOrders re-aligns every worker manager's variable order with the
+// owner's. Called at the merge barriers before each fan-out — the workers
+// are idle there, and matching orders keep both transfer directions on the
+// fast structural path. Results would be identical without it (the transfer
+// format carries the sender's order and Import rebuilds on mismatch);
+// alignment is the cheap way, not the correct way.
+func (e *Engine) syncOrders() {
+	if e.pool == nil {
+		return
+	}
+	ord := e.C.Space.M.Order()
+	for _, wc := range e.workers {
+		wc.Space.M.SetOrder(ord)
+	}
+}
+
 // PeakLive returns the highest live-node count observed across the owner
 // and all worker managers.
 func (e *Engine) PeakLive() int64 {
@@ -133,6 +158,7 @@ func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Nod
 		return out, nil
 	}
 	m := e.C.Space.M
+	e.syncOrders()
 	sharedBuf := m.Export(shared)
 	inputBufs := make([][]byte, len(inputs))
 	for i, in := range inputs {
@@ -240,6 +266,9 @@ func (e *Engine) roundFixpoint(ctx context.Context, reached bdd.Node, parts []bd
 	set := m.NewRooted(reached)
 	defer set.Release()
 	for {
+		// Owner-side merges between rounds can trigger an owner reorder;
+		// re-align the idle workers before each fan-out.
+		e.syncOrders()
 		setBuf := m.Export(set.Node())
 		wSet := make([]bdd.Node, len(e.workers))
 		wHaveS := make([]bool, len(e.workers))

@@ -38,16 +38,7 @@ func Cautious(ctx context.Context, c *program.Compiled, opts Options) (*Result, 
 // reachability fixpoints and the per-process group removals of Phase 1 fan
 // out across the engine's workers.
 func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result, error) {
-	if opts.NodeBudget > 0 {
-		eng.SetNodeBudget(opts.NodeBudget)
-	}
-	if opts.GCThreshold != 0 {
-		n := opts.GCThreshold
-		if n < 0 {
-			n = 0 // manager semantics: <= 0 disables automatic GC
-		}
-		eng.SetGCThreshold(n)
-	}
+	opts.ApplyEngine(eng)
 	c := eng.C
 	m := c.Space.M
 	s := c.Space

@@ -34,16 +34,7 @@ func Lazy(ctx context.Context, c *program.Compiled, opts Options) (*Result, erro
 // LazyEngine is Lazy running on a caller-supplied engine, so the engine's
 // worker clones can be shared with the verifier (see internal/core.Run).
 func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result, error) {
-	if opts.NodeBudget > 0 {
-		eng.SetNodeBudget(opts.NodeBudget)
-	}
-	if opts.GCThreshold != 0 {
-		n := opts.GCThreshold
-		if n < 0 {
-			n = 0 // manager semantics: <= 0 disables automatic GC
-		}
-		eng.SetGCThreshold(n)
-	}
+	opts.ApplyEngine(eng)
 	c := eng.C
 	m := c.Space.M
 	s := c.Space

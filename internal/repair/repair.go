@@ -114,6 +114,14 @@ type Options struct {
 	// collection cannot bring it back under, the run fails with a
 	// *bdd.BudgetError instead of exhausting memory. Zero means unbounded.
 	NodeBudget int64
+	// Reorder arms dynamic variable reordering on the run's managers: a
+	// positive value runs a sifting pass after that many node allocations, a
+	// negative value disables reordering entirely (overriding the
+	// REPRO_REORDER_STRESS environment default), and 0 keeps the manager
+	// default (reordering off unless the stress variable is set). Reordering
+	// never changes any synthesized program or witness — only the shape and
+	// size of the BDDs along the way.
+	Reorder int64
 	// Logf, when non-nil, receives progress lines.
 	//
 	// Concurrency contract: a single repair call invokes Logf sequentially
@@ -136,6 +144,31 @@ func DefaultOptions() Options {
 func (o *Options) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
+	}
+}
+
+// ApplyEngine pushes the manager-tuning options — node budget, collection
+// cadence, reordering cadence — onto an engine's owner and worker managers.
+// Every run boundary that builds an engine (the repair algorithms, the
+// standalone verifier) funnels through it so the knobs mean the same thing
+// everywhere.
+func (o *Options) ApplyEngine(eng *program.Engine) {
+	if o.NodeBudget > 0 {
+		eng.SetNodeBudget(o.NodeBudget)
+	}
+	if o.GCThreshold != 0 {
+		n := o.GCThreshold
+		if n < 0 {
+			n = 0 // manager semantics: <= 0 disables automatic GC
+		}
+		eng.SetGCThreshold(n)
+	}
+	if o.Reorder != 0 {
+		n := o.Reorder
+		if n < 0 {
+			n = 0 // manager semantics: <= 0 disables automatic reordering
+		}
+		eng.SetReorderThreshold(n)
 	}
 }
 

@@ -38,9 +38,10 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 	// cache. The node budget can turn a success into a failure, so it is part
 	// of the address too. The version prefix is bumped whenever the report
 	// shape for the same inputs changes (v3: witnesses embedded in RunReport;
-	// v4: node-lifetime counters in RunReport and node_budget in the spec).
-	wr("v4\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00nodebudget=%d\x00",
-		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers, opts.NodeBudget)
+	// v4: node-lifetime counters in RunReport and node_budget in the spec;
+	// v5: reorder in the spec and bdd_reorder_runs in RunReport).
+	wr("v5\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
+		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers, opts.NodeBudget, opts.Reorder)
 
 	wr("name=%s\x00", def.Name)
 	wr("vars=%d\x00", len(def.Vars))

@@ -81,6 +81,13 @@ type Spec struct {
 	// default) means unbounded. Part of the content address: a budgeted run
 	// can fail where an unbudgeted one succeeds, so they never alias.
 	NodeBudget int64 `json:"node_budget,omitempty"`
+	// Reorder arms dynamic variable reordering on the job's BDD managers: a
+	// sifting pass runs after that many node allocations. 0 (the default)
+	// leaves reordering off. The synthesized program and its witnesses are
+	// identical either way; only node counts and timing differ, which is
+	// enough to keep the field in the content address (the report records
+	// them).
+	Reorder int64 `json:"reorder,omitempty"`
 }
 
 // resolve parses/builds the program definition and the core job, and
@@ -120,6 +127,9 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	if sp.NodeBudget < 0 {
 		return nil, core.Job{}, "", fmt.Errorf("service: node_budget %d must be non-negative", sp.NodeBudget)
 	}
+	if sp.Reorder < 0 {
+		return nil, core.Job{}, "", fmt.Errorf("service: reorder %d must be non-negative", sp.Reorder)
+	}
 
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
@@ -132,6 +142,7 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 		opts.Workers = 1
 	}
 	opts.NodeBudget = sp.NodeBudget
+	opts.Reorder = sp.Reorder
 
 	job := core.Job{
 		Def:       def,

@@ -30,8 +30,8 @@ type Var struct {
 	Index  int // position in Space.Vars
 
 	bits       int
-	curLevels  []int // BDD levels of current-state bits (LSB first)
-	nextLevels []int // BDD levels of next-state bits (LSB first)
+	curLevels  []int // BDD variable ids of current-state bits (LSB first)
+	nextLevels []int // BDD variable ids of next-state bits (LSB first)
 	space      *Space
 }
 
@@ -87,8 +87,10 @@ func newSpace(m *bdd.Manager, specs []VarSpec) (*Space, error) {
 		for b := 0; b < v.bits; b++ {
 			cur := s.M.NewVar(fmt.Sprintf("%s.%d", spec.Name, b))
 			next := s.M.NewVar(fmt.Sprintf("%s.%d'", spec.Name, b))
-			v.curLevels = append(v.curLevels, s.M.Level(cur))
-			v.nextLevels = append(v.nextLevels, s.M.Level(next))
+			// Record stable variable ids, not positions: the order under the
+			// ids can move once dynamic reordering kicks in.
+			v.curLevels = append(v.curLevels, s.M.VarOf(cur))
+			v.nextLevels = append(v.nextLevels, s.M.VarOf(next))
 		}
 		s.totalBits += v.bits
 		s.Vars = append(s.Vars, v)
@@ -473,10 +475,11 @@ func (v *Var) NextEq(w *Var) bdd.Node {
 	return out
 }
 
-// CurLevels returns the BDD levels of the variable's current-state bits.
+// CurLevels returns the BDD variable ids of the variable's current-state
+// bits. (Ids, not order positions: they are stable under reordering.)
 func (v *Var) CurLevels() []int { return append([]int(nil), v.curLevels...) }
 
-// NextLevels returns the BDD levels of the variable's next-state bits.
+// NextLevels returns the BDD variable ids of the variable's next-state bits.
 func (v *Var) NextLevels() []int { return append([]int(nil), v.nextLevels...) }
 
 // DecodeCube extracts this variable's current value from an AllSat cube,

@@ -19,8 +19,6 @@
 package repro
 
 import (
-	"context"
-
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -112,42 +110,6 @@ var (
 // DefaultOptions returns the configuration used in the paper's headline
 // experiments.
 func DefaultOptions() Options { return repair.DefaultOptions() }
-
-// Lazy repairs the program with the paper's two-step lazy-repair algorithm.
-//
-// Deprecated: use Repair with WithAlgorithm(LazyAlg) (the default) and
-// WithOptions(opts) instead; Repair is the single entry point carrying
-// algorithm choice, worker budget, timeout, and cancellation.
-func Lazy(def *Def, opts Options) (*Compiled, *Result, error) {
-	return Repair(context.Background(), def, WithOptions(opts))
-}
-
-// LazyContext is Lazy bounded by a context.
-//
-// Deprecated: use Repair(ctx, def, WithOptions(opts)).
-func LazyContext(ctx context.Context, def *Def, opts Options) (*Compiled, *Result, error) {
-	return Repair(ctx, def, WithOptions(opts))
-}
-
-// Cautious repairs the program with the baseline algorithm that keeps the
-// model realizable at every intermediate step (Section IV of the paper).
-//
-// Deprecated: use Repair with WithAlgorithm(CautiousAlg).
-func Cautious(def *Def, opts Options) (*Compiled, *Result, error) {
-	return Repair(context.Background(), def, WithOptions(opts), WithAlgorithm(CautiousAlg))
-}
-
-// CautiousContext is Cautious bounded by a context.
-//
-// Deprecated: use Repair(ctx, def, WithOptions(opts), WithAlgorithm(CautiousAlg)).
-func CautiousContext(ctx context.Context, def *Def, opts Options) (*Compiled, *Result, error) {
-	return Repair(ctx, def, WithOptions(opts), WithAlgorithm(CautiousAlg))
-}
-
-// Verify independently checks a repair result against the paper's
-// definitions: the problem-statement conditions of Section II, masking
-// fault-tolerance (Definition 15), and realizability (Definitions 19–20).
-func Verify(c *Compiled, res *Result) *Report { return verify.Result(c, res) }
 
 // Certify replays a witness trace step-by-step against the compiled program,
 // independently of the symbolic fixpoints that produced it: every step must

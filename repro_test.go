@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -21,7 +22,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		}},
 		Invariant: Eq("a", 0),
 	}
-	c, res, err := Lazy(def, DefaultOptions())
+	c, res, err := Repair(context.Background(), def)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,11 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if got := CountTransitions(c, res.Trans); got != 1 {
 		t.Fatalf("transitions = %v, want 1 (the recovery)", got)
 	}
-	if rep := Verify(c, res); !rep.OK() {
+	rep, err := Verify(context.Background(), c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
 		t.Fatalf("verification failed:\n%s", rep)
 	}
 	lines := c.Procs[0].DescribeActions(c.Procs[0].MaxRealizableSubset(res.Trans), 4)
@@ -48,11 +53,15 @@ func TestPublicAPICautious(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, res, err := Cautious(def, DefaultOptions())
+	c, res, err := Repair(context.Background(), def, WithAlgorithm(CautiousAlg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := Verify(c, res); !rep.OK() {
+	rep, err := Verify(context.Background(), c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
 		t.Fatalf("verification failed:\n%s", rep)
 	}
 }
@@ -88,10 +97,10 @@ func TestUnrepairableSurfacesError(t *testing.T) {
 		Invariant: Eq("a", 0),
 		BadStates: Eq("a", 1),
 	}
-	if _, _, err := Lazy(def, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
+	if _, _, err := Repair(context.Background(), def); !errors.Is(err, ErrNotRepairable) {
 		t.Fatalf("want ErrNotRepairable, got %v", err)
 	}
-	if _, _, err := Cautious(def, DefaultOptions()); !errors.Is(err, ErrNotRepairable) {
+	if _, _, err := Repair(context.Background(), def, WithAlgorithm(CautiousAlg)); !errors.Is(err, ErrNotRepairable) {
 		t.Fatalf("cautious: want ErrNotRepairable, got %v", err)
 	}
 }
@@ -117,7 +126,7 @@ func TestExpressionReexports(t *testing.T) {
 
 func TestIntersects(t *testing.T) {
 	def, _ := CaseStudy("sc", 3)
-	c, res, err := Lazy(def, DefaultOptions())
+	c, res, err := Repair(context.Background(), def)
 	if err != nil {
 		t.Fatal(err)
 	}
