@@ -42,6 +42,7 @@ type repairConfig struct {
 	alg       Algorithm
 	timeout   time.Duration
 	witnesses int
+	backend   Backend
 	opts      repair.Options
 }
 
@@ -106,6 +107,17 @@ func WithReorder(n int64) Option {
 // nothing.
 func WithWitnesses(n int) Option {
 	return func(c *repairConfig) { c.witnesses = n }
+}
+
+// WithBackend selects the engine behind Verify's reachability checks:
+// BackendBDD (the default) computes exact reachability fixpoints on the BDD
+// engine; BackendSAT answers the same questions by bounded model checking
+// over the built-in CDCL solver, an independent evidence chain whose verdicts
+// must agree with the BDD engine's. Repair accepts and ignores it — the
+// synthesis algorithms are fixpoint computations with no SAT formulation
+// here, so only verification is routed.
+func WithBackend(b Backend) Option {
+	return func(c *repairConfig) { c.backend = b }
 }
 
 // WithOptions replaces the full low-level Options struct (ablations such as
@@ -193,8 +205,9 @@ func NodeStats(c *Compiled) (live, peak, gcRuns, freed int64) {
 // It accepts the same functional options as Repair — WithWorkers fans the
 // per-process checks out across private managers, WithTimeout bounds the
 // checking, WithNodeBudget and WithReorder tune the BDD managers the same
-// way they do for synthesis. Options that only steer synthesis
-// (WithAlgorithm, WithWitnesses) are accepted and ignored.
+// way they do for synthesis, and WithBackend routes the reachability checks
+// through the SAT/BMC engine instead of BDD fixpoints. Options that only
+// steer synthesis (WithAlgorithm, WithWitnesses) are accepted and ignored.
 func Verify(ctx context.Context, c *Compiled, res *Result, opts ...Option) (report *Report, err error) {
 	cfg := repairConfig{opts: repair.DefaultOptions()}
 	for _, o := range opts {
@@ -223,5 +236,9 @@ func Verify(ctx context.Context, c *Compiled, res *Result, opts ...Option) (repo
 			report, err = nil, fmt.Errorf("repro: %w", be)
 		}
 	}()
-	return verify.ResultEngine(ctx, eng, res)
+	backend, err := verify.ParseBackend(string(cfg.backend))
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return verify.ResultBackendEngine(ctx, eng, res, backend, false)
 }

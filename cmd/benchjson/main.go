@@ -12,6 +12,7 @@
 //	benchjson -workers 4      # parallel engine width (reports gain "workers")
 //	benchjson -gc             # GC on/off comparison -> BENCH_4.json
 //	benchjson -reorder        # reordering on/off comparison -> BENCH_5.json
+//	benchjson -backend        # BDD vs SAT verification -> BENCH_6.json
 //
 // The -gc mode runs the two largest stabilizing-chain instances twice each —
 // once with automatic collection disabled and once with an aggressive
@@ -23,6 +24,13 @@
 // each — reordering off and on, same GC cadence — and writes records tagged
 // with the reordering arm, so the node-table reduction of dynamic sifting is
 // directly visible in the bdd_peak_nodes / bdd_nodes_live fields.
+//
+// The -backend mode verifies each ladder instance's repaired program under
+// both verification backends (BDD fixpoints vs SAT bounded model checking)
+// and then runs the swap-permutation deep-counterexample model — a program
+// whose shortest safety violation is n(n-1)/2 adjacent transpositions away —
+// under both, so the records show where exact fixpoints win (closing a
+// passing verdict) and what a deep violation costs each engine.
 package main
 
 import (
@@ -34,7 +42,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/program"
 	"repro/internal/repair"
+	"repro/internal/sat"
+	"repro/internal/symbolic"
+	"repro/internal/verify"
 )
 
 type instance struct {
@@ -165,6 +178,149 @@ func reorderComparison(ctx context.Context, out string, quick bool, workers, wit
 	writeJSON(out, reports, len(reports))
 }
 
+// backendRecord is one record of the -backend comparison: one verification
+// pass of one model under one backend.
+type backendRecord struct {
+	Backend string `json:"backend"` // "bdd" or "sat"
+	Case    string `json:"case"`
+	N       int    `json:"n,omitempty"`
+	// Repaired marks passes over the repaired program (the verdict is a
+	// pass); false means the unrepaired deep-counterexample model.
+	Repaired bool  `json:"repaired"`
+	Verified bool  `json:"verified"`
+	VerifyNS int64 `json:"verify_ns"`
+	// CounterexampleDepth is the length (steps) of the safety trace when the
+	// verdict failed; both backends must find the same shortest depth.
+	CounterexampleDepth int        `json:"counterexample_depth,omitempty"`
+	SAT                 *sat.Stats `json:"sat,omitempty"`
+}
+
+// swapDef builds the deep-counterexample model: n variables over domain n,
+// starting as the identity permutation, with one process that may swap any
+// adjacent pair (simultaneous copy of each into the other). The bad set is
+// the reversed permutation, whose shortest derivation is n(n-1)/2 adjacent
+// transpositions — every inversion must be introduced by its own swap — so
+// the counterexample depth grows quadratically while the state space stays
+// tiny. BDD reachability closes in n(n-1)/2 frontier layers; the SAT backend
+// must unroll that many frames before the target becomes satisfiable.
+func swapDef(n int) *program.Def {
+	d := &program.Def{Name: fmt.Sprintf("swap-%d", n)}
+	v := func(i int) string { return fmt.Sprintf("v%d", i) }
+	var names []string
+	var identity, reversed []expr.Expr
+	for i := 0; i < n; i++ {
+		d.Vars = append(d.Vars, symbolic.VarSpec{Name: v(i), Domain: n})
+		names = append(names, v(i))
+		identity = append(identity, expr.Eq(v(i), i))
+		reversed = append(reversed, expr.Eq(v(i), n-1-i))
+	}
+	proc := &program.Process{Name: "swapper", Read: names, Write: names}
+	for i := 0; i+1 < n; i++ {
+		proc.Actions = append(proc.Actions, program.Action{
+			Name:    fmt.Sprintf("swap-%d", i),
+			Guard:   expr.True,
+			Updates: []program.Update{program.Copy(v(i), v(i+1)), program.Copy(v(i+1), v(i))},
+		})
+	}
+	d.Processes = []*program.Process{proc}
+	d.Invariant = expr.And(identity...)
+	d.BadStates = expr.And(reversed...)
+	return d
+}
+
+// verifyUnder times one verification pass of res under the given backend.
+func verifyUnder(ctx context.Context, c *program.Compiled, res *repair.Result, backend verify.Backend) (*verify.Report, time.Duration, error) {
+	t0 := time.Now()
+	rep, err := verify.ResultBackendEngine(ctx, program.SerialEngine(c), res, backend, true)
+	return rep, time.Since(t0), err
+}
+
+// traceDepth returns the step count of the first failed check's witness, or
+// zero when every check passed.
+func traceDepth(rep *verify.Report) int {
+	for _, ck := range rep.Checks {
+		if ck.Witness != nil && len(ck.Witness.Steps) > 0 {
+			return len(ck.Witness.Steps) - 1
+		}
+	}
+	return 0
+}
+
+func backendComparison(ctx context.Context, out string, quick bool, workers int) {
+	backends := []verify.Backend{verify.BackendBDD, verify.BackendSAT}
+	var records []backendRecord
+
+	// Repaired ladder — always the small instances: a passing SAT verdict
+	// needs the loop-free-path completeness proof, whose CNF grows
+	// quadratically with the depth bound, so the large instances belong to
+	// the BDD engine (that asymmetry is exactly what the records document).
+	for _, inst := range ladder(true) {
+		def, err := core.CaseStudy(inst.name, inst.n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		c, err := def.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		opts := repair.DefaultOptions()
+		opts.Workers = workers
+		res, err := repair.Lazy(ctx, c, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s n=%d: %v\n", inst.name, inst.n, err)
+			os.Exit(1)
+		}
+		for _, backend := range backends {
+			rep, d, err := verifyUnder(ctx, c, res, backend)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s n=%d %s: %v\n", inst.name, inst.n, backend, err)
+				os.Exit(1)
+			}
+			records = append(records, backendRecord{
+				Backend: string(backend), Case: inst.name, N: inst.n,
+				Repaired: true, Verified: rep.OK(), VerifyNS: d.Nanoseconds(), SAT: rep.SAT,
+			})
+			fmt.Fprintf(os.Stderr, "benchjson: %-7s n=%-2d backend=%-3s repaired verified=%-5t verify=%s\n",
+				inst.name, inst.n, backend, rep.OK(), d)
+		}
+	}
+
+	// Deep counterexample: the unrepaired swap model under its identity
+	// invariant, bad set at quadratic distance.
+	n := 6
+	if quick {
+		n = 5
+	}
+	def := swapDef(n)
+	c, err := def.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	res := &repair.Result{Trans: c.Trans, Invariant: c.Invariant, FaultSpan: c.Space.ValidCur()}
+	want := n * (n - 1) / 2
+	for _, backend := range backends {
+		rep, d, err := verifyUnder(ctx, c, res, backend)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s: %v\n", def.Name, backend, err)
+			os.Exit(1)
+		}
+		depth := traceDepth(rep)
+		if depth != want {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s: counterexample depth %d, want %d\n", def.Name, backend, depth, want)
+			os.Exit(1)
+		}
+		records = append(records, backendRecord{
+			Backend: string(backend), Case: def.Name,
+			Verified: rep.OK(), VerifyNS: d.Nanoseconds(), CounterexampleDepth: depth, SAT: rep.SAT,
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %-7s      backend=%-3s depth=%d verify=%s\n", def.Name, backend, depth, d)
+	}
+	writeJSON(out, records, len(records))
+}
+
 func writeJSON(out string, v any, n int) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -188,6 +344,7 @@ func main() {
 		witnesses = flag.Int("witnesses", 0, "recovery demonstrations per job (adds witness extraction to the measured phases)")
 		gc        = flag.Bool("gc", false, "run the GC on/off comparison on the chain instances instead of the ladder")
 		reorder   = flag.Bool("reorder", false, "run the variable-reordering on/off comparison instead of the ladder")
+		backend   = flag.Bool("backend", false, "run the BDD vs SAT verification-backend comparison instead of the ladder")
 	)
 	flag.Parse()
 
@@ -206,6 +363,13 @@ func main() {
 			*out = "BENCH_5.json"
 		}
 		reorderComparison(ctx, *out, *quick, *workers, *witnesses)
+		return
+	}
+	if *backend {
+		if *out == "" {
+			*out = "BENCH_6.json"
+		}
+		backendComparison(ctx, *out, *quick, *workers)
 		return
 	}
 	if *out == "" {

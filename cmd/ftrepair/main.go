@@ -24,6 +24,7 @@ import (
 	"repro/internal/parse"
 	"repro/internal/program"
 	"repro/internal/repair"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		n         = flag.Int("n", 3, "instance size (non-generals / chain cells)")
 		alg       = flag.String("alg", "lazy", "repair algorithm: lazy or cautious")
 		doVerify  = flag.Bool("verify", true, "run the independent verifier on the result")
+		backend   = flag.String("backend", "bdd", "verification backend: bdd (exact fixpoints) or sat (bounded model checking)")
 		verbose   = flag.Bool("v", false, "log repair progress")
 		protocol  = flag.Bool("protocol", false, "print the synthesized per-process protocol")
 		pure      = flag.Bool("pure", false, "disable the reachability heuristic (pure lazy)")
@@ -81,11 +83,16 @@ func main() {
 		defer cancel()
 	}
 
+	be, err := verify.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	job := core.Job{
 		Def:       def,
 		Algorithm: core.Algorithm(*alg),
 		Options:   opts,
 		Verify:    *doVerify,
+		Backend:   be,
 	}
 	if *explain {
 		job.Witnesses = *witnesses
@@ -135,6 +142,10 @@ func main() {
 
 	if out.Report != nil {
 		fmt.Printf("\nverification:\n%s", out.Report)
+		if st := out.SATStats; st != nil {
+			fmt.Printf("SAT solver:        %d conflicts, %d decisions, %d propagations, %d learned, max level %d\n",
+				st.Conflicts, st.Decisions, st.Propagations, st.Learned, st.MaxLevel)
+		}
 	}
 	if *explain {
 		if out.Report != nil {

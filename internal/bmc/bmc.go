@@ -1,0 +1,501 @@
+// Package bmc is the bounded-model-checking bridge between the symbolic
+// model (internal/symbolic state spaces whose predicates are BDDs) and the
+// CDCL solver (internal/sat): it Tseitin-encodes the init/transition/target
+// predicates into CNF templates, unrolls the transition relation k steps with
+// one solver instance solved incrementally under assumptions, and decodes a
+// satisfying assignment back into the concrete step sequence that
+// internal/witness certifies.
+//
+// The unrolling is sound and, on finite spaces, complete: a query at depth k
+// asks for a path of exactly k steps, depths are tried in increasing order
+// (so the first SAT answer is a shortest path, matching the BDD engine's
+// breadth-first witness distance), and after each miss a loop-free-path query
+// decides termination — if no loop-free path of length k exists, every
+// reachable state was already covered by a smaller depth and the target is
+// unreachable (the recurrence-diameter argument). Every structure is built
+// in deterministic order (frame by frame, template clause by clause) and the
+// solver itself is deterministic, so BMC verdicts, traces, and statistics are
+// reproducible byte for byte.
+//
+// Encoding. Each BDD node becomes one auxiliary variable x constrained by
+// the full biconditional x ↔ ITE(v, hi, lo) (up to four 3-clauses). The full
+// equivalence — not just the implication half sufficient for satisfiability —
+// means auxiliary values are functionally determined by the state bits, so
+// the CNF's models project bijectively onto the BDD's models; the property
+// tests rely on that exactness. Encoding happens once per predicate into a
+// frame-shiftable template over symbols (current bit i / next bit i / aux j)
+// and is stamped out per frame with fresh auxiliaries and that frame's
+// solver variables, so repeated unrolling never re-walks the BDD.
+//
+// The Checker borrows the caller's BDD nodes (init, parts, targets) and
+// evaluates them pointwise during trace decoding; the caller keeps them
+// rooted for the Checker's lifetime, as verify's scopes already do.
+package bmc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/sat"
+	"repro/internal/symbolic"
+	"repro/internal/witness"
+)
+
+// Part is one named slice of the transition relation, used both to build the
+// step disjunction and to attribute decoded steps (process name for program
+// parts, fault name for fault parts) exactly as the BDD witness extractor
+// does.
+type Part struct {
+	Name string
+	Kind witness.StepKind
+	Rel  bdd.Node
+}
+
+// Options tune a Checker.
+type Options struct {
+	// MaxDepth bounds the unrolling. Zero means the default (64). If the
+	// bound is hit before the loop-free-path argument closes, the Result is
+	// marked incomplete.
+	MaxDepth int
+	// Attribution, when non-nil, overrides the parts used to label decoded
+	// steps. The step union stays the parts passed to New; the attribution
+	// list may be wider — verify uses this so the final step of a ReachTrans
+	// query (drawn from the full system relation, not just the realizable
+	// parts) still gets a name.
+	Attribution []Part
+}
+
+// DefaultMaxDepth is the unrolling bound when Options.MaxDepth is zero.
+const DefaultMaxDepth = 64
+
+// Result is a BMC verdict.
+type Result struct {
+	// Reachable reports whether a path from init to the target was found.
+	Reachable bool
+	// Depth is the number of steps of the found path, or the depth at which
+	// the search concluded (last depth examined).
+	Depth int
+	// Complete is true when the verdict is exact: either a path was found,
+	// or the loop-free-path argument proved no deeper path can exist. False
+	// only when MaxDepth was exhausted first.
+	Complete bool
+	// Steps is the decoded path (first entry kind "init") when Reachable.
+	Steps []witness.Step
+	// Stats are the solver's counters for this query.
+	Stats sat.Stats
+}
+
+// template is a frame-shiftable CNF encoding of one BDD. Symbols: values
+// 0..nbits-1 are current-state bits, nbits..2nbits-1 next-state bits, and
+// 2nbits+j the j-th auxiliary. A tlit is sym<<1|neg, or one of the constants.
+type template struct {
+	clauses [][]int32
+	root    int32
+	nAux    int
+}
+
+const (
+	tTrue  int32 = -1
+	tFalse int32 = -2
+)
+
+// Checker unrolls one reachability query. Build with New, run exactly one
+// ReachState or ReachTrans call.
+type Checker struct {
+	space  *symbolic.Space
+	init   bdd.Node
+	parts  []Part
+	attrib []Part
+	opts   Options
+
+	sol   *sat.Solver
+	nbits int
+	slots []*symbolic.Var // slot -> finite-domain variable (repeated per bit)
+	bit   []int           // slot -> bit index within its variable
+	symOf map[int]int32   // BDD variable id -> symbol
+
+	tmplValid *template
+	tmplInit  *template
+	tmplParts []*template
+
+	frames     [][]int   // frame -> slot -> solver variable
+	stepGuards []sat.Lit // stepGuards[t] assumes the step t -> t+1
+	pathGuards []sat.Lit // pathGuards[k] assumes frames 0..k pairwise distinct
+
+	used bool
+}
+
+// New builds a Checker for paths that start in init (a current-state
+// predicate) and step through the union of the given relation parts. All
+// nodes must belong to the space's manager and stay rooted while the Checker
+// is in use.
+func New(space *symbolic.Space, init bdd.Node, parts []Part, opts Options) *Checker {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	c := &Checker{
+		space:  space,
+		init:   init,
+		parts:  parts,
+		attrib: opts.Attribution,
+		opts:   opts,
+		sol:    sat.New(),
+		symOf:  make(map[int]int32),
+	}
+	if c.attrib == nil {
+		c.attrib = parts
+	}
+	for _, v := range space.Vars {
+		cur, next := v.CurLevels(), v.NextLevels()
+		for b := range cur {
+			slot := int32(c.nbits)
+			c.symOf[cur[b]] = slot
+			c.symOf[next[b]] = slot // offset by nbits once nbits is final
+			c.slots = append(c.slots, v)
+			c.bit = append(c.bit, b)
+			c.nbits++
+		}
+	}
+	// Next-state ids were recorded with their slot; shift them now that the
+	// total is known.
+	for _, v := range space.Vars {
+		for _, id := range v.NextLevels() {
+			c.symOf[id] += int32(c.nbits)
+		}
+	}
+	c.tmplValid = c.encode(space.ValidCur())
+	c.tmplInit = c.encode(c.space.M.And(init, space.ValidCur()))
+	for _, p := range c.parts {
+		c.tmplParts = append(c.tmplParts, c.encode(c.space.M.And(p.Rel, space.ValidTrans())))
+	}
+	return c
+}
+
+// encode Tseitin-encodes a BDD into a template, one auxiliary per DAG node.
+func (c *Checker) encode(f bdd.Node) *template {
+	t := &template{}
+	memo := make(map[bdd.Node]int32)
+	t.root = c.encodeRec(f, t, memo)
+	return t
+}
+
+func (c *Checker) encodeRec(f bdd.Node, t *template, memo map[bdd.Node]int32) int32 {
+	if f == bdd.False {
+		return tFalse
+	}
+	if f == bdd.True {
+		return tTrue
+	}
+	if x, ok := memo[f]; ok {
+		return x
+	}
+	m := c.space.M
+	sym, ok := c.symOf[m.VarOf(f)]
+	if !ok {
+		panic(fmt.Sprintf("bmc: BDD variable %d is not a state bit of the space", m.VarOf(f)))
+	}
+	v := sym << 1
+	lo := c.encodeRec(m.Low(f), t, memo)
+	hi := c.encodeRec(m.High(f), t, memo)
+	x := (int32(2*c.nbits+t.nAux) << 1)
+	t.nAux++
+	// x ↔ ITE(v, hi, lo), with constant children folded away.
+	switch hi {
+	case tTrue:
+		t.clauses = append(t.clauses, []int32{x, v ^ 1})
+	case tFalse:
+		t.clauses = append(t.clauses, []int32{x ^ 1, v ^ 1})
+	default:
+		t.clauses = append(t.clauses,
+			[]int32{x ^ 1, v ^ 1, hi},
+			[]int32{x, v ^ 1, hi ^ 1})
+	}
+	switch lo {
+	case tTrue:
+		t.clauses = append(t.clauses, []int32{x, v})
+	case tFalse:
+		t.clauses = append(t.clauses, []int32{x ^ 1, v})
+	default:
+		t.clauses = append(t.clauses,
+			[]int32{x ^ 1, v, lo},
+			[]int32{x, v, lo ^ 1})
+	}
+	memo[f] = x
+	return x
+}
+
+// usesNext reports whether the template mentions a next-state symbol.
+func (t *template) usesNext(nbits int) bool {
+	check := func(l int32) bool {
+		sym := int(l >> 1)
+		return sym >= nbits && sym < 2*nbits
+	}
+	if t.root >= 0 && check(t.root) {
+		return true
+	}
+	for _, cl := range t.clauses {
+		for _, l := range cl {
+			if check(l) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// instantiate stamps the template out at frame t (next-state symbols land in
+// frame t+1, which must exist), allocating fresh auxiliaries and asserting
+// the definitional clauses. It returns the mapped root literal and false when
+// the root is constant (then the bool result carries its value).
+func (c *Checker) instantiate(tmpl *template, t int) (sat.Lit, bool, bool) {
+	base := c.sol.NumVars()
+	for j := 0; j < tmpl.nAux; j++ {
+		c.sol.NewVar()
+	}
+	mapLit := func(l int32) sat.Lit {
+		sym := int(l >> 1)
+		neg := l&1 == 1
+		var v int
+		switch {
+		case sym < c.nbits:
+			v = c.frames[t][sym]
+		case sym < 2*c.nbits:
+			v = c.frames[t+1][sym-c.nbits]
+		default:
+			v = base + (sym - 2*c.nbits)
+		}
+		return sat.MkLit(v, neg)
+	}
+	cl := make([]sat.Lit, 0, 3)
+	for _, tcl := range tmpl.clauses {
+		cl = cl[:0]
+		for _, l := range tcl {
+			cl = append(cl, mapLit(l))
+		}
+		c.sol.AddClause(cl...)
+	}
+	switch tmpl.root {
+	case tTrue:
+		return 0, true, false
+	case tFalse:
+		return 0, false, false
+	}
+	return mapLit(tmpl.root), false, true
+}
+
+// ensureFrames materializes frames 0..n-1: per-frame solver variables and
+// validity constraints, the guarded step into each new frame, and the
+// loop-free-path scaffolding (pairwise distinctness of the new frame against
+// every earlier one, guarded by a chained per-depth literal).
+func (c *Checker) ensureFrames(n int) {
+	for len(c.frames) < n {
+		t := len(c.frames)
+		fv := make([]int, c.nbits)
+		for i := range fv {
+			fv[i] = c.sol.NewVar()
+		}
+		c.frames = append(c.frames, fv)
+		if root, cst, hasRoot := c.instantiate(c.tmplValid, t); hasRoot {
+			c.sol.AddClause(root)
+		} else if !cst {
+			c.sol.AddClause() // no valid encodings: empty space
+		}
+		if t == 0 {
+			if root, cst, hasRoot := c.instantiate(c.tmplInit, 0); hasRoot {
+				c.sol.AddClause(root)
+			} else if !cst {
+				c.sol.AddClause() // empty init: every query is UNSAT
+			}
+		} else {
+			// Step t-1 -> t: the disjunction of the part roots, enforced only
+			// under this step's guard so that deeper frames never constrain
+			// shallower queries (a path ending in a deadlock state must stay
+			// satisfiable).
+			guard := sat.MkLit(c.sol.NewVar(), false)
+			c.stepGuards = append(c.stepGuards, guard)
+			step := []sat.Lit{guard.Not()}
+			sat_ := false
+			for _, tp := range c.tmplParts {
+				root, cst, hasRoot := c.instantiate(tp, t-1)
+				if hasRoot {
+					step = append(step, root)
+				} else if cst {
+					sat_ = true
+				}
+			}
+			if !sat_ {
+				c.sol.AddClause(step...)
+			}
+		}
+		c.ensurePathGuard(t)
+	}
+}
+
+// ensurePathGuard adds the loop-free constraint for depth k: assuming
+// pathGuards[k] forces all frames 0..k pairwise distinct. Guards chain
+// (u_k → u_{k-1}) so only the new frame's pairs are added per depth.
+func (c *Checker) ensurePathGuard(k int) {
+	u := sat.MkLit(c.sol.NewVar(), false)
+	c.pathGuards = append(c.pathGuards, u)
+	if k == 0 {
+		return
+	}
+	c.sol.AddClause(u.Not(), c.pathGuards[k-1])
+	for i := 0; i < k; i++ {
+		// u → frames i and k differ in at least one bit.
+		diff := []sat.Lit{u.Not()}
+		for b := 0; b < c.nbits; b++ {
+			d := sat.MkLit(c.sol.NewVar(), false)
+			xi := sat.MkLit(c.frames[i][b], false)
+			xk := sat.MkLit(c.frames[k][b], false)
+			c.sol.AddClause(d.Not(), xi, xk)
+			c.sol.AddClause(d.Not(), xi.Not(), xk.Not())
+			diff = append(diff, d)
+		}
+		c.sol.AddClause(diff...)
+	}
+}
+
+// ReachState decides whether a state satisfying target (a current-state
+// predicate) is reachable from init via the part union, and returns a
+// shortest witness path when it is.
+func (c *Checker) ReachState(ctx context.Context, target bdd.Node) (*Result, error) {
+	return c.run(ctx, target, false)
+}
+
+// ReachTrans decides whether a state with an outgoing transition in bad is
+// reachable, i.e. whether a path via the part union can end with one bad
+// step. The final step is constrained by bad alone — callers intersect bad
+// with whatever system relation they mean beforehand (verify passes
+// (program ∪ fault) ∩ spec-bad, mirroring the BDD check's conjunction). The
+// returned path includes that final step.
+func (c *Checker) ReachTrans(ctx context.Context, bad bdd.Node) (*Result, error) {
+	return c.run(ctx, bad, true)
+}
+
+func (c *Checker) run(ctx context.Context, target bdd.Node, trans bool) (*Result, error) {
+	if c.used {
+		return nil, fmt.Errorf("bmc: Checker supports a single query")
+	}
+	c.used = true
+	if target == bdd.False {
+		return &Result{Complete: true, Stats: c.sol.Stats()}, nil
+	}
+	tmplTarget := c.encode(target)
+	// A transition target constrains frame k+1; so does a stray next-state
+	// bit in a state target (then the extra frame is merely existential).
+	extra := 0
+	if trans || tmplTarget.usesNext(c.nbits) {
+		extra = 1
+	}
+	for k := 0; k <= c.opts.MaxDepth; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.ensureFrames(k + 1 + extra)
+		act := sat.MkLit(c.sol.NewVar(), false)
+		root, cst, hasRoot := c.instantiate(tmplTarget, k)
+		switch {
+		case hasRoot:
+			c.sol.AddClause(act.Not(), root)
+		case !cst:
+			c.sol.AddClause(act.Not())
+		}
+		// (A constant-true target needs nothing under the activation literal:
+		// any state of the frame satisfies it.)
+		assume := append([]sat.Lit{}, c.stepGuards[:k]...)
+		assume = append(assume, act)
+		found, err := c.sol.Solve(ctx, assume...)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			steps, derr := c.decode(k + boolToInt(trans))
+			if derr != nil {
+				return nil, derr
+			}
+			return &Result{Reachable: true, Depth: k + boolToInt(trans), Complete: true, Steps: steps, Stats: c.sol.Stats()}, nil
+		}
+		c.sol.AddClause(act.Not())
+
+		// Termination: no loop-free path of length k means every reachable
+		// state shows up at some depth < k+1, all of which answered UNSAT.
+		free, err := c.sol.Solve(ctx, append(append([]sat.Lit{}, c.stepGuards[:k]...), c.pathGuards[k])...)
+		if err != nil {
+			return nil, err
+		}
+		if !free {
+			return &Result{Depth: k, Complete: true, Stats: c.sol.Stats()}, nil
+		}
+	}
+	return &Result{Depth: c.opts.MaxDepth, Stats: c.sol.Stats()}, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// decode reads the model's frames 0..depth back into named states and
+// attributes each step to the first part whose relation contains it,
+// mirroring the BDD extractor's attribution order.
+func (c *Checker) decode(depth int) ([]witness.Step, error) {
+	states := make([]map[string]int, depth+1)
+	for t := 0; t <= depth; t++ {
+		st := make(map[string]int, len(c.space.Vars))
+		for _, v := range c.space.Vars {
+			st[v.Name] = 0
+		}
+		for slot, v := range c.slots {
+			if c.sol.Value(c.frames[t][slot]) {
+				st[v.Name] |= 1 << c.bit[slot]
+			}
+		}
+		states[t] = st
+	}
+	steps := []witness.Step{{Kind: witness.StepInit, State: states[0]}}
+	for t := 1; t <= depth; t++ {
+		kind, by, err := c.attribute(states[t-1], states[t])
+		if err != nil {
+			return nil, fmt.Errorf("bmc: step %d: %w", t, err)
+		}
+		steps = append(steps, witness.Step{Kind: kind, By: by, State: states[t]})
+	}
+	return steps, nil
+}
+
+// attribute finds the first attribution part containing the concrete
+// transition, in list order — the same program-first precedence the BDD
+// witness extractor applies.
+func (c *Checker) attribute(from, to map[string]int) (witness.StepKind, string, error) {
+	m := c.space.M
+	asg := c.assignment(from, to)
+	for _, p := range c.attrib {
+		if p.Rel != bdd.False && m.Eval(p.Rel, asg) {
+			return p.Kind, p.Name, nil
+		}
+	}
+	return "", "", fmt.Errorf("transition %v -> %v is in no part", from, to)
+}
+
+// assignment builds the BDD-variable-id-indexed total assignment of a
+// concrete transition, the same layout the witness checker uses.
+func (c *Checker) assignment(from, to map[string]int) []bool {
+	out := make([]bool, c.space.M.NumVars())
+	for _, v := range c.space.Vars {
+		val, nval := from[v.Name], to[v.Name]
+		for b, id := range v.CurLevels() {
+			out[id] = val&(1<<b) != 0
+		}
+		for b, id := range v.NextLevels() {
+			out[id] = nval&(1<<b) != 0
+		}
+	}
+	return out
+}
+
+// Stats returns the solver counters accumulated so far.
+func (c *Checker) Stats() sat.Stats { return c.sol.Stats() }

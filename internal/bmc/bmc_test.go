@@ -1,0 +1,439 @@
+package bmc
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/sat"
+	"repro/internal/symbolic"
+	"repro/internal/witness"
+)
+
+// randRelation builds a guarded-command-style transition relation: a
+// disjunction of (guard ∧ assignments) terms, where each term fixes one
+// variable's next value and leaves the others unchanged.
+func randRelation(s *symbolic.Space, rng *rand.Rand, terms int) bdd.Node {
+	m := s.M
+	rel := bdd.False
+	for i := 0; i < terms; i++ {
+		gv := s.Vars[rng.Intn(len(s.Vars))]
+		term := gv.EqConst(rng.Intn(gv.Domain))
+		tv := s.Vars[rng.Intn(len(s.Vars))]
+		term = m.And(term, tv.NextEqConst(rng.Intn(tv.Domain)))
+		for _, v := range s.Vars {
+			if v != tv {
+				term = m.And(term, v.Unchanged())
+			}
+		}
+		rel = m.Or(rel, term)
+	}
+	return rel
+}
+
+// allAssignments enumerates every cur+next bit pattern of the space as a
+// manager-indexed assignment plus a canonical key.
+func allAssignments(s *symbolic.Space) [][]bool {
+	var ids []int
+	for _, v := range s.Vars {
+		ids = append(ids, v.CurLevels()...)
+		ids = append(ids, v.NextLevels()...)
+	}
+	n := len(ids)
+	out := make([][]bool, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		asg := make([]bool, s.M.NumVars())
+		for i, id := range ids {
+			asg[id] = mask&(1<<i) != 0
+		}
+		out = append(out, asg)
+	}
+	return out
+}
+
+// TestTseitinRoundTrip is the encoding property test: for random small
+// models, the CNF unrolled over one step has exactly the same satisfying
+// assignments (projected to the state bits) as the BDD of the valid
+// transition relation — checked three ways: per-assignment verdict equality
+// against Eval, set equality against AllSat expansion, and count equality.
+func TestTseitinRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		s := symbolic.MustNew([]symbolic.VarSpec{
+			{Name: "x", Domain: 2 + rng.Intn(3)},
+			{Name: "y", Domain: 2 + rng.Intn(2)},
+		})
+		m := s.M
+		sc := m.Protect()
+		rel := sc.Keep(randRelation(s, rng, 1+rng.Intn(4)))
+		relValid := sc.Keep(m.And(rel, s.ValidTrans()))
+
+		c := New(s, bdd.True, []Part{{Name: "p", Kind: witness.StepProgram, Rel: rel}}, Options{})
+		c.ensureFrames(2)
+
+		// Collect the BDD's model set over all cur+next bits via AllSat,
+		// expanding don't-care positions.
+		var ids []int
+		for _, v := range s.Vars {
+			ids = append(ids, v.CurLevels()...)
+			ids = append(ids, v.NextLevels()...)
+		}
+		bddModels := make(map[uint64]bool)
+		m.AllSat(relValid, func(cube []int8) bool {
+			var expand func(i int, key uint64)
+			expand = func(i int, key uint64) {
+				if i == len(ids) {
+					bddModels[key] = true
+					return
+				}
+				switch cube[ids[i]] {
+				case 0:
+					expand(i+1, key)
+				case 1:
+					expand(i+1, key|1<<uint(i))
+				default:
+					expand(i+1, key)
+					expand(i+1, key|1<<uint(i))
+				}
+			}
+			expand(0, 0)
+			return true
+		})
+
+		// For every total assignment: BDD Eval, AllSat membership, and the
+		// CNF under assumptions that pin the frame bits must agree.
+		cnfCount := 0
+		for mask := 0; mask < 1<<len(ids); mask++ {
+			asg := make([]bool, m.NumVars())
+			for i, id := range ids {
+				asg[id] = mask&(1<<i) != 0
+			}
+			want := m.Eval(relValid, asg)
+			if want != bddModels[uint64(mask)] {
+				t.Fatalf("trial %d: AllSat disagrees with Eval on %x", trial, mask)
+			}
+			var assume []sat.Lit
+			assume = append(assume, c.stepGuards[0])
+			for slot, v := range c.slots {
+				b := c.bit[slot]
+				assume = append(assume,
+					sat.MkLit(c.frames[0][slot], !asg[v.CurLevels()[b]]),
+					sat.MkLit(c.frames[1][slot], !asg[v.NextLevels()[b]]))
+			}
+			got, err := c.sol.Solve(ctx, assume...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: CNF says %v, BDD says %v on assignment %x", trial, got, want, mask)
+			}
+			if got {
+				cnfCount++
+			}
+		}
+		if cnfCount != len(bddModels) {
+			t.Fatalf("trial %d: CNF has %d models, BDD has %d", trial, cnfCount, len(bddModels))
+		}
+		sc.Release()
+	}
+}
+
+// bfsDepth computes the BDD-side shortest distance from init to target under
+// the union of parts, or -1 if unreachable.
+func bfsDepth(s *symbolic.Space, init, target bdd.Node, parts []bdd.Node) int {
+	m := s.M
+	sc := m.Protect()
+	defer sc.Release()
+	union := sc.Slot(bdd.False)
+	for _, p := range parts {
+		union.Set(m.Or(union.Node(), p))
+	}
+	reached := sc.Slot(m.And(init, s.ValidCur()))
+	frontier := sc.Slot(reached.Node())
+	for d := 0; ; d++ {
+		if m.And(frontier.Node(), target) != bdd.False {
+			return d
+		}
+		next := m.Diff(s.Image(frontier.Node(), union.Node()), reached.Node())
+		if next == bdd.False {
+			return -1
+		}
+		reached.Set(m.Or(reached.Node(), next))
+		frontier.Set(next)
+	}
+}
+
+// TestReachStateMatchesBDD cross-checks verdict, completeness, and shortest
+// depth against the BDD engine on random models, and replays every found
+// path pointwise.
+func TestReachStateMatchesBDD(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		s := symbolic.MustNew([]symbolic.VarSpec{
+			{Name: "a", Domain: 2 + rng.Intn(3)},
+			{Name: "b", Domain: 2 + rng.Intn(3)},
+		})
+		m := s.M
+		sc := m.Protect()
+		nparts := 1 + rng.Intn(3)
+		var parts []Part
+		var rels []bdd.Node
+		for i := 0; i < nparts; i++ {
+			r := sc.Keep(randRelation(s, rng, 1+rng.Intn(3)))
+			kind := witness.StepProgram
+			name := "proc"
+			if i == nparts-1 && rng.Intn(2) == 0 {
+				kind, name = witness.StepFault, "crash"
+			}
+			parts = append(parts, Part{Name: name, Kind: kind, Rel: r})
+			rels = append(rels, r)
+		}
+		av, bv := s.Vars[0], s.Vars[1]
+		init := sc.Keep(m.And(av.EqConst(rng.Intn(av.Domain)), bv.EqConst(rng.Intn(bv.Domain))))
+		target := sc.Keep(av.EqConst(rng.Intn(av.Domain)))
+
+		wantDepth := bfsDepth(s, init, target, rels)
+		c := New(s, init, parts, Options{MaxDepth: 40})
+		res, err := c.ReachState(ctx, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("trial %d: result not complete", trial)
+		}
+		if res.Reachable != (wantDepth >= 0) {
+			t.Fatalf("trial %d: BMC says %v, BDD says depth %d", trial, res.Reachable, wantDepth)
+		}
+		if res.Reachable {
+			if res.Depth != wantDepth {
+				t.Fatalf("trial %d: BMC depth %d, BDD shortest %d", trial, res.Depth, wantDepth)
+			}
+			replay(t, trial, s, init, target, parts, res.Steps)
+		}
+		sc.Release()
+	}
+}
+
+// replay is a miniature certify: first state in init, every step in its
+// attributed part, last state in target.
+func replay(t *testing.T, trial int, s *symbolic.Space, init, target bdd.Node, parts []Part, steps []witness.Step) {
+	t.Helper()
+	m := s.M
+	asgState := func(st map[string]int) []bool {
+		out := make([]bool, m.NumVars())
+		for _, v := range s.Vars {
+			for b, id := range v.CurLevels() {
+				out[id] = st[v.Name]&(1<<b) != 0
+			}
+		}
+		return out
+	}
+	asgTrans := func(from, to map[string]int) []bool {
+		out := asgState(from)
+		for _, v := range s.Vars {
+			for b, id := range v.NextLevels() {
+				out[id] = to[v.Name]&(1<<b) != 0
+			}
+		}
+		return out
+	}
+	if steps[0].Kind != witness.StepInit || !m.Eval(init, asgState(steps[0].State)) {
+		t.Fatalf("trial %d: path does not start in init", trial)
+	}
+	for i := 1; i < len(steps); i++ {
+		matched := false
+		for _, p := range parts {
+			if p.Name == steps[i].By && p.Kind == steps[i].Kind {
+				if m.Eval(p.Rel, asgTrans(steps[i-1].State, steps[i].State)) {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Fatalf("trial %d: step %d not in its attributed part (%s/%s)", trial, i, steps[i].Kind, steps[i].By)
+		}
+	}
+	last := steps[len(steps)-1].State
+	if target != bdd.False && !m.Eval(target, asgState(last)) {
+		t.Fatalf("trial %d: path does not end in target", trial)
+	}
+}
+
+// chainSpace is the 4-state chain 0 -> 1 -> 2 with 2 a dead end and 3
+// disconnected: the canonical model for the deadlock-frame pitfall (a path
+// ending in a dead end must remain satisfiable at deeper unrollings).
+func chainSpace(t *testing.T) (*symbolic.Space, bdd.Node, []Part) {
+	t.Helper()
+	s := symbolic.MustNew([]symbolic.VarSpec{{Name: "x", Domain: 4}})
+	m := s.M
+	x := s.Vars[0]
+	rel := bdd.False
+	for v := 0; v < 2; v++ {
+		rel = m.Or(rel, m.And(x.EqConst(v), x.NextEqConst(v+1)))
+	}
+	rel = m.Ref(rel)
+	init := m.Ref(x.EqConst(0))
+	return s, init, []Part{{Name: "step", Kind: witness.StepProgram, Rel: rel}}
+}
+
+func TestReachStateDeadEnd(t *testing.T) {
+	ctx := context.Background()
+	s, init, parts := chainSpace(t)
+	x := s.Vars[0]
+
+	c := New(s, init, parts, Options{})
+	res, err := c.ReachState(ctx, x.EqConst(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || res.Depth != 2 || !res.Complete {
+		t.Fatalf("dead-end state should be reachable at depth 2: %+v", res)
+	}
+
+	c2 := New(s, init, parts, Options{})
+	res2, err := c2.ReachState(ctx, x.EqConst(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable || !res2.Complete {
+		t.Fatalf("disconnected state should be provably unreachable: %+v", res2)
+	}
+}
+
+func TestReachTrans(t *testing.T) {
+	ctx := context.Background()
+	s, init, parts := chainSpace(t)
+	m := s.M
+	x := s.Vars[0]
+
+	bad := m.Ref(m.And(x.EqConst(1), x.NextEqConst(2)))
+	c := New(s, init, parts, Options{})
+	res, err := c.ReachTrans(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || res.Depth != 2 || !res.Complete {
+		t.Fatalf("bad step 1->2 should be takeable after one step: %+v", res)
+	}
+	lastIdx := len(res.Steps) - 1
+	if res.Steps[lastIdx].State["x"] != 2 || res.Steps[lastIdx-1].State["x"] != 1 {
+		t.Fatalf("final step should be 1->2: %+v", res.Steps)
+	}
+
+	// The final step is constrained by bad alone; callers intersect with the
+	// system relation. 2->3 is not a system step, so the intersection is
+	// empty and provably unreachable...
+	bad2 := m.Ref(m.AndN(x.EqConst(2), x.NextEqConst(3), parts[0].Rel))
+	c2 := New(s, init, parts, Options{})
+	res2, err := c2.ReachTrans(ctx, bad2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable || !res2.Complete {
+		t.Fatalf("bad∩relation = ∅ should be unreachable: %+v", res2)
+	}
+
+	// ...while the raw 2->3 transition is takeable from the reachable dead
+	// end when the caller does not intersect (attribution comes from the
+	// wider Attribution list then).
+	bad3 := m.Ref(m.And(x.EqConst(2), x.NextEqConst(3)))
+	c3 := New(s, init, parts, Options{
+		Attribution: append(append([]Part{}, parts...),
+			Part{Name: "spec", Kind: witness.StepFault, Rel: bad3}),
+	})
+	res3, err := c3.ReachTrans(ctx, bad3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Reachable || res3.Depth != 3 || !res3.Complete {
+		t.Fatalf("unintersected bad step from the dead end should be found: %+v", res3)
+	}
+	if last := res3.Steps[len(res3.Steps)-1]; last.By != "spec" || last.Kind != witness.StepFault {
+		t.Fatalf("final step should be attributed via the Attribution list: %+v", last)
+	}
+}
+
+func TestEmptyInitAndFalseTarget(t *testing.T) {
+	ctx := context.Background()
+	s, _, parts := chainSpace(t)
+	x := s.Vars[0]
+
+	c := New(s, bdd.False, parts, Options{})
+	res, err := c.ReachState(ctx, x.EqConst(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable || !res.Complete {
+		t.Fatalf("empty init must make everything provably unreachable: %+v", res)
+	}
+
+	s2, init2, parts2 := chainSpace(t)
+	_ = s2
+	c2 := New(s2, init2, parts2, Options{})
+	res2, err := c2.ReachState(ctx, bdd.False)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable || !res2.Complete {
+		t.Fatalf("false target must be trivially unreachable: %+v", res2)
+	}
+}
+
+func TestSingleQueryContract(t *testing.T) {
+	ctx := context.Background()
+	s, init, parts := chainSpace(t)
+	x := s.Vars[0]
+	c := New(s, init, parts, Options{})
+	if _, err := c.ReachState(ctx, x.EqConst(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReachState(ctx, x.EqConst(2)); err == nil {
+		t.Fatal("second query on the same Checker should error")
+	}
+}
+
+func TestMaxDepthBound(t *testing.T) {
+	ctx := context.Background()
+	s, init, parts := chainSpace(t)
+	x := s.Vars[0]
+	c := New(s, init, parts, Options{MaxDepth: 1})
+	res, err := c.ReachState(ctx, x.EqConst(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Fatalf("x=3 is unreachable: %+v", res)
+	}
+	// Depth 1 cannot close the loop-free argument on this chain (a loop-free
+	// path of length 1 exists), so the result must be marked incomplete.
+	if res.Complete {
+		t.Fatalf("MaxDepth 1 cannot prove unreachability here: %+v", res)
+	}
+}
+
+// TestDeterminism: identical queries on fresh Checkers produce identical
+// traces and statistics.
+func TestDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func() (*Result, error) {
+		s, init, parts := chainSpace(t)
+		c := New(s, init, parts, Options{})
+		return c.ReachState(ctx, s.Vars[0].EqConst(2))
+	}
+	r1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Steps, r2.Steps) || r1.Stats != r2.Stats || r1.Depth != r2.Depth {
+		t.Fatalf("identical queries diverged:\n%+v\n%+v", r1, r2)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/casestudies"
 	"repro/internal/program"
 	"repro/internal/repair"
+	"repro/internal/sat"
 	"repro/internal/verify"
 	"repro/internal/witness"
 )
@@ -36,6 +37,12 @@ type Job struct {
 	Options   repair.Options
 	// Verify runs the independent checker on the result.
 	Verify bool
+	// Backend selects the verification backend: verify.BackendBDD (the
+	// default, also selected by the empty string) or verify.BackendSAT, which
+	// routes the reachability checks and the safety/deadlock witness search
+	// through bounded model checking over the CDCL solver. The repair
+	// algorithms themselves always run on the BDD engine.
+	Backend verify.Backend
 	// Witnesses, when positive, asks for up to that many recovery
 	// demonstrations on success (one per fault action) in
 	// Result.Witnesses, and attaches failure traces to failed verifier
@@ -49,6 +56,9 @@ type Outcome struct {
 	Compiled *program.Compiled
 	Result   *repair.Result
 	Report   *verify.Report // nil unless Job.Verify
+	// SATStats is the solver work summed over the verifier's bounded
+	// model-checking queries; nil unless Job.Verify ran under BackendSAT.
+	SATStats *sat.Stats
 
 	CompileTime time.Duration
 	VerifyTime  time.Duration // zero unless Job.Verify
@@ -135,16 +145,16 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 
 	if job.Verify {
 		t1 := time.Now()
-		var rep *verify.Report
-		if job.Witnesses > 0 {
-			rep, err = verify.ResultWitnessEngine(ctx, eng, res)
-		} else {
-			rep, err = verify.ResultEngine(ctx, eng, res)
+		backend, err := verify.ParseBackend(string(job.Backend))
+		if err != nil {
+			return nil, err
 		}
+		rep, err := verify.ResultBackendEngine(ctx, eng, res, backend, job.Witnesses > 0)
 		if err != nil {
 			return nil, err
 		}
 		out.Report = rep
+		out.SATStats = rep.SAT
 		out.VerifyTime = time.Since(t1)
 	}
 	return out, nil

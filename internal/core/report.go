@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/sat"
 	"repro/internal/verify"
 	"repro/internal/witness"
 )
@@ -21,6 +22,11 @@ type RunReport struct {
 	Pure        bool   `json:"pure,omitempty"`         // reachability heuristic disabled
 	DeferCycles bool   `json:"defer_cycles,omitempty"` // cycle-breaking after Step 2
 	Workers     int    `json:"workers,omitempty"`      // effective engine worker count
+	// Backend is the verification backend ("bdd" or "sat"); empty when
+	// verification was not requested. Kept by Normalized: the verdict is
+	// backend-independent, but which engine produced it is part of the
+	// report's identity.
+	Backend string `json:"backend,omitempty"`
 
 	StateBits       int     `json:"state_bits"`
 	States          float64 `json:"states"`
@@ -45,6 +51,13 @@ type RunReport struct {
 	TotalNS   int64 `json:"total_ns"`
 	VerifyNS  int64 `json:"verify_ns,omitempty"`
 	WitnessNS int64 `json:"witness_ns,omitempty"`
+
+	// SAT holds the CDCL solver's work counters (conflicts, decisions,
+	// propagations, learned clauses, restarts, max decision level) summed
+	// over the verifier's bounded model-checking queries. Nil unless the run
+	// verified under the SAT backend. Zeroed by Normalized: solver effort is
+	// performance telemetry, not part of the verdict.
+	SAT *sat.Stats `json:"sat,omitempty"`
 
 	// Verified is nil when verification was not requested; otherwise the
 	// verifier's verdict, with the individual checks in Checks.
@@ -102,6 +115,12 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		ok := out.Report.OK()
 		r.Verified = &ok
 		r.Checks = out.Report.Checks
+		backend, err := verify.ParseBackend(string(job.Backend))
+		if err != nil {
+			backend = job.Backend // unvalidated jobs render verbatim
+		}
+		r.Backend = string(backend)
+		r.SAT = out.SATStats
 	}
 	return r
 }
@@ -123,6 +142,9 @@ func (r RunReport) Normalized() RunReport {
 	r.BDDReorderRuns = 0
 	r.CompileNS, r.Step1NS, r.Step2NS, r.TotalNS, r.VerifyNS = 0, 0, 0, 0, 0
 	r.WitnessNS = 0
+	// Solver work counters are performance telemetry, like the BDD node
+	// counters above; the verdict they accompany is what must be identical.
+	r.SAT = nil
 	// Witnesses stay: extraction is deterministic, so they are part of the
 	// cross-worker-count identity the determinism tests assert.
 	return r

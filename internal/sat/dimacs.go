@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CNF is a clause set in the plain form the DIMACS format carries: NumVars
+// variables (0-based internally, 1-based in the file) and a list of clauses.
+type CNF struct {
+	NumVars int
+	Clauses [][]Lit
+}
+
+// AddTo feeds every clause into the solver, allocating variables as needed,
+// and returns the solver's verdict-so-far (false once globally UNSAT).
+func (c *CNF) AddTo(s *Solver) bool {
+	for s.NumVars() < c.NumVars {
+		s.NewVar()
+	}
+	ok := true
+	for _, cl := range c.Clauses {
+		ok = s.AddClause(cl...)
+	}
+	return ok
+}
+
+// WriteDIMACS renders the CNF in DIMACS cnf format.
+func (c *CNF) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", c.NumVars, len(c.Clauses))
+	for _, cl := range c.Clauses {
+		for _, l := range cl {
+			bw.WriteString(l.String())
+			bw.WriteByte(' ')
+		}
+		bw.WriteString("0\n")
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS cnf file. Comment lines ("c ...") are skipped;
+// clauses may span lines and are terminated by 0, per the format. Literals
+// beyond the declared variable count, a missing header, or a trailing
+// unterminated clause are errors.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	cnf := &CNF{}
+	header := false
+	declared := 0
+	var cur []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if header {
+				return nil, fmt.Errorf("dimacs: duplicate header")
+			}
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: malformed header %q", line)
+			}
+			nv, err1 := strconv.Atoi(f[2])
+			nc, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("dimacs: malformed header %q", line)
+			}
+			cnf.NumVars = nv
+			declared = nc
+			header = true
+			continue
+		}
+		if !header {
+			return nil, fmt.Errorf("dimacs: clause before header")
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: bad literal %q", tok)
+			}
+			if n == 0 {
+				cnf.Clauses = append(cnf.Clauses, cur)
+				cur = nil
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if v > cnf.NumVars {
+				return nil, fmt.Errorf("dimacs: literal %d beyond %d declared variables", n, cnf.NumVars)
+			}
+			cur = append(cur, MkLit(v-1, n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("dimacs: unterminated final clause")
+	}
+	if len(cnf.Clauses) != declared {
+		return nil, fmt.Errorf("dimacs: header declares %d clauses, found %d", declared, len(cnf.Clauses))
+	}
+	return cnf, nil
+}

@@ -1,0 +1,46 @@
+package sat
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDIMACS feeds arbitrary bytes to the parser (it must never panic) and,
+// whenever a parse succeeds, re-serializes and re-parses to confirm the
+// canonical form is a fixed point.
+func FuzzDIMACS(f *testing.F) {
+	f.Add([]byte("p cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n"))
+	f.Add([]byte("c comment\np cnf 1 1\n1 0\n"))
+	f.Add([]byte("p cnf 0 0\n"))
+	f.Add([]byte("p cnf 2 1\n1\n2 0\n"))
+	f.Add([]byte("p cnf 5 3\n-5 4 0\n1 2 3 0\n-1 -2 0\n"))
+	f.Add([]byte("1 2 0\n"))
+	f.Add([]byte("p cnf 1 1\n99 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cnf, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := cnf.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("serialize parsed CNF: %v", err)
+		}
+		again, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("reparse canonical form: %v\n%s", err, buf.String())
+		}
+		if again.NumVars != cnf.NumVars || len(again.Clauses) != len(cnf.Clauses) {
+			t.Fatalf("round-trip changed shape: %d/%d vs %d/%d",
+				cnf.NumVars, len(cnf.Clauses), again.NumVars, len(again.Clauses))
+		}
+		for i := range cnf.Clauses {
+			if len(cnf.Clauses[i]) == 0 && len(again.Clauses[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(again.Clauses[i], cnf.Clauses[i]) {
+				t.Fatalf("round-trip changed clause %d: %v vs %v", i, cnf.Clauses[i], again.Clauses[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package sat
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := rng.Intn(30)
+		cnf := &CNF{NumVars: n}
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(4)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(n), rng.Intn(2) == 1)
+			}
+			cnf.Clauses = append(cnf.Clauses, cl)
+		}
+		var buf bytes.Buffer
+		if err := cnf.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if got.NumVars != cnf.NumVars || len(got.Clauses) != len(cnf.Clauses) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := range cnf.Clauses {
+			if !reflect.DeepEqual(got.Clauses[i], cnf.Clauses[i]) {
+				t.Fatalf("trial %d clause %d: %v != %v", trial, i, got.Clauses[i], cnf.Clauses[i])
+			}
+		}
+	}
+}
+
+func TestParseDIMACSAcceptsCommentsAndMultiline(t *testing.T) {
+	src := `c a comment
+c another
+
+p cnf 3 2
+1 -2
+3 0
+-1 2 -3 0
+`
+	cnf, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnf.NumVars != 3 || len(cnf.Clauses) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", cnf)
+	}
+	want := []Lit{MkLit(0, false), MkLit(1, true), MkLit(2, false)}
+	if !reflect.DeepEqual(cnf.Clauses[0], want) {
+		t.Fatalf("clause 0 = %v, want %v", cnf.Clauses[0], want)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":      "1 2 0\n",
+		"dup header":     "p cnf 1 0\np cnf 1 0\n",
+		"bad header":     "p cnf x 0\n",
+		"big literal":    "p cnf 2 1\n3 0\n",
+		"bad token":      "p cnf 2 1\none 0\n",
+		"unterminated":   "p cnf 2 1\n1 2\n",
+		"count mismatch": "p cnf 2 2\n1 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestCNFAddTo checks the CNF → Solver bridge end to end.
+func TestCNFAddTo(t *testing.T) {
+	cnf := &CNF{NumVars: 2, Clauses: [][]Lit{
+		{MkLit(0, false)},
+		{MkLit(0, true), MkLit(1, false)},
+	}}
+	s := New()
+	if !cnf.AddTo(s) {
+		t.Fatal("consistent CNF rejected")
+	}
+	got, err := s.Solve(context.Background())
+	if err != nil || !got || !s.Value(0) || !s.Value(1) {
+		t.Fatalf("expected model {x0, x1}: got=%v err=%v", got, err)
+	}
+}

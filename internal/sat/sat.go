@@ -1,0 +1,744 @@
+// Package sat is a self-contained CDCL (conflict-driven clause-learning)
+// boolean satisfiability solver: two-watched-literal unit propagation, VSIDS
+// branching with phase saving, first-UIP conflict analysis with
+// self-subsumption minimization, Luby restarts, and an activity-managed
+// learnt-clause database. It exists as the second, independently-derived
+// symbolic engine of the repair toolkit — the bounded-model-checking layer
+// (internal/bmc) compiles verification queries to CNF and solves them here,
+// so a BDD verdict and a SAT verdict about the same model come from two
+// implementations that share no code below the query.
+//
+// The solver is deterministic by construction: branching ties break on
+// variable index, no randomness is consulted anywhere, and clause-database
+// reduction orders clauses by (activity, allocation id). The same clause
+// stream therefore yields the same model, the same learnt clauses, and the
+// same statistics on every run — the property the differential gate and the
+// byte-identical-witness contracts build on.
+//
+// Incremental use: clauses may be added between Solve calls (monotone — the
+// solver keeps its learnt clauses, which remain sound), and Solve takes
+// assumption literals that hold for that call only. The bounded
+// model checker grows one solver per query family, activating per-depth
+// targets through assumption-guarded clauses.
+package sat
+
+import (
+	"context"
+	"fmt"
+)
+
+// Lit is a literal: variable index shifted left once, low bit set for
+// negation. The zero-variable positive literal is Lit(0).
+type Lit int32
+
+// MkLit builds the literal for variable v (v ≥ 0), negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS polarity (1-based, minus = negated).
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lbool is a three-valued assignment: +1 true, -1 false, 0 unassigned.
+type lbool int8
+
+const (
+	lTrue  lbool = 1
+	lFalse lbool = -1
+	lUndef lbool = 0
+)
+
+// clause is a disjunction of literals. For clauses of length ≥ 2 the first
+// two literals are the watched pair.
+type clause struct {
+	lits   []Lit
+	act    float64
+	id     uint64 // allocation order; deterministic reduce-DB tiebreak
+	learnt bool
+}
+
+// Stats are the solver's work counters. They are embedded (flattened) into
+// RunReport by the verification layer, hence the JSON tags.
+type Stats struct {
+	Vars         int64 `json:"sat_vars,omitempty"`
+	Clauses      int64 `json:"sat_clauses,omitempty"`
+	Conflicts    int64 `json:"sat_conflicts,omitempty"`
+	Decisions    int64 `json:"sat_decisions,omitempty"`
+	Propagations int64 `json:"sat_propagations,omitempty"`
+	Restarts     int64 `json:"sat_restarts,omitempty"`
+	Learned      int64 `json:"sat_learned_clauses,omitempty"`
+	MaxLevel     int64 `json:"sat_max_decision_level,omitempty"`
+}
+
+// Add accumulates o into s (counters sum, MaxLevel takes the maximum).
+func (s *Stats) Add(o Stats) {
+	s.Vars += o.Vars
+	s.Clauses += o.Clauses
+	s.Conflicts += o.Conflicts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
+	if o.MaxLevel > s.MaxLevel {
+		s.MaxLevel = o.MaxLevel
+	}
+}
+
+// Solver is one CDCL instance. The zero value is not usable; construct with
+// New. Not safe for concurrent use.
+type Solver struct {
+	clauses []*clause // problem clauses (len ≥ 2)
+	learnts []*clause
+	watches [][]*clause // literal -> clauses watching its negation
+
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	polarity []bool // phase saving: last value each variable held
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+
+	claInc     float64
+	nextCla    uint64
+	maxLearnts float64
+
+	ok    bool   // false once the clause set is UNSAT at level 0
+	model []bool // last satisfying assignment, captured before unwinding
+	stats Stats
+
+	// scratch for analyze
+	seen    []bool
+	minimal []Lit
+}
+
+const (
+	varDecay     = 1.0 / 0.95
+	claDecay     = 1.0 / 0.999
+	rescaleLimit = 1e100
+	restartBase  = 100 // conflicts per Luby unit
+	// ctxCheckMask throttles context polling to every 1024 conflicts.
+	ctxCheckMask = 1023
+)
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1, claInc: 1, ok: true, maxLearnts: 4000}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // branch negative first, like PickCube
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v, s)
+	s.stats.Vars++
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// Stats returns a snapshot of the work counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// Value returns the variable's value in the most recent satisfying
+// assignment. Valid only after a Solve call returned true.
+func (s *Solver) Value(v int) bool { return v < len(s.model) && s.model[v] }
+
+// AddClause adds a disjunction to the solver at decision level 0. It returns
+// false when the clause set has become unsatisfiable (then and forever). The
+// literal slice is copied.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Level-0 simplification: drop false literals, drop satisfied or
+	// tautological clauses, deduplicate.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var() >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: literal %v names unallocated variable", l))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out, id: s.nextCla}
+	s.nextCla++
+	s.clauses = append(s.clauses, c)
+	s.stats.Clauses++
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[l.Not()]
+		for i, w := range ws {
+			if w == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l.Not()] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+	if lvl := int64(s.decisionLevel()); lvl > s.stats.MaxLevel {
+		s.stats.MaxLevel = lvl
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.heap.insertIfAbsent(v, s)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// propagate runs two-watched-literal unit propagation over the trail tail.
+// It returns the conflicting clause, or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; clauses watching ¬p need a look
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			// Normalize: the false watched literal ¬p sits at index 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				confl = c
+				// Keep the remaining watchers and stop this literal's pass.
+				kept = append(kept, ws[wi+1:]...)
+				break
+			}
+			s.stats.Propagations++
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			s.qhead = len(s.trail)
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > rescaleLimit {
+		for i := range s.activity {
+			s.activity[i] *= 1 / rescaleLimit
+		}
+		s.varInc *= 1 / rescaleLimit
+	}
+	s.heap.update(v, s)
+}
+
+func (s *Solver) bumpCla(c *clause) {
+	c.act += s.claInc
+	if c.act > rescaleLimit {
+		for _, l := range s.learnts {
+			l.act *= 1 / rescaleLimit
+		}
+		s.claInc *= 1 / rescaleLimit
+	}
+}
+
+// analyze derives the first-UIP learnt clause from a conflict and the level
+// to backjump to. The asserting literal is learnt[0].
+func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int) {
+	learnt = append(learnt, 0) // room for the asserting literal
+	counter := 0
+	var p Lit
+	haveP := false
+	idx := len(s.trail) - 1
+	curLevel := int32(s.decisionLevel())
+
+	for {
+		if confl == nil {
+			panic(fmt.Sprintf("analyze: nil reason; counter=%d level=%d trail=%d idx=%d p=%v plevel=%d learnt=%v",
+				counter, curLevel, len(s.trail), idx, p, s.level[p.Var()], learnt))
+		}
+		if confl.learnt {
+			s.bumpCla(confl)
+		}
+		start := 0
+		if haveP {
+			start = 1 // confl is p's reason; lits[0] == p
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail back to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		haveP = true
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Self-subsumption minimization: a non-asserting literal whose reason's
+	// remaining literals are all already in the clause (seen) or at level 0
+	// is implied by the rest and can be dropped.
+	for _, l := range learnt {
+		s.seen[l.Var()] = true
+	}
+	s.minimal = s.minimal[:0]
+	s.minimal = append(s.minimal, learnt[0])
+	for _, l := range learnt[1:] {
+		if r := s.reason[l.Var()]; r != nil && s.redundant(r, l) {
+			continue
+		}
+		s.minimal = append(s.minimal, l)
+	}
+	// Clear the marks over the pre-minimization clause: literals dropped as
+	// redundant are marked too and would poison the next conflict's walk.
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	learnt = append(learnt[:0], s.minimal...)
+
+	// Backjump to the second-highest level in the clause and place that
+	// literal at index 1 (the other watch).
+	btLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal l (whose reason is r, with r.lits[0] the
+// propagated literal ¬l) is implied by the currently-seen literals.
+func (s *Solver) redundant(r *clause, l Lit) bool {
+	for _, q := range r.lits {
+		if q == l.Not() {
+			continue
+		}
+		if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// record installs a learnt clause and enqueues its asserting literal.
+func (s *Solver) record(lits []Lit) {
+	s.stats.Learned++
+	if len(lits) == 1 {
+		s.uncheckedEnqueue(lits[0], nil)
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), lits...), learnt: true, id: s.nextCla}
+	s.nextCla++
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.bumpCla(c)
+	s.uncheckedEnqueue(lits[0], c)
+}
+
+// reduceDB removes the lower-activity half of the learnt clauses, keeping
+// binary clauses and clauses that are currently propagation reasons.
+func (s *Solver) reduceDB() {
+	sortClauses(s.learnts)
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		locked := s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == lTrue
+		if i < limit && len(c.lits) > 2 && !locked {
+			s.detach(c)
+			continue
+		}
+		keep = append(keep, c)
+	}
+	s.learnts = keep
+}
+
+// pickBranchLit selects the next decision via VSIDS with phase saving. It
+// returns false when every variable is assigned.
+func (s *Solver) pickBranchLit() (Lit, bool) {
+	for {
+		v, ok := s.heap.pop(s)
+		if !ok {
+			return 0, false
+		}
+		if s.assigns[v] == lUndef {
+			return MkLit(v, !s.polarity[v]), true
+		}
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve decides satisfiability of the clause set under the given assumption
+// literals. It returns (true, nil) with a model readable via Value, or
+// (false, nil) when unsatisfiable under the assumptions. The context is
+// polled between conflicts; on cancellation the error is ctx.Err(). Clauses
+// learned during the call are retained for later calls.
+func (s *Solver) Solve(ctx context.Context, assumptions ...Lit) (bool, error) {
+	if !s.ok {
+		return false, nil
+	}
+	s.cancelUntil(0)
+	defer s.cancelUntil(0)
+	if confl := s.propagate(); confl != nil {
+		s.ok = false
+		return false, nil
+	}
+
+	for round := int64(1); ; round++ {
+		budget := luby(round) * restartBase
+		res, err := s.search(ctx, budget, assumptions)
+		if err != nil {
+			return false, err
+		}
+		if res == lTrue {
+			// Capture the model before the deferred unwind erases it.
+			s.model = s.model[:0]
+			for _, a := range s.assigns {
+				s.model = append(s.model, a == lTrue)
+			}
+			return true, nil
+		}
+		if res == lFalse {
+			return false, nil
+		}
+		s.stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// search runs CDCL until a verdict, the conflict budget, or cancellation.
+// lUndef means "restart budget exhausted".
+func (s *Solver) search(ctx context.Context, budget int64, assumptions []Lit) (lbool, error) {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.stats.Conflicts&ctxCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return lUndef, err
+				}
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return lFalse, nil
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// The conflict depends on the assumptions alone.
+				return lFalse, nil
+			}
+			learnt, bt := s.analyze(confl)
+			if bt < len(assumptions) {
+				bt = len(assumptions)
+			}
+			s.cancelUntil(bt)
+			// After trimming to the assumption level the asserting literal
+			// may already be decided; re-propagating resolves it either way.
+			if s.value(learnt[0]) == lUndef {
+				s.record(learnt)
+			} else {
+				s.stats.Learned++
+				if len(learnt) > 1 {
+					c := &clause{lits: append([]Lit(nil), learnt...), learnt: true, id: s.nextCla}
+					s.nextCla++
+					s.learnts = append(s.learnts, c)
+					s.attach(c)
+				}
+			}
+			s.varInc *= varDecay
+			s.claInc *= claDecay
+			continue
+		}
+
+		if conflicts >= budget {
+			return lUndef, nil
+		}
+		if len(s.learnts) > int(s.maxLearnts) {
+			s.reduceDB()
+			s.maxLearnts *= 1.1
+		}
+
+		// Re-establish assumptions (one decision level each), then branch.
+		next := Lit(-1)
+		for s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level, keeps indices aligned
+			case lFalse:
+				return lFalse, nil // assumptions conflict
+			default:
+				next = p
+			}
+			if next != Lit(-1) {
+				break
+			}
+		}
+		if next == Lit(-1) {
+			l, ok := s.pickBranchLit()
+			if !ok {
+				return lTrue, nil // full assignment, no conflict
+			}
+			s.stats.Decisions++
+			next = l
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// sortClauses orders learnt clauses ascending by activity with the
+// allocation id as a deterministic tiebreak (older first).
+func sortClauses(cs []*clause) {
+	// Insertion sort keeps the dependency surface minimal; the learnt DB is
+	// reduced rarely and is mostly ordered between reductions.
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && (cs[j].act > c.act || (cs[j].act == c.act && cs[j].id > c.id)) {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}
+
+// varHeap is a binary max-heap over variables ordered by activity, ties
+// broken by smaller index — the deterministic half of VSIDS.
+type varHeap struct {
+	heap []int
+	pos  []int // variable -> heap index, -1 if absent
+}
+
+func (h *varHeap) less(a, b int, s *Solver) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (h *varHeap) insert(v int, s *Solver) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(h.pos[v], s)
+}
+
+func (h *varHeap) insertIfAbsent(v int, s *Solver) { h.insert(v, s) }
+
+func (h *varHeap) update(v int, s *Solver) {
+	if v < len(h.pos) && h.pos[v] >= 0 {
+		h.up(h.pos[v], s)
+	}
+}
+
+func (h *varHeap) pop(s *Solver) (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0, s)
+	}
+	return v, true
+}
+
+func (h *varHeap) up(i int, s *Solver) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p], s) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int, s *Solver) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && h.less(h.heap[c+1], h.heap[c], s) {
+			c++
+		}
+		if !h.less(h.heap[c], v, s) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

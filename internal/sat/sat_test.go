@@ -1,0 +1,314 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// bruteSat enumerates all assignments of n variables and reports whether any
+// satisfies every clause. Only usable for small n.
+func bruteSat(n int, clauses [][]Lit) bool {
+	for mask := 0; mask < 1<<n; mask++ {
+		if evalCNF(mask, clauses) {
+			return true
+		}
+	}
+	return false
+}
+
+func evalCNF(mask int, clauses [][]Lit) bool {
+	for _, cl := range clauses {
+		sat := false
+		for _, l := range cl {
+			val := mask&(1<<l.Var()) != 0
+			if val != l.Neg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func solverFor(t *testing.T, n int, clauses [][]Lit) *Solver {
+	t.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for _, cl := range clauses {
+		s.AddClause(cl...)
+	}
+	return s
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(7, false)
+	if l.Var() != 7 || l.Neg() || !l.Not().Neg() || l.Not().Var() != 7 {
+		t.Fatalf("literal encoding broken: %v", l)
+	}
+	if l.String() != "8" || l.Not().String() != "-8" {
+		t.Fatalf("DIMACS rendering broken: %q %q", l, l.Not())
+	}
+}
+
+// TestRandomCNFAgainstBruteForce cross-checks the CDCL verdict against
+// exhaustive enumeration on random 3-SAT near the phase transition, and
+// verifies every reported model pointwise.
+func TestRandomCNFAgainstBruteForce(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(9) // 3..11 variables
+		m := int(4.3*float64(n)) + rng.Intn(5)
+		clauses := make([][]Lit, m)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(n), rng.Intn(2) == 1)
+			}
+			clauses[i] = cl
+		}
+		want := bruteSat(n, clauses)
+		s := solverFor(t, n, clauses)
+		got, err := s.Solve(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver says %v, brute force says %v (n=%d m=%d)", trial, got, want, n, m)
+		}
+		if got {
+			mask := 0
+			for v := 0; v < n; v++ {
+				if s.Value(v) {
+					mask |= 1 << v
+				}
+			}
+			if !evalCNF(mask, clauses) {
+				t.Fatalf("trial %d: reported model does not satisfy the CNF", trial)
+			}
+		}
+	}
+}
+
+// TestPigeonhole checks the classic hard UNSAT family: n+1 pigeons in n
+// holes. Every instance is unsatisfiable and requires real conflict-driven
+// search (no polynomial resolution proof exists).
+func TestPigeonhole(t *testing.T) {
+	ctx := context.Background()
+	for holes := 2; holes <= 6; holes++ {
+		pigeons := holes + 1
+		s := New()
+		at := func(p, h int) Lit { return MkLit(p*holes+h, false) }
+		for i := 0; i < pigeons*holes; i++ {
+			s.NewVar()
+		}
+		for p := 0; p < pigeons; p++ {
+			cl := make([]Lit, holes)
+			for h := 0; h < holes; h++ {
+				cl[h] = at(p, h)
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(at(p1, h).Not(), at(p2, h).Not())
+				}
+			}
+		}
+		got, err := s.Solve(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Fatalf("pigeonhole %d/%d reported SAT", pigeons, holes)
+		}
+		if holes >= 4 && s.Stats().Conflicts == 0 {
+			t.Fatalf("pigeonhole %d/%d solved with zero conflicts — propagation alone cannot refute it", pigeons, holes)
+		}
+	}
+}
+
+// TestAssumptions exercises incremental solving: the same solver answers
+// differently under different assumption sets, and assumption-UNSAT does not
+// poison later calls.
+func TestAssumptions(t *testing.T) {
+	ctx := context.Background()
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
+	s.AddClause(MkLit(a, true), MkLit(c, false))  // ¬a ∨ c
+	s.AddClause(MkLit(b, true), MkLit(c, true))   // ¬b ∨ ¬c
+
+	if got, _ := s.Solve(ctx); !got {
+		t.Fatal("base formula should be SAT")
+	}
+	// a=true forces c=true forces b=false: consistent.
+	if got, _ := s.Solve(ctx, MkLit(a, false)); !got {
+		t.Fatal("should be SAT under a")
+	}
+	if !s.Value(c) || s.Value(b) {
+		t.Fatal("model under assumption a must have c and not b")
+	}
+	// a=false,b=false contradicts a ∨ b.
+	if got, _ := s.Solve(ctx, MkLit(a, true), MkLit(b, true)); got {
+		t.Fatal("should be UNSAT under ¬a ∧ ¬b")
+	}
+	// The solver must recover: the global formula is still SAT.
+	if got, _ := s.Solve(ctx); !got {
+		t.Fatal("formula must remain SAT after assumption-UNSAT call")
+	}
+	// Directly contradictory assumptions.
+	if got, _ := s.Solve(ctx, MkLit(a, false), MkLit(a, true)); got {
+		t.Fatal("should be UNSAT under a ∧ ¬a")
+	}
+}
+
+// TestIncrementalActivation mimics the BMC usage pattern: targets guarded by
+// activation literals, permanently disabled after an UNSAT answer.
+func TestIncrementalActivation(t *testing.T) {
+	ctx := context.Background()
+	s := New()
+	x := s.NewVar()
+	act1, act2 := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(act1, true), MkLit(x, false)) // act1 → x
+	s.AddClause(MkLit(act2, true), MkLit(x, true))  // act2 → ¬x
+	s.AddClause(MkLit(x, false))                    // x holds
+
+	if got, _ := s.Solve(ctx, MkLit(act1, false)); !got {
+		t.Fatal("query 1 should be SAT")
+	}
+	if got, _ := s.Solve(ctx, MkLit(act2, false)); got {
+		t.Fatal("query 2 should be UNSAT")
+	}
+	s.AddClause(MkLit(act2, true)) // retire query 2
+	if got, _ := s.Solve(ctx, MkLit(act1, false)); !got {
+		t.Fatal("query 1 should remain SAT after retiring query 2")
+	}
+}
+
+func TestGlobalUnsatSticks(t *testing.T) {
+	ctx := context.Background()
+	s := New()
+	v := s.NewVar()
+	if !s.AddClause(MkLit(v, false)) {
+		t.Fatal("first unit should be fine")
+	}
+	if s.AddClause(MkLit(v, true)) {
+		t.Fatal("contradictory unit should report UNSAT")
+	}
+	if got, _ := s.Solve(ctx); got {
+		t.Fatal("globally UNSAT solver answered SAT")
+	}
+	if s.AddClause(MkLit(v, false)) {
+		t.Fatal("AddClause after global UNSAT should keep returning false")
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	ctx := context.Background()
+	s := New()
+	if got, _ := s.Solve(ctx); !got {
+		t.Fatal("empty clause set should be SAT")
+	}
+	v := s.NewVar()
+	// Tautology is dropped, duplicate literal deduped.
+	s.AddClause(MkLit(v, false), MkLit(v, true))
+	s.AddClause(MkLit(v, false), MkLit(v, false))
+	if got, _ := s.Solve(ctx); !got || !s.Value(v) {
+		t.Fatal("v should be forced true")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Large pigeonhole so the search cannot finish before the first poll.
+	holes := 9
+	pigeons := holes + 1
+	s := New()
+	at := func(p, h int) Lit { return MkLit(p*holes+h, false) }
+	for i := 0; i < pigeons*holes; i++ {
+		s.NewVar()
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = at(p, h)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(at(p1, h).Not(), at(p2, h).Not())
+			}
+		}
+	}
+	if _, err := s.Solve(ctx); err == nil {
+		t.Fatal("cancelled context should surface an error")
+	}
+}
+
+// TestDeterminism runs the same instance twice in fresh solvers and compares
+// models and statistics field-by-field.
+func TestDeterminism(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	m := 170
+	clauses := make([][]Lit, m)
+	for i := range clauses {
+		cl := make([]Lit, 3)
+		for j := range cl {
+			cl[j] = MkLit(rng.Intn(n), rng.Intn(2) == 1)
+		}
+		clauses[i] = cl
+	}
+	run := func() (bool, []bool, Stats) {
+		s := solverFor(t, n, clauses)
+		got, err := s.Solve(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make([]bool, n)
+		for v := 0; v < n; v++ {
+			model[v] = s.Value(v)
+		}
+		return got, model, s.Stats()
+	}
+	got1, model1, st1 := run()
+	got2, model2, st2 := run()
+	if got1 != got2 || st1 != st2 {
+		t.Fatalf("verdict/stats differ across identical runs: %v %+v vs %v %+v", got1, st1, got2, st2)
+	}
+	for v := range model1 {
+		if model1[v] != model2[v] {
+			t.Fatalf("model differs at variable %d", v)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Conflicts: 2, Decisions: 3, MaxLevel: 5}
+	b := Stats{Conflicts: 1, Decisions: 1, MaxLevel: 9, Learned: 4}
+	a.Add(b)
+	if a.Conflicts != 3 || a.Decisions != 4 || a.MaxLevel != 9 || a.Learned != 4 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -39,8 +39,9 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 	// of the address too. The version prefix is bumped whenever the report
 	// shape for the same inputs changes (v3: witnesses embedded in RunReport;
 	// v4: node-lifetime counters in RunReport and node_budget in the spec;
-	// v5: reorder in the spec and bdd_reorder_runs in RunReport).
-	wr("v5\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
+	// v5: reorder in the spec and bdd_reorder_runs in RunReport; v6: the
+	// verification backend in the spec and backend/sat counters in RunReport).
+	wr("v6\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
 		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers, opts.NodeBudget, opts.Reorder)
 
 	wr("name=%s\x00", def.Name)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/parse"
 	"repro/internal/program"
 	"repro/internal/repair"
+	"repro/internal/verify"
 )
 
 // State is a job's position in its lifecycle.
@@ -65,6 +66,12 @@ type Spec struct {
 	// NoVerify skips the independent verifier (it runs by default, so every
 	// served result is a certified one unless the client opts out).
 	NoVerify bool `json:"no_verify,omitempty"`
+	// Backend selects the verification backend: "bdd" (the default — exact
+	// reachability fixpoints) or "sat" (bounded model checking over the CDCL
+	// solver). Part of the content address: the two backends produce the same
+	// verdicts but different report bodies (check details, solver counters),
+	// so their reports never alias in the cache.
+	Backend string `json:"backend,omitempty"`
 	// Witnesses asks for up to that many recovery demonstrations (certified
 	// traces that leave the invariant via faults and converge back) embedded
 	// in the result report, and attaches failure traces to failed verifier
@@ -130,6 +137,10 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	if sp.Reorder < 0 {
 		return nil, core.Job{}, "", fmt.Errorf("service: reorder %d must be non-negative", sp.Reorder)
 	}
+	backend, err := verify.ParseBackend(sp.Backend)
+	if err != nil {
+		return nil, core.Job{}, "", fmt.Errorf("service: %w", err)
+	}
 
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
@@ -149,13 +160,15 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 		Algorithm: core.Algorithm(alg),
 		Options:   opts,
 		Verify:    !sp.NoVerify,
+		Backend:   backend,
 		Witnesses: sp.Witnesses,
 	}
 	// Verification and witness extraction are independent post-passes over
 	// the same result, so they are part of the content address only through
-	// the report shape; include them so runs with different report shapes
-	// never alias in the cache.
-	key := defKey(def, alg+fmt.Sprintf("/verify=%t/witnesses=%d", job.Verify, job.Witnesses), opts)
+	// the report shape; include them (and the backend, hashed in canonical
+	// form so "" and "bdd" alias) so runs with different report shapes never
+	// alias in the cache.
+	key := defKey(def, alg+fmt.Sprintf("/verify=%t/witnesses=%d/backend=%s", job.Verify, job.Witnesses, backend), opts)
 	return def, job, key, nil
 }
 

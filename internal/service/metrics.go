@@ -30,6 +30,14 @@ type metrics struct {
 	nodesFreed int64 // BDD nodes reclaimed across all finished jobs
 	peakNodes  int64 // gauge: largest per-job peak live node count seen
 	liveNodes  int64 // gauge: live node count of the most recent job
+
+	// CDCL solver work across all jobs verified under the SAT backend.
+	satConflicts    int64
+	satDecisions    int64
+	satPropagations int64
+	satLearned      int64
+	satRestarts     int64
+	satMaxLevel     int64 // gauge: deepest decision level seen in any job
 }
 
 func (m *metrics) add(p *int64, v int64) { atomic.AddInt64(p, v) }
@@ -87,6 +95,13 @@ func (m *metrics) write(w io.Writer, s *Service) {
 	c("ftrepaird_bdd_nodes_freed_total", "BDD nodes reclaimed across finished jobs.", m.get(&m.nodesFreed))
 	g("ftrepaird_bdd_peak_nodes", "Largest per-job peak live BDD node count observed.", m.get(&m.peakNodes))
 	g("ftrepaird_bdd_live_nodes", "Live BDD node count of the most recently finished job.", m.get(&m.liveNodes))
+
+	c("ftrepaird_sat_conflicts_total", "CDCL conflicts across jobs verified under the SAT backend.", m.get(&m.satConflicts))
+	c("ftrepaird_sat_decisions_total", "CDCL decisions across jobs verified under the SAT backend.", m.get(&m.satDecisions))
+	c("ftrepaird_sat_propagations_total", "CDCL unit propagations across jobs verified under the SAT backend.", m.get(&m.satPropagations))
+	c("ftrepaird_sat_learned_clauses_total", "Clauses learned across jobs verified under the SAT backend.", m.get(&m.satLearned))
+	c("ftrepaird_sat_restarts_total", "CDCL restarts across jobs verified under the SAT backend.", m.get(&m.satRestarts))
+	g("ftrepaird_sat_max_decision_level", "Deepest CDCL decision level observed in any job.", m.get(&m.satMaxLevel))
 }
 
 // MetricsSnapshot is the JSON shape of GET /metrics.json: the same counters
@@ -118,6 +133,13 @@ type MetricsSnapshot struct {
 	BDDNodesFreed int64 `json:"bdd_nodes_freed"`
 	BDDPeakNodes  int64 `json:"bdd_peak_nodes"`
 	BDDLiveNodes  int64 `json:"bdd_live_nodes"`
+
+	SATConflicts    int64 `json:"sat_conflicts"`
+	SATDecisions    int64 `json:"sat_decisions"`
+	SATPropagations int64 `json:"sat_propagations"`
+	SATLearned      int64 `json:"sat_learned_clauses"`
+	SATRestarts     int64 `json:"sat_restarts"`
+	SATMaxLevel     int64 `json:"sat_max_decision_level"`
 }
 
 // Metrics snapshots the service's counters and gauges.
@@ -150,5 +172,12 @@ func (s *Service) Metrics() MetricsSnapshot {
 		BDDNodesFreed: m.get(&m.nodesFreed),
 		BDDPeakNodes:  m.get(&m.peakNodes),
 		BDDLiveNodes:  m.get(&m.liveNodes),
+
+		SATConflicts:    m.get(&m.satConflicts),
+		SATDecisions:    m.get(&m.satDecisions),
+		SATPropagations: m.get(&m.satPropagations),
+		SATLearned:      m.get(&m.satLearned),
+		SATRestarts:     m.get(&m.satRestarts),
+		SATMaxLevel:     m.get(&m.satMaxLevel),
 	}
 }

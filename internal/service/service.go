@@ -339,6 +339,14 @@ func (s *Service) run(j *job) {
 		s.metrics.add(&s.metrics.nodesFreed, report.BDDNodesFreed)
 		s.metrics.maxOf(&s.metrics.peakNodes, report.BDDPeakNodes)
 		s.metrics.set(&s.metrics.liveNodes, report.BDDNodesLive)
+		if st := report.SAT; st != nil {
+			s.metrics.add(&s.metrics.satConflicts, st.Conflicts)
+			s.metrics.add(&s.metrics.satDecisions, st.Decisions)
+			s.metrics.add(&s.metrics.satPropagations, st.Propagations)
+			s.metrics.add(&s.metrics.satLearned, st.Learned)
+			s.metrics.add(&s.metrics.satRestarts, st.Restarts)
+			s.metrics.maxOf(&s.metrics.satMaxLevel, int64(st.MaxLevel))
+		}
 		// Publish to the cache BEFORE waking followers and clearing the
 		// in-flight slot, so anyone released by either always finds it.
 		s.cache.Put(j.key, report)
