@@ -54,10 +54,71 @@ func WithAlgorithm(a Algorithm) Option {
 	return func(c *repairConfig) { c.alg = a }
 }
 
-// WithWorkers sets the number of private BDD worker managers that fan out
-// the per-process symbolic work inside the synthesis. Values below 1 select
-// GOMAXPROCS (the default); 1 runs fully serial. The synthesized program is
-// identical for every worker count.
+// EngineMode names a parallelization mode of the symbolic engine.
+type EngineMode string
+
+// The engine modes.
+const (
+	// EnginePartitioned (the default) is the share-nothing engine: private
+	// BDD worker managers, canonical DAG transfer between them, merges on
+	// the owning manager.
+	EnginePartitioned = EngineMode(program.ModePartitioned)
+	// EngineShared is the shared-memory engine: all workers operate on one
+	// shared node table with per-worker operation caches; merge barriers
+	// double as stop-the-world GC/reordering points. Results are identical
+	// to every other mode and worker count.
+	EngineShared = EngineMode(program.ModeShared)
+)
+
+// EngineConfig consolidates every engine-tuning knob behind one struct: the
+// parallelization mode and worker count, the node-lifetime knobs (budget, GC
+// cadence, reordering cadence), and the verification backend. The zero value
+// of every field selects its default (partitioned mode, GOMAXPROCS workers,
+// unbounded nodes, default cadences, BDD backend), so callers set only what
+// they mean.
+type EngineConfig struct {
+	// Mode selects the parallel engine: EnginePartitioned (default) or
+	// EngineShared.
+	Mode EngineMode
+	// Workers is the worker count; below 1 selects GOMAXPROCS, 1 is serial.
+	Workers int
+	// NodeBudget, when positive, bounds the live BDD node count; a blown
+	// budget fails the run with *BudgetError instead of exhausting memory.
+	NodeBudget int64
+	// GCThreshold overrides the automatic-collection cadence: positive
+	// collects after that many allocations, negative disables automatic
+	// collection, 0 keeps the default.
+	GCThreshold int64
+	// Reorder arms dynamic variable reordering with the given allocation
+	// cadence; negative disables it, 0 keeps the default.
+	Reorder int64
+	// Backend routes Verify's reachability checks: BackendBDD (default) or
+	// BackendSAT.
+	Backend Backend
+}
+
+// WithEngine applies a full engine configuration. It is the single
+// engine-tuning entry point — WithWorkers, WithNodeBudget, WithReorder and
+// WithBackend are thin deprecated wrappers over individual fields — and it
+// assigns every field, so combine it with the wrappers by placing WithEngine
+// first (like WithOptions).
+func WithEngine(ec EngineConfig) Option {
+	return func(c *repairConfig) {
+		c.opts.Mode = string(ec.Mode)
+		c.opts.Workers = ec.Workers
+		c.opts.NodeBudget = ec.NodeBudget
+		c.opts.GCThreshold = ec.GCThreshold
+		c.opts.Reorder = ec.Reorder
+		c.backend = ec.Backend
+	}
+}
+
+// WithWorkers sets the number of BDD workers that fan out the per-process
+// symbolic work inside the synthesis. Values below 1 select GOMAXPROCS (the
+// default); 1 runs fully serial. The synthesized program is identical for
+// every worker count.
+//
+// Deprecated: use WithEngine(EngineConfig{Workers: n}).
 func WithWorkers(n int) Option {
 	return func(c *repairConfig) { c.opts.Workers = n }
 }
@@ -81,6 +142,8 @@ func WithLogf(f func(format string, args ...any)) Option {
 // collection cannot bring it back under, Repair fails with a *BudgetError
 // (use errors.As) instead of exhausting memory. n ≤ 0 (the default) means
 // unbounded.
+//
+// Deprecated: use WithEngine(EngineConfig{NodeBudget: n}).
 func WithNodeBudget(n int64) Option {
 	return func(c *repairConfig) { c.opts.NodeBudget = n }
 }
@@ -95,6 +158,8 @@ func WithNodeBudget(n int64) Option {
 // Reordering changes only memory and time, never results: the synthesized
 // program, the verifier verdict, and the witness traces are byte-identical
 // with it on or off.
+//
+// Deprecated: use WithEngine(EngineConfig{Reorder: n}).
 func WithReorder(n int64) Option {
 	return func(c *repairConfig) { c.opts.Reorder = n }
 }
@@ -116,6 +181,8 @@ func WithWitnesses(n int) Option {
 // must agree with the BDD engine's. Repair accepts and ignores it — the
 // synthesis algorithms are fixpoint computations with no SAT formulation
 // here, so only verification is routed.
+//
+// Deprecated: use WithEngine(EngineConfig{Backend: b}).
 func WithBackend(b Backend) Option {
 	return func(c *repairConfig) { c.backend = b }
 }
@@ -149,7 +216,7 @@ func Repair(ctx context.Context, def *Def, opts ...Option) (compiled *Compiled, 
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := program.NewEngine(c, cfg.opts.Workers)
+	eng, err := program.NewEngineMode(c, program.Mode(cfg.opts.Mode), cfg.opts.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -218,7 +285,7 @@ func Verify(ctx context.Context, c *Compiled, res *Result, opts ...Option) (repo
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	eng, err := program.NewEngine(c, cfg.opts.Workers)
+	eng, err := program.NewEngineMode(c, program.Mode(cfg.opts.Mode), cfg.opts.Workers)
 	if err != nil {
 		return nil, err
 	}

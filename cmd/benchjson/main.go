@@ -13,6 +13,8 @@
 //	benchjson -gc             # GC on/off comparison -> BENCH_4.json
 //	benchjson -reorder        # reordering on/off comparison -> BENCH_5.json
 //	benchjson -backend        # BDD vs SAT verification -> BENCH_6.json
+//	benchjson -engine shared  # run the ladder on the shared-table engine
+//	benchjson -scaling        # per-core scaling, shared vs partitioned -> BENCH_7.json
 //
 // The -gc mode runs the two largest stabilizing-chain instances twice each —
 // once with automatic collection disabled and once with an aggressive
@@ -24,6 +26,21 @@
 // each — reordering off and on, same GC cadence — and writes records tagged
 // with the reordering arm, so the node-table reduction of dynamic sifting is
 // directly visible in the bdd_peak_nodes / bdd_nodes_live fields.
+//
+// The -scaling mode runs a stabilizing-chain instance across a worker ladder
+// (1, 2, 4, 8) under both parallel engines — partitioned (private worker
+// managers, canonical DAG transfer at merges) and shared (one lock-free node
+// table, per-worker caches) — and writes one RunReport per cell plus a host
+// block (OS, arch, CPU count); engine_mode, workers, and the *_ns fields
+// make the scaling curves directly plottable. Interpret the numbers against
+// the host block: on a box with fewer physical cores than workers, the
+// extra workers measure scheduling overhead, not speedup. The instance is
+// sc(8), not the ladder's largest sc(12): both parallel modes run the
+// reachability fixpoints round-based (BFS over the whole reached set each
+// round) where the serial engine chains partial images, and on the deep
+// chain of sc(12) that asymmetry makes any multi-worker run orders of
+// magnitude slower than serial — a real property of round-based fixpoints
+// worth measuring separately, not a scaling curve.
 //
 // The -backend mode verifies each ladder instance's repaired program under
 // both verification backends (BDD fixpoints vs SAT bounded model checking)
@@ -39,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -82,12 +100,13 @@ type gcReport struct {
 // never trigger there, which would make the comparison vacuous).
 const aggressiveGCThreshold = 1 << 16
 
-func runOne(ctx context.Context, inst instance, workers, witnesses int, gcThreshold, reorder int64) (core.RunReport, error) {
+func runOne(ctx context.Context, inst instance, mode string, workers, witnesses int, gcThreshold, reorder int64) (core.RunReport, error) {
 	def, err := core.CaseStudy(inst.name, inst.n)
 	if err != nil {
 		return core.RunReport{}, err
 	}
 	opts := repair.DefaultOptions()
+	opts.Mode = mode
 	opts.Workers = workers
 	opts.GCThreshold = gcThreshold
 	opts.Reorder = reorder
@@ -105,7 +124,7 @@ func runOne(ctx context.Context, inst instance, workers, witnesses int, gcThresh
 	return core.NewRunReport(job, outc, inst.name, inst.n), nil
 }
 
-func gcComparison(ctx context.Context, out string, workers, witnesses int) {
+func gcComparison(ctx context.Context, out, mode string, workers, witnesses int) {
 	instances := []instance{{"sc", 8}, {"sc", 12}}
 	arms := []struct {
 		label     string
@@ -117,7 +136,7 @@ func gcComparison(ctx context.Context, out string, workers, witnesses int) {
 	var reports []gcReport
 	for _, inst := range instances {
 		for _, arm := range arms {
-			r, err := runOne(ctx, inst, workers, witnesses, arm.threshold, 0)
+			r, err := runOne(ctx, inst, mode, workers, witnesses, arm.threshold, 0)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
@@ -149,7 +168,7 @@ const reorderSiftThreshold = 1 << 16
 // an aggressive cadence would itself flatten the peaks reordering targets,
 // masking the comparison — at the default, the peak-live fields reflect the
 // fixpoints' actual working sets under each variable order.
-func reorderComparison(ctx context.Context, out string, quick bool, workers, witnesses int) {
+func reorderComparison(ctx context.Context, out, mode string, quick bool, workers, witnesses int) {
 	instances := []instance{{"sc", 8}, {"sc", 12}, {"ba", 6}}
 	if quick {
 		instances = []instance{{"sc", 8}, {"ba", 3}}
@@ -164,7 +183,7 @@ func reorderComparison(ctx context.Context, out string, quick bool, workers, wit
 	var reports []reorderReport
 	for _, inst := range instances {
 		for _, arm := range arms {
-			r, err := runOne(ctx, inst, workers, witnesses, 0, arm.reorder)
+			r, err := runOne(ctx, inst, mode, workers, witnesses, 0, arm.reorder)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
@@ -176,6 +195,59 @@ func reorderComparison(ctx context.Context, out string, quick bool, workers, wit
 		}
 	}
 	writeJSON(out, reports, len(reports))
+}
+
+// scalingHost records where a scaling run happened. A scaling curve is
+// meaningless without it: workers beyond the physical core count measure
+// scheduling overhead, not speedup.
+type scalingHost struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"` // runtime.NumCPU — what the OS exposes
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// scalingSnapshot is the BENCH_7.json shape: host metadata plus one
+// RunReport per (engine, workers) cell.
+type scalingSnapshot struct {
+	Host scalingHost      `json:"host"`
+	Runs []core.RunReport `json:"runs"`
+}
+
+// scalingComparison runs one instance across a worker ladder under both
+// parallel engines. Each cell is a full repair+verify job; the RunReport's
+// engine_mode and workers fields identify the cell and total_ns carries the
+// wall time, so the output is directly plottable as two scaling curves. See
+// the package comment for why the instance is sc(8) rather than sc(12).
+func scalingComparison(ctx context.Context, out string, quick bool, witnesses int) {
+	inst := instance{"sc", 8}
+	if quick {
+		inst = instance{"sc", 5}
+	}
+	engines := []string{string(program.ModePartitioned), string(program.ModeShared)}
+	ladder := []int{1, 2, 4, 8}
+	snap := scalingSnapshot{Host: scalingHost{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}}
+	for _, mode := range engines {
+		for _, w := range ladder {
+			r, err := runOne(ctx, inst, mode, w, witnesses, 0, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			snap.Runs = append(snap.Runs, r)
+			fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d engine=%-11s workers=%d total=%s verify=%s\n",
+				inst.name, inst.n, r.EngineMode, r.Workers,
+				time.Duration(r.TotalNS), time.Duration(r.VerifyNS))
+		}
+	}
+	writeJSON(out, snap, len(snap.Runs))
 }
 
 // backendRecord is one record of the -backend comparison: one verification
@@ -340,13 +412,21 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_1.json, or BENCH_4.json with -gc)")
 		quick     = flag.Bool("quick", false, "run only the small instances")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "deadline for the whole ladder")
-		workers   = flag.Int("workers", 1, "parallel-engine worker managers per job (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 1, "parallel-engine workers per job (0 = GOMAXPROCS)")
+		engine    = flag.String("engine", "partitioned", "parallel engine mode: partitioned or shared")
 		witnesses = flag.Int("witnesses", 0, "recovery demonstrations per job (adds witness extraction to the measured phases)")
 		gc        = flag.Bool("gc", false, "run the GC on/off comparison on the chain instances instead of the ladder")
 		reorder   = flag.Bool("reorder", false, "run the variable-reordering on/off comparison instead of the ladder")
 		backend   = flag.Bool("backend", false, "run the BDD vs SAT verification-backend comparison instead of the ladder")
+		scaling   = flag.Bool("scaling", false, "run the per-core scaling comparison (shared vs partitioned engine) instead of the ladder")
 	)
 	flag.Parse()
+
+	mode, err := program.ParseMode(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -355,14 +435,14 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_4.json"
 		}
-		gcComparison(ctx, *out, *workers, *witnesses)
+		gcComparison(ctx, *out, string(mode), *workers, *witnesses)
 		return
 	}
 	if *reorder {
 		if *out == "" {
 			*out = "BENCH_5.json"
 		}
-		reorderComparison(ctx, *out, *quick, *workers, *witnesses)
+		reorderComparison(ctx, *out, string(mode), *quick, *workers, *witnesses)
 		return
 	}
 	if *backend {
@@ -372,13 +452,20 @@ func main() {
 		backendComparison(ctx, *out, *quick, *workers)
 		return
 	}
+	if *scaling {
+		if *out == "" {
+			*out = "BENCH_7.json"
+		}
+		scalingComparison(ctx, *out, *quick, *witnesses)
+		return
+	}
 	if *out == "" {
 		*out = "BENCH_1.json"
 	}
 
 	var reports []core.RunReport
 	for _, inst := range ladder(*quick) {
-		r, err := runOne(ctx, inst, *workers, *witnesses, 0, 0)
+		r, err := runOne(ctx, inst, string(mode), *workers, *witnesses, 0, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)

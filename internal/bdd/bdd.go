@@ -102,6 +102,11 @@ type Manager struct {
 	extBits           []uint64  // session-local bitset of externally rooted nodes
 	deadCnt           int       // nodes currently dead (unreachable) in the session
 
+	// Shared-memory parallel mode (see shared.go).
+	shared      *Shared    // set on a view while a parallel region is active
+	sharedViews []*Manager // set on the primary for a Shared session's lifetime
+	chunk       []Node     // view-private allocation chunk during a region
+
 	// Statistics.
 	stats Stats
 
@@ -328,6 +333,12 @@ func (m *Manager) High(f Node) Node { return m.nodes[f].high }
 func (m *Manager) mk(level int32, low, high Node) Node {
 	if low == high {
 		return low
+	}
+	if m.shared != nil {
+		// Inside a parallel region the receiver is a worker view: node
+		// creation goes through the lock-free shared path, and maintenance
+		// triggers (GC, reorder, budget) are deferred to the barrier.
+		return m.mkShared(level, low, high)
 	}
 	h := hash3(uint64(level), uint64(low), uint64(high)) & m.uniqueMask
 	for {

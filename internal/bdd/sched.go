@@ -1,0 +1,148 @@
+package bdd
+
+// RunSteal is the work-stealing task scheduler for shared-memory parallel
+// regions. Where Pool.Map migrates DAGs between private managers, RunSteal
+// assumes the workers already share one node space (a Shared session): fn is
+// handed only worker and task indices, and results stay in the shared table.
+//
+// Scheduling: tasks are dealt into per-worker deques in contiguous blocks
+// (worker w starts with tasks [w*tasks/n, (w+1)*tasks/n)), preserving the
+// locality of partition-ordered work. A worker pops its own deque from the
+// back (LIFO, cache-warm) and, when empty, steals from the front of other
+// workers' deques (FIFO, taking the oldest — largest remaining — block
+// first), scanning round-robin from its right neighbor. The steal grain is
+// one task: tasks here are whole partition images or per-process subset
+// checks, coarse enough that a mutex per deque is invisible next to the BDD
+// work inside.
+
+import (
+	"context"
+	"sync"
+)
+
+// stealDeque is one worker's task queue. A plain mutex suffices: every
+// operation is O(1) against queues holding at most a few hundred coarse
+// tasks.
+type stealDeque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+// popBack removes the worker's own next task (LIFO end).
+func (d *stealDeque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+// popFront removes a task for a thief (FIFO end).
+func (d *stealDeque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// RunSteal runs fn once per task index in [0, tasks) on `workers` goroutines
+// (fn's worker argument identifies the goroutine, e.g. to pick a Shared
+// view). The first error stops the run after in-flight tasks finish; context
+// cancellation is reported as ctx.Err(). Panics raised by the BDD layer are
+// converted to errors at the goroutine boundary — *BudgetError (node budget
+// blown) and ErrSharedTableFull (region capacity exhausted, retry after
+// Shared.Bump) — so they cannot kill the process; other panics propagate.
+func RunSteal(ctx context.Context, workers, tasks int, fn func(worker, task int) error) error {
+	if tasks == 0 {
+		return nil
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	deques := make([]stealDeque, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*tasks/workers, (w+1)*tasks/workers
+		for t := lo; t < hi; t++ {
+			deques[w].tasks = append(deques[w].tasks, t)
+		}
+	}
+
+	var (
+		stop    chan struct{} = make(chan struct{})
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstEr = err
+			close(stop)
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if stopped() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				task, ok := deques[worker].popBack()
+				if !ok {
+					// Own deque drained: steal the oldest task from the first
+					// non-empty victim, scanning from the right neighbor.
+					for i := 1; i < workers && !ok; i++ {
+						task, ok = deques[(worker+i)%workers].popFront()
+					}
+					if !ok {
+						return // all deques empty: run is complete
+					}
+				}
+				if err := runStealTask(worker, task, fn); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// runStealTask invokes fn for one task, converting the BDD layer's panics
+// into errors at the goroutine boundary (see RunSteal).
+func runStealTask(worker, task int, fn func(worker, task int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch p := r.(type) {
+			case *BudgetError:
+				err = p
+			case sharedFullPanic:
+				err = ErrSharedTableFull
+			default:
+				panic(r)
+			}
+		}
+	}()
+	return fn(worker, task)
+}

@@ -64,6 +64,7 @@ type Outcome struct {
 	VerifyTime  time.Duration // zero unless Job.Verify
 	WitnessTime time.Duration // zero unless Job.Witnesses > 0
 	Workers     int           // effective engine worker count
+	Mode        string        // effective engine mode ("partitioned" or "shared")
 
 	// Node-lifetime counters of the run's owning manager (plus the peak
 	// across worker managers), captured after the job finishes.
@@ -87,7 +88,7 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := program.NewEngine(compiled, job.Options.Workers)
+	eng, err := program.NewEngineMode(compiled, program.Mode(job.Options.Mode), job.Options.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +108,7 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 			out, err = nil, fmt.Errorf("core: %w", be)
 		}
 	}()
-	out = &Outcome{Compiled: compiled, CompileTime: time.Since(t0), Workers: eng.Workers()}
+	out = &Outcome{Compiled: compiled, CompileTime: time.Since(t0), Workers: eng.Workers(), Mode: string(eng.Mode())}
 	defer func() {
 		if out != nil {
 			st := compiled.Space.M.Stats()

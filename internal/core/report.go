@@ -22,6 +22,7 @@ type RunReport struct {
 	Pure        bool   `json:"pure,omitempty"`         // reachability heuristic disabled
 	DeferCycles bool   `json:"defer_cycles,omitempty"` // cycle-breaking after Step 2
 	Workers     int    `json:"workers,omitempty"`      // effective engine worker count
+	EngineMode  string `json:"engine_mode,omitempty"`  // "partitioned" or "shared"
 	// Backend is the verification backend ("bdd" or "sat"); empty when
 	// verification was not requested. Kept by Normalized: the verdict is
 	// backend-independent, but which engine produced it is part of the
@@ -87,6 +88,7 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		Pure:        !job.Options.ReachabilityHeuristic,
 		DeferCycles: job.Options.DeferCycleBreaking,
 		Workers:     out.Workers,
+		EngineMode:  out.Mode,
 
 		StateBits:       s.TotalBits(),
 		States:          s.CountStates(s.ValidCur()),
@@ -135,6 +137,7 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 // parallel engine is tested against.
 func (r RunReport) Normalized() RunReport {
 	r.Workers = 0
+	r.EngineMode = "" // like Workers: how the result was computed, not what it is
 	r.BDDNodes = 0
 	// Node-lifetime counters vary with worker count, GC cadence, and
 	// reordering cadence exactly like BDDNodes does.

@@ -2,10 +2,38 @@ package program
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 
 	"repro/internal/bdd"
 )
+
+// Mode selects how the engine parallelizes symbolic work across workers.
+type Mode string
+
+const (
+	// ModePartitioned is the share-nothing engine: private worker managers,
+	// DAG migration by canonical Export/Import, merges on the owner. It is
+	// the default and the reference for the determinism gates.
+	ModePartitioned Mode = "partitioned"
+	// ModeShared is the shared-memory engine: all workers operate on one
+	// node table (bdd.Shared) with per-worker operation caches and a
+	// work-stealing scheduler; no transfer, no re-canonicalization — merge
+	// barriers double as stop-the-world GC/reorder points.
+	ModeShared Mode = "shared"
+)
+
+// ParseMode validates a mode string; the empty string selects the default.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModePartitioned:
+		return ModePartitioned, nil
+	case ModeShared:
+		return ModeShared, nil
+	}
+	return "", fmt.Errorf("program: unknown engine mode %q (want %q or %q)", s, ModePartitioned, ModeShared)
+}
 
 // workerCacheBits sizes the worker clones' BDD operation caches. Workers see
 // one fan-out slice of the workload at a time, so they need far less cache
@@ -28,8 +56,14 @@ type Engine struct {
 	// C is the owning compiled program; all results live in its manager.
 	C *Compiled
 
+	mode    Mode
 	workers []*Compiled // one private clone per pool worker; nil when serial
 	pool    *bdd.Pool
+
+	// Shared-memory mode: one session over the owner's manager, with one
+	// compiled view per worker (same node table, private caches).
+	shared *bdd.Shared
+	views  []*Compiled
 }
 
 // ResolveWorkers maps a requested worker count to an effective one: values
@@ -45,7 +79,7 @@ func ResolveWorkers(n int) int {
 // below 1 select GOMAXPROCS). One worker means the serial engine: every
 // operation runs directly on the owner with no transfer overhead.
 func NewEngine(c *Compiled, workers int) (*Engine, error) {
-	e := &Engine{C: c}
+	e := &Engine{C: c, mode: ModePartitioned}
 	workers = ResolveWorkers(workers)
 	if workers <= 1 {
 		return e, nil
@@ -63,11 +97,46 @@ func NewEngine(c *Compiled, workers int) (*Engine, error) {
 	return e, nil
 }
 
+// NewEngineMode builds an engine over c in the given parallelization mode
+// (the zero Mode selects partitioned). In shared mode with more than one
+// worker, all workers share the owner's node table through a bdd.Shared
+// session; one worker degenerates to the serial engine in either mode.
+func NewEngineMode(c *Compiled, mode Mode, workers int) (*Engine, error) {
+	mode, err := ParseMode(string(mode))
+	if err != nil {
+		return nil, err
+	}
+	if mode != ModeShared {
+		return NewEngine(c, workers)
+	}
+	e := &Engine{C: c, mode: ModeShared}
+	workers = ResolveWorkers(workers)
+	if workers <= 1 {
+		return e, nil
+	}
+	e.shared = bdd.NewShared(c.Space.M, workers, workerCacheBits)
+	for i := 0; i < workers; i++ {
+		e.views = append(e.views, c.View(e.shared.View(i)))
+	}
+	return e, nil
+}
+
 // SerialEngine wraps c as a one-worker engine (no clones, no transfer).
-func SerialEngine(c *Compiled) *Engine { return &Engine{C: c} }
+func SerialEngine(c *Compiled) *Engine { return &Engine{C: c, mode: ModePartitioned} }
+
+// Mode returns the engine's parallelization mode.
+func (e *Engine) Mode() Mode {
+	if e.mode == "" {
+		return ModePartitioned
+	}
+	return e.mode
+}
 
 // Workers returns the engine's worker count (1 for the serial engine).
 func (e *Engine) Workers() int {
+	if e.shared != nil {
+		return e.shared.Workers()
+	}
 	if e.pool == nil {
 		return 1
 	}
@@ -139,6 +208,9 @@ func (e *Engine) PeakLive() int64 {
 // handed — the owner on the serial path, a worker clone otherwise.
 func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Node,
 	fn func(c *Compiled, shared, input bdd.Node, task int) bdd.Node) ([]bdd.Node, error) {
+	if e.shared != nil {
+		return e.mapNodesShared(ctx, shared, inputs, fn)
+	}
 	if e.pool == nil {
 		// shared, the remaining inputs, and the already-produced results all
 		// outlive the arbitrarily large fn calls in between — root them.
@@ -201,6 +273,61 @@ func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Nod
 	return out, nil
 }
 
+// mapNodesShared is MapNodes on the shared-memory engine: tasks run on
+// worker views inside one parallel region (bdd.RunSteal over the shared
+// table), results are Ref-rooted in the computing view, and after the
+// End barrier — where any deferred GC, sifting, or budget enforcement runs
+// stop-the-world — the owner adopts them directly: no transfer, no
+// re-canonicalization, the result nodes ARE owner nodes. A region that
+// exhausts its pre-sized table aborts (the partial results are un-rooted and
+// die at a barrier), grows the session, and reruns; tasks are pure functions
+// of their rooted inputs, so a rerun is sound.
+func (e *Engine) mapNodesShared(ctx context.Context, shared bdd.Node, inputs []bdd.Node,
+	fn func(c *Compiled, shared, input bdd.Node, task int) bdd.Node) ([]bdd.Node, error) {
+	m := e.C.Space.M
+	sc := m.Protect()
+	defer sc.Release()
+	sc.Keep(shared)
+	for _, in := range inputs {
+		sc.Keep(in)
+	}
+	out := make([]bdd.Node, len(inputs))
+	owner := make([]int, len(inputs))
+	dropPartials := func() {
+		for task, w := range owner {
+			if w > 0 {
+				e.views[w-1].Space.M.Deref(out[task])
+			}
+			owner[task] = 0
+		}
+	}
+	for {
+		e.shared.Begin()
+		err := bdd.RunSteal(ctx, len(e.views), len(inputs), func(w, task int) error {
+			cv := e.views[w]
+			out[task] = cv.Space.M.Ref(fn(cv, shared, inputs[task], task))
+			owner[task] = w + 1 // 0 = not run; results of aborted rounds need un-rooting
+			return nil
+		})
+		e.shared.End() // barrier: stop-the-world GC/reorder; *BudgetError panics here
+		if err == nil {
+			break
+		}
+		dropPartials()
+		if errors.Is(err, bdd.ErrSharedTableFull) {
+			e.shared.Bump()
+			m.GC() // sweep the aborted round's garbage before re-sizing the region
+			continue
+		}
+		return nil, err
+	}
+	for task, w := range owner {
+		sc.Keep(out[task])
+		e.views[w-1].Space.M.Deref(out[task])
+	}
+	return out, nil
+}
+
 // MapProcs evaluates fn once per process of the program against a shared
 // predicate — the shape of the per-process group-closure fan-outs (Step 2's
 // maximal realizable subsets, the verifier's per-process checks).
@@ -218,6 +345,9 @@ func (e *Engine) MapProcs(ctx context.Context, shared bdd.Node,
 // all partition images of the reached set computed concurrently, merged on
 // the owner, repeated to the fixpoint. Both compute the same least fixpoint.
 func (e *Engine) ReachableParts(ctx context.Context, init bdd.Node, parts []bdd.Node) (bdd.Node, error) {
+	if e.shared != nil {
+		return e.roundFixpointShared(ctx, e.C.Space.M.And(init, e.C.Space.ValidCur()), parts, false)
+	}
 	if e.pool == nil {
 		return e.C.Space.ReachablePartsCtx(ctx, init, parts)
 	}
@@ -227,10 +357,51 @@ func (e *Engine) ReachableParts(ctx context.Context, init bdd.Node, parts []bdd.
 // BackwardReachableParts is the backward (preimage) counterpart of
 // ReachableParts.
 func (e *Engine) BackwardReachableParts(ctx context.Context, target bdd.Node, parts []bdd.Node) (bdd.Node, error) {
+	if e.shared != nil {
+		return e.roundFixpointShared(ctx, e.C.Space.M.And(target, e.C.Space.ValidCur()), parts, true)
+	}
 	if e.pool == nil {
 		return e.C.Space.BackwardReachablePartsCtx(ctx, target, parts)
 	}
 	return e.roundFixpoint(ctx, e.C.Space.M.And(target, e.C.Space.ValidCur()), parts, true)
+}
+
+// roundFixpointShared is roundFixpoint on the shared-memory engine: each
+// round fans the per-partition images of the reached set out across the
+// worker views of one parallel region, and the owner merges them — directly,
+// the images already are owner nodes — until the set stops growing. Every
+// round boundary is a shared-session barrier, which is where deferred GC and
+// sifting run.
+func (e *Engine) roundFixpointShared(ctx context.Context, reached bdd.Node, parts []bdd.Node, backward bool) (bdd.Node, error) {
+	m := e.C.Space.M
+	sc := m.Protect()
+	defer sc.Release()
+	for _, p := range parts {
+		sc.Keep(p) // partitions are operands of every round; root them across barriers
+	}
+	set := sc.Slot(reached)
+	for {
+		imgs, err := e.mapNodesShared(ctx, set.Node(), parts,
+			func(c *Compiled, sh, part bdd.Node, task int) bdd.Node {
+				if backward {
+					return c.Space.Preimage(sh, part)
+				}
+				return c.Space.Image(sh, part)
+			})
+		if err != nil {
+			return bdd.False, err
+		}
+		next := m.NewRooted(set.Node())
+		for _, img := range imgs {
+			next.Set(m.Or(next.Node(), img))
+		}
+		done := next.Node() == set.Node()
+		set.Set(next.Node())
+		next.Release()
+		if done {
+			return set.Node(), nil
+		}
+	}
 }
 
 // roundFixpoint runs the parallel round-based reachability: per round, one

@@ -152,6 +152,21 @@ type Compiled struct {
 	Liveness  []CompiledLeadsTo
 }
 
+// View rebinds the compiled program to a worker view of a shared-memory BDD
+// session (see symbolic.Space.View). All node fields are values in the
+// shared table and carry over verbatim; only the manager bindings change.
+func (c *Compiled) View(vm *bdd.Manager) *Compiled {
+	cv := *c
+	cv.Space = c.Space.View(vm)
+	cv.Procs = make([]*CompiledProc, len(c.Procs))
+	for i, p := range c.Procs {
+		pv := *p
+		pv.space = cv.Space
+		cv.Procs[i] = &pv
+	}
+	return &cv
+}
+
 // Compile validates the definition and lowers it to BDDs.
 func (d *Def) Compile() (*Compiled, error) {
 	space, err := symbolic.New(d.Vars)

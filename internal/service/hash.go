@@ -40,9 +40,16 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 	// shape for the same inputs changes (v3: witnesses embedded in RunReport;
 	// v4: node-lifetime counters in RunReport and node_budget in the spec;
 	// v5: reorder in the spec and bdd_reorder_runs in RunReport; v6: the
-	// verification backend in the spec and backend/sat counters in RunReport).
-	wr("v6\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
-		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, opts.Workers, opts.NodeBudget, opts.Reorder)
+	// verification backend in the spec and backend/sat counters in RunReport;
+	// v7: the engine mode in the spec — hashed canonically, so the legacy
+	// flat spelling and the structured engine object alias — and engine_mode
+	// in RunReport).
+	mode := opts.Mode
+	if mode == "" {
+		mode = string(program.ModePartitioned)
+	}
+	wr("v7\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00mode=%s\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
+		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, mode, opts.Workers, opts.NodeBudget, opts.Reorder)
 
 	wr("name=%s\x00", def.Name)
 	wr("vars=%d\x00", len(def.Vars))

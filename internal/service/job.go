@@ -95,6 +95,30 @@ type Spec struct {
 	// enough to keep the field in the content address (the report records
 	// them).
 	Reorder int64 `json:"reorder,omitempty"`
+
+	// Engine is the structured engine configuration, mirroring the library's
+	// EngineConfig. Its non-zero fields take precedence over the legacy flat
+	// fields above (workers, node_budget, reorder, backend), and both
+	// spellings canonicalize to the same content address, so a flat spec and
+	// its structured equivalent alias in the cache.
+	Engine *EngineSpec `json:"engine,omitempty"`
+}
+
+// EngineSpec is a Spec's structured engine configuration — the service-side
+// mirror of the library's EngineConfig.
+type EngineSpec struct {
+	// Mode selects the parallel engine: "partitioned" (the default) or
+	// "shared". Validated; part of the content address in canonical form.
+	Mode string `json:"mode,omitempty"`
+	// Workers is the per-job worker count (same semantics and bound as the
+	// legacy flat field).
+	Workers int `json:"workers,omitempty"`
+	// NodeBudget bounds the job's live BDD node count.
+	NodeBudget int64 `json:"node_budget,omitempty"`
+	// Reorder arms dynamic variable reordering.
+	Reorder int64 `json:"reorder,omitempty"`
+	// Backend selects the verification backend ("bdd" or "sat").
+	Backend string `json:"backend,omitempty"`
 }
 
 // resolve parses/builds the program definition and the core job, and
@@ -125,19 +149,43 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 		return nil, core.Job{}, "", fmt.Errorf("service: unknown algorithm %q (want %q or %q)",
 			alg, core.LazyRepair, core.CautiousRepair)
 	}
-	if sp.Workers < 0 || sp.Workers > MaxJobWorkers {
-		return nil, core.Job{}, "", fmt.Errorf("service: workers %d out of range [0,%d]", sp.Workers, MaxJobWorkers)
+	// Canonicalize the engine configuration: the structured object wins
+	// field-by-field over the legacy flat spellings, and the merged result is
+	// what gets validated and hashed — so {"workers": 4} and
+	// {"engine": {"workers": 4}} are the same job.
+	eng := EngineSpec{}
+	if sp.Engine != nil {
+		eng = *sp.Engine
+	}
+	if eng.Workers == 0 {
+		eng.Workers = sp.Workers
+	}
+	if eng.NodeBudget == 0 {
+		eng.NodeBudget = sp.NodeBudget
+	}
+	if eng.Reorder == 0 {
+		eng.Reorder = sp.Reorder
+	}
+	if eng.Backend == "" {
+		eng.Backend = sp.Backend
+	}
+	mode, err := program.ParseMode(eng.Mode)
+	if err != nil {
+		return nil, core.Job{}, "", fmt.Errorf("service: %w", err)
+	}
+	if eng.Workers < 0 || eng.Workers > MaxJobWorkers {
+		return nil, core.Job{}, "", fmt.Errorf("service: workers %d out of range [0,%d]", eng.Workers, MaxJobWorkers)
 	}
 	if sp.Witnesses < 0 || sp.Witnesses > MaxWitnesses {
 		return nil, core.Job{}, "", fmt.Errorf("service: witnesses %d out of range [0,%d]", sp.Witnesses, MaxWitnesses)
 	}
-	if sp.NodeBudget < 0 {
-		return nil, core.Job{}, "", fmt.Errorf("service: node_budget %d must be non-negative", sp.NodeBudget)
+	if eng.NodeBudget < 0 {
+		return nil, core.Job{}, "", fmt.Errorf("service: node_budget %d must be non-negative", eng.NodeBudget)
 	}
-	if sp.Reorder < 0 {
-		return nil, core.Job{}, "", fmt.Errorf("service: reorder %d must be non-negative", sp.Reorder)
+	if eng.Reorder < 0 {
+		return nil, core.Job{}, "", fmt.Errorf("service: reorder %d must be non-negative", eng.Reorder)
 	}
-	backend, err := verify.ParseBackend(sp.Backend)
+	backend, err := verify.ParseBackend(eng.Backend)
 	if err != nil {
 		return nil, core.Job{}, "", fmt.Errorf("service: %w", err)
 	}
@@ -145,15 +193,16 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
 	opts.DeferCycleBreaking = sp.DeferCycles
+	opts.Mode = string(mode)
 	// Unlike the library default (0 → GOMAXPROCS), a daemon job defaults to
 	// a serial engine: the service's worker pool already runs jobs in
 	// parallel, so intra-job width is opt-in per job.
-	opts.Workers = sp.Workers
+	opts.Workers = eng.Workers
 	if opts.Workers == 0 {
 		opts.Workers = 1
 	}
-	opts.NodeBudget = sp.NodeBudget
-	opts.Reorder = sp.Reorder
+	opts.NodeBudget = eng.NodeBudget
+	opts.Reorder = eng.Reorder
 
 	job := core.Job{
 		Def:       def,

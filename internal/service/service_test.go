@@ -71,12 +71,89 @@ func TestSpecValidation(t *testing.T) {
 		{Case: "ba", N: 3, Algorithm: "??"}, // unknown algorithm
 		{Model: "var x : bool\n"},           // malformed model
 		{Case: "ba", N: 3, Workers: -1},     // negative engine width
-		{Case: "ba", N: 3, Workers: MaxJobWorkers + 1}, // over the cap
+		{Case: "ba", N: 3, Workers: MaxJobWorkers + 1},                      // over the cap
+		{Case: "ba", N: 3, Engine: &EngineSpec{Mode: "threads"}},            // unknown engine mode
+		{Case: "ba", N: 3, Engine: &EngineSpec{Workers: -1}},                // negative width via engine object
+		{Case: "ba", N: 3, Engine: &EngineSpec{Workers: MaxJobWorkers + 1}}, // over the cap via engine object
+		{Case: "ba", N: 3, Engine: &EngineSpec{Backend: "z3"}},              // unknown backend via engine object
 	}
 	for i, sp := range cases {
 		if _, _, _, err := sp.resolve(); err == nil {
 			t.Errorf("case %d: spec %+v resolved without error", i, sp)
 		}
+	}
+}
+
+// TestEngineSpecCanonicalization pins the aliasing contract of the
+// structured engine object: a flat spec and its structured spelling share a
+// content address, non-zero engine fields win over their flat twins, and the
+// default mode hashes identically whether it is spelled "", "partitioned",
+// or left to the flat fields.
+func TestEngineSpecCanonicalization(t *testing.T) {
+	key := func(sp Spec) string {
+		t.Helper()
+		_, _, k, err := sp.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	flat := Spec{Case: "ba", N: 3, Workers: 2, NodeBudget: 1 << 20, Reorder: 1 << 16, Backend: "sat"}
+	structured := Spec{Case: "ba", N: 3, Engine: &EngineSpec{
+		Workers: 2, NodeBudget: 1 << 20, Reorder: 1 << 16, Backend: "sat",
+	}}
+	if key(flat) != key(structured) {
+		t.Error("flat and structured spellings of the same engine config hash differently")
+	}
+
+	explicit := structured
+	explicit.Engine = &EngineSpec{Mode: "partitioned", Workers: 2, NodeBudget: 1 << 20, Reorder: 1 << 16, Backend: "sat"}
+	if key(structured) != key(explicit) {
+		t.Error(`default mode and explicit "partitioned" hash differently`)
+	}
+
+	shared := Spec{Case: "ba", N: 3, Engine: &EngineSpec{Mode: "shared", Workers: 2}}
+	if key(Spec{Case: "ba", N: 3, Workers: 2}) == key(shared) {
+		t.Error("engine mode not part of the content address")
+	}
+
+	// Non-zero engine fields take precedence over the flat twins: engine
+	// workers 4 + flat workers 2 is the same job as flat workers 4.
+	mixed := Spec{Case: "ba", N: 3, Workers: 2, Engine: &EngineSpec{Workers: 4}}
+	if key(mixed) != key(Spec{Case: "ba", N: 3, Workers: 4}) {
+		t.Error("engine object does not win over flat fields in the content address")
+	}
+	_, job, _, err := mixed.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Options.Workers != 4 {
+		t.Errorf("resolved workers = %d, want the engine object's 4", job.Options.Workers)
+	}
+}
+
+// TestSharedEngineSpecRuns submits a shared-mode job end to end and checks
+// the report records the mode.
+func TestSharedEngineSpecRuns(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	v, err := s.Submit(Spec{Case: "ba", N: 2, Witnesses: 2, Engine: &EngineSpec{Mode: "shared", Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("job did not finish: state=%s err=%q", final.State, final.Error)
+	}
+	if final.Result.EngineMode != "shared" || final.Result.Workers != 2 {
+		t.Fatalf("report records engine_mode=%q workers=%d, want shared/2", final.Result.EngineMode, final.Result.Workers)
+	}
+	if final.Result.Verified == nil || !*final.Result.Verified {
+		t.Fatal("shared-mode job was not verified")
 	}
 }
 
