@@ -7,6 +7,13 @@
 //	ftrepair -case ba -n 3 -alg lazy -verify -protocol
 //	ftrepair -case ba -n 3 -explain
 //	ftrepair -case ba -n 3 -json | jq .total_ns
+//	ftrepair -server http://localhost:8727 -case ba -n 3
+//
+// With -server the same flag set describes the same job, but it runs on a
+// remote ftrepaird (or cluster coordinator) instead of in-process: the spec
+// is POSTed, progress is followed over the event stream (-v prints phases),
+// and the verified report is rendered locally. -protocol needs the compiled
+// state space and is local-only.
 //
 // Case studies: ba (Byzantine agreement), bafs (Byzantine agreement with
 // fail-stop faults), sc (stabilizing chain), ring (Dijkstra token ring),
@@ -24,6 +31,7 @@ import (
 	"repro/internal/parse"
 	"repro/internal/program"
 	"repro/internal/repair"
+	"repro/internal/service"
 	"repro/internal/verify"
 )
 
@@ -48,8 +56,43 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS, 1 = serial); private managers in partitioned mode, views of one table in shared mode")
 		budget    = flag.Int64("node-budget", 0, "fail the run if live BDD nodes exceed this after a collection (0 = unbounded)")
 		reorder   = flag.Int64("reorder", 0, "run a BDD variable-reordering (sifting) pass after this many node allocations (0 = off)")
+		server    = flag.String("server", "", "run the job on this ftrepaird (or coordinator) base URL instead of in-process")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if *protocol {
+			fatal(fmt.Errorf("-protocol requires a local run (the compiled state space never leaves the server)"))
+		}
+		spec := service.Spec{
+			Case:        *caseName,
+			N:           *n,
+			Algorithm:   *alg,
+			Pure:        *pure,
+			DeferCycles: *deferCyc,
+			NoVerify:    !*doVerify,
+			TimeoutMS:   timeout.Milliseconds(),
+			Engine: &service.EngineSpec{
+				Mode:       *engine,
+				Workers:    *workers,
+				NodeBudget: *budget,
+				Reorder:    *reorder,
+				Backend:    *backend,
+			},
+		}
+		if *file != "" {
+			src, err := os.ReadFile(*file)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Case, spec.N, spec.Model = "", 0, string(src)
+		}
+		if *explain {
+			spec.Witnesses = *witnesses
+		}
+		runRemote(*server, spec, *verbose, *jsonOut, *explain)
+		return
+	}
 
 	var def *program.Def
 	var err error

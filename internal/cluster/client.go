@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// replicaClient is the coordinator's HTTP client for one ftrepaird replica.
+// Control calls (submit, status, cancel) run under the configured timeout;
+// event streaming uses an untimed client because a legitimate stream lives
+// as long as the job it follows.
+type replicaClient struct {
+	base    string
+	control *http.Client
+	stream  *http.Client
+}
+
+// apiStatusError is a non-2xx replica response surfaced with its decoded
+// body, so the coordinator can distinguish replica-level rejections (e.g.
+// queue_full — try the next replica) from unknown jobs (re-route and
+// resubmit).
+type apiStatusError struct {
+	Status int
+	API    service.APIError
+}
+
+func (e *apiStatusError) Error() string {
+	return fmt.Sprintf("replica responded %d (%s: %s)", e.Status, e.API.Code, e.API.Message)
+}
+
+// Submit posts the raw spec body (already-validated JSON) and decodes the
+// replica's JobView. The raw body is forwarded untouched so the replica
+// hashes exactly what the client sent.
+func (c *replicaClient) Submit(body []byte, client string) (service.JobView, error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/repair", bytes.NewReader(body))
+	if err != nil {
+		return service.JobView{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set("X-Client-ID", client)
+	}
+	resp, err := c.control.Do(req)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	return decodeJobView(resp)
+}
+
+// Job fetches the replica-local view of a job.
+func (c *replicaClient) Job(id string) (service.JobView, error) {
+	resp, err := c.control.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	return decodeJobView(resp)
+}
+
+// Cancel requests cancellation of a replica-local job.
+func (c *replicaClient) Cancel(id string) (service.JobView, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	resp, err := c.control.Do(req)
+	if err != nil {
+		return service.JobView{}, err
+	}
+	return decodeJobView(resp)
+}
+
+// Events opens the replica's event stream for a job, passing the raw query
+// through (poll/after/wait_ms), and returns the response for relaying.
+func (c *replicaClient) Events(id, rawQuery string) (*http.Response, error) {
+	url := c.base + "/v1/jobs/" + id + "/events"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	resp, err := c.stream.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, statusError(resp)
+	}
+	return resp, nil
+}
+
+func decodeJobView(resp *http.Response) (service.JobView, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return service.JobView{}, statusError(resp)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return service.JobView{}, fmt.Errorf("decoding replica response: %w", err)
+	}
+	return view, nil
+}
+
+func statusError(resp *http.Response) error {
+	e := &apiStatusError{Status: resp.StatusCode}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	_ = json.Unmarshal(raw, &e.API)
+	return e
+}

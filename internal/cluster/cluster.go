@@ -1,0 +1,89 @@
+// Package cluster implements a coordinator that fronts N ftrepaird
+// replicas as one logical repair service.
+//
+// Routing is consistent hashing over the existing SHA-256 content key (the
+// same key the single-node service uses for its result cache and in-flight
+// coalescing): the coordinator resolves each submitted spec locally,
+// computes its key, and forwards the raw body to the key's primary replica
+// on a virtual-node hash ring. Identical jobs therefore always land on the
+// same replica, where they dedup against its cache, spill and in-flight
+// table exactly as on a single node. When a replica is lost, only the keys
+// it owned (~1/n of the space) re-route; accepted jobs whose replica dies
+// are resubmitted to the next preference — a spill/cache hit if any replica
+// ever finished them, an honest re-run otherwise — so an accepted job is
+// never silently dropped. Because reports are content-addressed and the
+// synthesis is deterministic, a re-routed job's Normalized report is
+// byte-identical to the single-node result.
+//
+// The coordinator exposes the same HTTP surface as a single daemon (submit,
+// status, cancel, SSE/long-poll events, healthz, metrics.json), so clients
+// need not know whether they are talking to one node or a cluster.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Replicas are the base URLs of the ftrepaird replicas (e.g.
+	// "http://10.0.0.1:7463"). At least one is required; trailing slashes
+	// are stripped.
+	Replicas []string
+	// VirtualNodes is the per-replica point count on the hash ring; 0 means
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// ProbeInterval is the health-prober period; 0 disables background
+	// probing (request-path failures still mark replicas down, but only a
+	// probe — via CheckNow — brings one back).
+	ProbeInterval time.Duration
+	// HTTPTimeout bounds control calls (submit, status, cancel, probes);
+	// 0 means 30s. Event streams are never timed out.
+	HTTPTimeout time.Duration
+	// Logf receives operational log lines (failovers, resubmissions); nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// New builds a Coordinator over the configured replicas. The background
+// health prober starts immediately when ProbeInterval > 0; call Close to
+// stop it.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: config needs at least one replica")
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 30 * time.Second
+	}
+	replicas := make([]string, 0, len(cfg.Replicas))
+	seen := make(map[string]bool, len(cfg.Replicas))
+	for _, r := range cfg.Replicas {
+		r = strings.TrimRight(r, "/")
+		if r == "" {
+			return nil, fmt.Errorf("cluster: empty replica URL")
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("cluster: duplicate replica %s", r)
+		}
+		seen[r] = true
+		replicas = append(replicas, r)
+	}
+	cfg.Replicas = replicas
+
+	control := &http.Client{Timeout: cfg.HTTPTimeout}
+	stream := &http.Client{} // event streams live as long as their jobs
+	clients := make(map[string]*replicaClient, len(replicas))
+	for _, r := range replicas {
+		clients[r] = &replicaClient{base: r, control: control, stream: stream}
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		ring:    NewRing(replicas, cfg.VirtualNodes),
+		health:  newHealth(replicas, cfg.ProbeInterval, cfg.HTTPTimeout),
+		clients: clients,
+		jobs:    make(map[string]*routedJob),
+	}, nil
+}

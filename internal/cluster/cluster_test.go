@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// replica is one in-process ftrepaird under test, killable mid-run.
+type replica struct {
+	base string
+	svc  *service.Service
+	srv  *http.Server
+}
+
+func (r *replica) kill() {
+	r.srv.Close()
+	r.svc.Close()
+}
+
+func bootReplica(t *testing.T, cfg service.Config) *replica {
+	t.Helper()
+	return bootReplicaAt(t, cfg, "127.0.0.1:0")
+}
+
+// bootReplicaAt binds a specific address (the restart test rebinds a dead
+// replica's address so the coordinator finds the new process at the old
+// route).
+func bootReplicaAt(t *testing.T, cfg service.Config, addr string) *replica {
+	t.Helper()
+	svc := service.New(cfg)
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ { // the freed port can linger briefly after a kill
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	return &replica{base: "http://" + ln.Addr().String(), svc: svc, srv: srv}
+}
+
+func bootCluster(t *testing.T, n int, cfg service.Config) ([]*replica, *Coordinator, string) {
+	t.Helper()
+	replicas := make([]*replica, n)
+	urls := make([]string, n)
+	for i := range replicas {
+		replicas[i] = bootReplica(t, cfg)
+		urls[i] = replicas[i].base
+	}
+	coord, err := New(Config{Replicas: urls, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return replicas, coord, "http://" + ln.Addr().String()
+}
+
+func postSpec(t *testing.T, base string, spec service.Spec) (service.JobView, int) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/repair", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var view service.JobView
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatalf("bad response (%d): %s", resp.StatusCode, raw)
+	}
+	return view, resp.StatusCode
+}
+
+func waitJob(t *testing.T, base, id string, within time.Duration) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var view service.JobView
+		if err := json.Unmarshal(raw, &view); err != nil {
+			t.Fatalf("bad job response (%d): %s", resp.StatusCode, raw)
+		}
+		if view.State.Terminal() {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, view.State, within)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// normalized renders a job's result report in its canonical comparable form.
+func normalized(t *testing.T, view service.JobView) []byte {
+	t.Helper()
+	if view.Result == nil {
+		t.Fatalf("job %s (%s) has no result: %s", view.ID, view.State, view.Error)
+	}
+	raw, err := json.Marshal(view.Result.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// ladder is the case-study set the e2e tests route through the cluster.
+func ladder() []service.Spec {
+	return []service.Spec{
+		{Case: "ba", N: 3},
+		{Case: "ba", N: 4},
+		{Case: "ba", N: 5},
+		{Case: "ring", N: 3},
+	}
+}
+
+// TestClusterRoutesAndDedups: identical jobs land on the same replica by
+// content key, so a resubmission is a cache hit cluster-wide.
+func TestClusterRoutesAndDedups(t *testing.T) {
+	replicas, _, base := bootCluster(t, 3, service.Config{Workers: 2})
+	defer func() {
+		for _, r := range replicas {
+			r.kill()
+		}
+	}()
+	spec := service.Spec{Case: "ba", N: 3}
+	first, status := postSpec(t, base, spec)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit status %d", status)
+	}
+	done := waitJob(t, base, first.ID, time.Minute)
+	if done.State != service.StateDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	again, status := postSpec(t, base, spec)
+	if status != http.StatusOK || !again.CacheHit {
+		t.Fatalf("resubmission: status %d cache_hit %v; want 200 + hit", status, again.CacheHit)
+	}
+	if !bytes.Equal(normalized(t, done), normalized(t, waitJob(t, base, again.ID, time.Minute))) {
+		t.Fatal("cache-served report differs from the computed one")
+	}
+}
+
+// TestClusterKillReplicaNoJobLost is the headline failure-path acceptance:
+// the ladder is submitted through a 3-replica cluster, one replica (the
+// primary for at least one accepted job) is killed before the jobs are
+// collected, and every job must still complete with a Normalized report
+// byte-identical to a single-node run.
+func TestClusterKillReplicaNoJobLost(t *testing.T) {
+	// Single-node baseline first.
+	single := bootReplica(t, service.Config{Workers: 2})
+	defer single.kill()
+	baseline := make(map[string][]byte)
+	for _, spec := range ladder() {
+		view, _ := postSpec(t, single.base, spec)
+		done := waitJob(t, single.base, view.ID, 2*time.Minute)
+		if done.State != service.StateDone {
+			t.Fatalf("baseline %v failed: %s", spec, done.Error)
+		}
+		baseline[done.Key] = normalized(t, done)
+	}
+
+	replicas, coord, base := bootCluster(t, 3, service.Config{Workers: 1})
+	defer func() {
+		for _, r := range replicas {
+			r.kill()
+		}
+	}()
+
+	ids := make([]string, 0, len(ladder()))
+	for _, spec := range ladder() {
+		view, status := postSpec(t, base, spec)
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("submit %v: status %d (%s)", spec, status, view.Error)
+		}
+		ids = append(ids, view.ID)
+	}
+
+	// Kill the primary of the first spec's key, so at least one accepted job
+	// loses its home while (with single-worker replicas and four jobs) work
+	// is still in flight.
+	key, err := service.ContentKey(ladder()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := coord.ring.Primary(key)
+	for _, r := range replicas {
+		if r.base == victim {
+			t.Logf("killing replica %s (primary of %s)", victim, key[:8])
+			r.kill()
+		}
+	}
+
+	for i, id := range ids {
+		done := waitJob(t, base, id, 2*time.Minute)
+		if done.State != service.StateDone {
+			t.Fatalf("job %s (%v) lost after replica kill: %s %s", id, ladder()[i], done.State, done.Error)
+		}
+		want, ok := baseline[done.Key]
+		if !ok {
+			t.Fatalf("job %s key %s not in baseline", id, done.Key)
+		}
+		if got := normalized(t, done); !bytes.Equal(got, want) {
+			t.Fatalf("job %s Normalized report differs from single-node baseline:\n got %s\nwant %s", id, got, want)
+		}
+	}
+	coord.metrics.mu.Lock()
+	resubmitted := coord.metrics.resubmitted
+	coord.metrics.mu.Unlock()
+	if resubmitted == 0 {
+		t.Fatal("no job was resubmitted — the kill exercised nothing")
+	}
+}
+
+// TestClusterReplicaRestartServesFromSpill: a replica dies after finishing a
+// job and comes back (same address) with its spill directory intact; the
+// coordinator re-routes the accepted job to it and the result is served from
+// the persistent cache without recomputation.
+func TestClusterReplicaRestartServesFromSpill(t *testing.T) {
+	spill := t.TempDir()
+	rep := bootReplica(t, service.Config{Workers: 2, SpillDir: spill})
+	coord, err := New(Config{Replicas: []string{rep.base}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	view, _ := postSpec(t, base, service.Spec{Case: "ba", N: 3})
+	done := waitJob(t, base, view.ID, time.Minute)
+	if done.State != service.StateDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	want := normalized(t, done)
+
+	addr := strings.TrimPrefix(rep.base, "http://")
+	rep.kill()
+	rep2 := bootReplicaAt(t, service.Config{Workers: 2, SpillDir: spill}, addr)
+	defer rep2.kill()
+
+	after := waitJob(t, base, view.ID, time.Minute)
+	if after.State != service.StateDone {
+		t.Fatalf("job not recovered after restart: %s %s", after.State, after.Error)
+	}
+	if !after.CacheHit {
+		t.Fatal("restarted replica recomputed instead of serving from spill")
+	}
+	if got := normalized(t, after); !bytes.Equal(got, want) {
+		t.Fatalf("spill-served report differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestClusterEventsStream: the coordinator relays the replica's SSE stream;
+// a witnessed, verified job must deliver at least one event for every repair
+// phase, and the stream must end after the terminal state event.
+func TestClusterEventsStream(t *testing.T) {
+	replicas, _, base := bootCluster(t, 2, service.Config{Workers: 2})
+	defer func() {
+		for _, r := range replicas {
+			r.kill()
+		}
+	}()
+	view, _ := postSpec(t, base, service.Spec{Case: "ba", N: 3, Witnesses: 1})
+
+	resp, err := http.Get(base + "/v1/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q; want text/event-stream", ct)
+	}
+	phases := make(map[string]bool)
+	terminal := false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event frame %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "phase":
+			phases[ev.Phase] = true
+		case "state":
+			if ev.State.Terminal() {
+				terminal = true
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !terminal {
+		t.Fatal("stream ended without a terminal state event")
+	}
+	for _, want := range []string{"compile", "step1", "step2", "witness", "verify"} {
+		if !phases[want] {
+			t.Fatalf("no event for phase %q; saw %v", want, phases)
+		}
+	}
+
+	// Long-poll fallback through the coordinator: one page, done=true.
+	resp2, err := http.Get(base + "/v1/jobs/" + view.ID + "/events?poll=1&after=0&wait_ms=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var page service.EventsPage
+	if err := json.NewDecoder(resp2.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if !page.Done || len(page.Events) == 0 {
+		t.Fatalf("long-poll page done=%v events=%d; want done with full history", page.Done, len(page.Events))
+	}
+}
+
+// TestClusterHealthAndMetrics: the coordinator's own endpoints reflect the
+// cluster view.
+func TestClusterHealthAndMetrics(t *testing.T) {
+	replicas, coord, base := bootCluster(t, 2, service.Config{Workers: 1})
+	defer func() {
+		for _, r := range replicas {
+			r.kill()
+		}
+	}()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hv ClusterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hv.Status != "ok" || len(hv.Replicas) != 2 {
+		t.Fatalf("healthz = %+v", hv)
+	}
+
+	replicas[0].kill()
+	coord.health.CheckNow()
+	resp, err = http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mv ClusterMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mv.Replicas != 2 || mv.ReplicasUp != 1 {
+		t.Fatalf("metrics = %+v; want 1 of 2 up", mv)
+	}
+}
+
+// TestCoordinatorRejectsBadSpecLocally: validation happens at the
+// coordinator, without a replica round-trip.
+func TestCoordinatorRejectsBadSpecLocally(t *testing.T) {
+	coord, err := New(Config{Replicas: []string{"http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Post(base+"/v1/repair", "application/json", strings.NewReader(`{"case":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var apiErr service.APIError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || apiErr.Code != service.CodeInvalidSpec {
+		t.Fatalf("got %d %q; want 400 invalid_spec", resp.StatusCode, apiErr.Code)
+	}
+}

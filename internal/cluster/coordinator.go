@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/service"
+)
+
+// routedJob is the coordinator's record of one accepted submission: enough
+// to find the job on its current replica and — because the body and content
+// key are retained — to resubmit it elsewhere if that replica dies. The
+// content-addressed caches make resubmission cheap: a re-routed job is a
+// spill/cache hit on any replica that ever computed the key, and an honest
+// re-run otherwise, so an accepted job is never silently dropped.
+type routedJob struct {
+	coordID string
+	key     string
+	body    []byte // raw spec JSON, forwarded verbatim on (re)submission
+	client  string
+
+	mu       sync.Mutex
+	replica  string // base URL of the replica currently holding the job
+	remoteID string // the replica-local job id
+}
+
+func (rj *routedJob) location() (string, string) {
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	return rj.replica, rj.remoteID
+}
+
+func (rj *routedJob) relocate(replica, remoteID string) {
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	rj.replica = replica
+	rj.remoteID = remoteID
+}
+
+// Coordinator fronts a set of ftrepaird replicas: it routes each submission
+// by its SHA-256 content key on a consistent-hash ring (so identical jobs
+// land on — and dedup within — the same replica), fails over around dead
+// replicas, and relays status, cancellation and event streams under
+// coordinator-scoped job ids.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	health  *health
+	clients map[string]*replicaClient
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*routedJob
+
+	metrics struct {
+		mu          sync.Mutex
+		routed      int64 // submissions accepted and routed
+		rejected    int64 // submissions rejected (replica capacity or all down)
+		failovers   int64 // primary skipped at submit time (down or unreachable)
+		resubmitted int64 // accepted jobs re-run on another replica after loss
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Close stops the health prober.
+func (c *Coordinator) Close() { c.health.Close() }
+
+// route returns the live-replica preference order for a content key: the
+// ring's order with down replicas moved to the back (not dropped — if every
+// replica looks down the coordinator still tries them in ring order rather
+// than refusing outright, since the health view may be stale).
+func (c *Coordinator) route(key string) []string {
+	prefs := c.ring.Lookup(key)
+	live := make([]string, 0, len(prefs))
+	down := make([]string, 0)
+	for _, r := range prefs {
+		if c.health.Up(r) {
+			live = append(live, r)
+		} else {
+			down = append(down, r)
+		}
+	}
+	return append(live, down...)
+}
+
+// Handler returns the coordinator's HTTP API — the same surface as a single
+// ftrepaird (submit, job status, cancel, events, healthz, metrics.json), so
+// clients are oblivious to whether they talk to one daemon or a cluster.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repair", c.handleSubmit)
+	mux.HandleFunc("/v1/jobs/", c.handleJob)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/metrics.json", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, service.APIError{Code: code, Message: msg})
+}
+
+// relayStatusError forwards a replica's structured rejection to the client
+// unchanged — capacity and quota decisions are the owning replica's to make,
+// and the body already carries the backoff guidance.
+func relayStatusError(w http.ResponseWriter, e *apiStatusError) {
+	if e.API.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.API.RetryAfterS))
+	}
+	writeJSON(w, e.Status, e.API)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, http.StatusMethodNotAllowed, service.CodeMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, service.CodeBadJSON, err.Error())
+		return
+	}
+	// Validate and content-address locally before spending a network hop:
+	// the coordinator computes the exact key a replica would, because both
+	// run the same resolution code over the same bytes.
+	var spec service.Spec
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeAPIError(w, http.StatusBadRequest, service.CodeBadJSON, err.Error())
+		return
+	}
+	key, err := service.ContentKey(spec)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, service.CodeInvalidSpec, err.Error())
+		return
+	}
+	client := r.Header.Get("X-Client-ID")
+
+	prefs := c.route(key)
+	var lastErr error
+	for i, replica := range prefs {
+		view, err := c.clients[replica].Submit(body, client)
+		if err != nil {
+			var se *apiStatusError
+			if errors.As(err, &se) {
+				// A structured rejection (quota, queue full, shedding) is the
+				// owning replica's admission decision; relay it rather than
+				// spraying the job onto a replica the ring didn't pick.
+				c.countRejected()
+				relayStatusError(w, se)
+				return
+			}
+			// Transport failure: the replica is unreachable. Mark it down and
+			// fail over to the next preference.
+			c.health.MarkDown(replica, err)
+			c.countFailover()
+			c.logf("cluster: submit to %s failed (%v), trying next preference", replica, err)
+			lastErr = err
+			continue
+		}
+		if i > 0 {
+			c.countFailover()
+		}
+		coordID := c.register(key, body, client, replica, view.ID)
+		c.countRouted()
+		view.ID = coordID
+		status := http.StatusAccepted
+		if view.State.Terminal() {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, view)
+		return
+	}
+	c.countRejected()
+	msg := "no replica reachable"
+	if lastErr != nil {
+		msg = fmt.Sprintf("no replica reachable: %v", lastErr)
+	}
+	writeAPIError(w, http.StatusServiceUnavailable, service.CodeOverloaded, msg)
+}
+
+func (c *Coordinator) register(key string, body []byte, client, replica, remoteID string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	coordID := fmt.Sprintf("c%06d-%s", c.seq, key[:8])
+	c.jobs[coordID] = &routedJob{
+		coordID: coordID, key: key, body: body, client: client,
+		replica: replica, remoteID: remoteID,
+	}
+	return coordID
+}
+
+func (c *Coordinator) lookup(coordID string) (*routedJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rj, ok := c.jobs[coordID]
+	return rj, ok
+}
+
+// fetch gets the current replica-local view of a routed job, failing over if
+// the owning replica is unreachable or has forgotten the job (a restart):
+// the retained spec body is resubmitted to the best live replica for the
+// key, where the content-addressed spill either serves the finished result
+// without recomputation or honestly re-runs the synthesis. Either way the
+// accepted job survives the loss.
+func (c *Coordinator) fetch(rj *routedJob) (service.JobView, error) {
+	replica, remoteID := rj.location()
+	view, err := c.clients[replica].Job(remoteID)
+	if err == nil {
+		view.ID = rj.coordID
+		return view, nil
+	}
+	var se *apiStatusError
+	if errors.As(err, &se) && se.API.Code != service.CodeUnknownJob {
+		// The replica answered with something other than "never heard of
+		// it" — that is the job's real state, not a loss; relay it.
+		return service.JobView{}, err
+	}
+	if !errors.As(err, &se) {
+		c.health.MarkDown(replica, err)
+	}
+	return c.resubmit(rj, replica, err)
+}
+
+// resubmit re-runs a lost job's spec on the best live replica, skipping the
+// one that just failed.
+func (c *Coordinator) resubmit(rj *routedJob, failed string, cause error) (service.JobView, error) {
+	c.logf("cluster: job %s lost on %s (%v), resubmitting", rj.coordID, failed, cause)
+	var lastErr error = cause
+	for _, replica := range c.route(rj.key) {
+		if replica == failed {
+			continue
+		}
+		view, err := c.clients[replica].Submit(rj.body, rj.client)
+		if err != nil {
+			var se *apiStatusError
+			if !errors.As(err, &se) {
+				c.health.MarkDown(replica, err)
+			}
+			lastErr = err
+			continue
+		}
+		rj.relocate(replica, view.ID)
+		c.countResubmitted()
+		view.ID = rj.coordID
+		return view, nil
+	}
+	// Last resort: the failed replica itself may have come back (e.g. a
+	// restart in a single-replica cluster) — its spill makes this cheap.
+	if view, err := c.clients[failed].Submit(rj.body, rj.client); err == nil {
+		rj.relocate(failed, view.ID)
+		c.countResubmitted()
+		view.ID = rj.coordID
+		return view, nil
+	}
+	return service.JobView{}, fmt.Errorf("cluster: job %s unrecoverable: %w", rj.coordID, lastErr)
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id, ok := strings.CutSuffix(rest, "/events"); ok && id != "" && !strings.Contains(id, "/") {
+		c.handleJobEvents(w, r, id)
+		return
+	}
+	id := rest
+	rj, ok := c.lookup(id)
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, service.CodeUnknownJob, "unknown job "+id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		view, err := c.fetch(rj)
+		if err != nil {
+			var se *apiStatusError
+			if errors.As(err, &se) {
+				relayStatusError(w, se)
+				return
+			}
+			writeAPIError(w, http.StatusServiceUnavailable, service.CodeOverloaded, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	case http.MethodDelete:
+		replica, remoteID := rj.location()
+		view, err := c.clients[replica].Cancel(remoteID)
+		if err != nil {
+			var se *apiStatusError
+			if errors.As(err, &se) {
+				relayStatusError(w, se)
+				return
+			}
+			c.health.MarkDown(replica, err)
+			writeAPIError(w, http.StatusServiceUnavailable, service.CodeOverloaded, err.Error())
+			return
+		}
+		view.ID = rj.coordID
+		writeJSON(w, http.StatusAccepted, view)
+	default:
+		writeAPIError(w, http.StatusMethodNotAllowed, service.CodeMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+// handleJobEvents relays a replica's event stream byte-for-byte — SSE frames
+// or long-poll JSON, whichever the query selects — flushing as data arrives.
+// If the owning replica is unreachable the job is resubmitted first, so the
+// client's stream follows the job to its new home (with a fresh sequence).
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, service.CodeMethodNotAllowed, "use GET")
+		return
+	}
+	rj, ok := c.lookup(id)
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, service.CodeUnknownJob, "unknown job "+id)
+		return
+	}
+	replica, remoteID := rj.location()
+	resp, err := c.clients[replica].Events(remoteID, r.URL.RawQuery)
+	if err != nil {
+		var se *apiStatusError
+		if errors.As(err, &se) && se.API.Code != service.CodeUnknownJob {
+			relayStatusError(w, se)
+			return
+		}
+		if !errors.As(err, &se) {
+			c.health.MarkDown(replica, err)
+		}
+		if _, rerr := c.resubmit(rj, replica, err); rerr != nil {
+			writeAPIError(w, http.StatusServiceUnavailable, service.CodeOverloaded, rerr.Error())
+			return
+		}
+		replica, remoteID = rj.location()
+		if resp, err = c.clients[replica].Events(remoteID, r.URL.RawQuery); err != nil {
+			writeAPIError(w, http.StatusServiceUnavailable, service.CodeOverloaded, err.Error())
+			return
+		}
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ClusterHealth is the JSON body of the coordinator's /healthz.
+type ClusterHealth struct {
+	Status   string          `json:"status"`
+	Replicas map[string]bool `json:"replicas"`
+	Jobs     int             `json:"jobs"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	view := c.health.View()
+	anyUp := false
+	for _, up := range view {
+		anyUp = anyUp || up
+	}
+	c.mu.Lock()
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	if !anyUp {
+		status, code = "no replicas up", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ClusterHealth{Status: status, Replicas: view, Jobs: jobs})
+}
+
+// ClusterMetrics is the JSON body of the coordinator's /metrics.json.
+type ClusterMetrics struct {
+	Replicas    int   `json:"replicas"`
+	ReplicasUp  int   `json:"replicas_up"`
+	Jobs        int   `json:"jobs"`
+	Routed      int64 `json:"routed_total"`
+	Rejected    int64 `json:"rejected_total"`
+	Failovers   int64 `json:"failovers_total"`
+	Resubmitted int64 `json:"resubmitted_total"`
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	view := c.health.View()
+	up := 0
+	for _, ok := range view {
+		if ok {
+			up++
+		}
+	}
+	c.mu.Lock()
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+	c.metrics.mu.Lock()
+	m := ClusterMetrics{
+		Replicas: len(view), ReplicasUp: up, Jobs: jobs,
+		Routed: c.metrics.routed, Rejected: c.metrics.rejected,
+		Failovers: c.metrics.failovers, Resubmitted: c.metrics.resubmitted,
+	}
+	c.metrics.mu.Unlock()
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (c *Coordinator) countRouted() {
+	c.metrics.mu.Lock()
+	c.metrics.routed++
+	c.metrics.mu.Unlock()
+}
+
+func (c *Coordinator) countRejected() {
+	c.metrics.mu.Lock()
+	c.metrics.rejected++
+	c.metrics.mu.Unlock()
+}
+
+func (c *Coordinator) countFailover() {
+	c.metrics.mu.Lock()
+	c.metrics.failovers++
+	c.metrics.mu.Unlock()
+}
+
+func (c *Coordinator) countResubmitted() {
+	c.metrics.mu.Lock()
+	c.metrics.resubmitted++
+	c.metrics.mu.Unlock()
+}

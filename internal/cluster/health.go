@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// health tracks the liveness of the cluster's replicas: a background prober
+// hits each replica's /healthz on a fixed interval, and the request paths
+// feed back transport failures immediately (MarkDown), so a dead replica
+// stops receiving routes within one round-trip rather than one probe
+// period. A replica comes back only through a successful probe — transient
+// request errors cannot flap it up.
+type health struct {
+	mu      sync.Mutex
+	up      map[string]bool
+	lastErr map[string]string
+
+	client   *http.Client
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// newHealth starts a prober over the replica base URLs. Every replica
+// starts up — the first probe round corrects optimism within interval —
+// because starting pessimistic would reject all traffic on a cold
+// coordinator. interval <= 0 disables the background loop (tests drive
+// CheckNow directly).
+func newHealth(replicas []string, interval, timeout time.Duration) *health {
+	h := &health{
+		up:      make(map[string]bool, len(replicas)),
+		lastErr: make(map[string]string, len(replicas)),
+		client:  &http.Client{Timeout: timeout},
+		stop:    make(chan struct{}),
+	}
+	for _, r := range replicas {
+		h.up[r] = true
+	}
+	if interval > 0 {
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				h.CheckNow()
+				select {
+				case <-ticker.C:
+				case <-h.stop:
+					return
+				}
+			}
+		}()
+	}
+	return h
+}
+
+func (h *health) Close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}
+
+// CheckNow probes every replica once, synchronously, and updates the view.
+func (h *health) CheckNow() {
+	h.mu.Lock()
+	replicas := make([]string, 0, len(h.up))
+	for r := range h.up {
+		replicas = append(replicas, r)
+	}
+	h.mu.Unlock()
+
+	type verdict struct {
+		replica string
+		ok      bool
+		errMsg  string
+	}
+	results := make(chan verdict, len(replicas))
+	for _, r := range replicas {
+		go func(r string) {
+			resp, err := h.client.Get(r + "/healthz")
+			if err != nil {
+				results <- verdict{r, false, err.Error()}
+				return
+			}
+			resp.Body.Close()
+			results <- verdict{r, resp.StatusCode == http.StatusOK, resp.Status}
+		}(r)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for range replicas {
+		v := <-results
+		h.up[v.replica] = v.ok
+		if v.ok {
+			delete(h.lastErr, v.replica)
+		} else {
+			h.lastErr[v.replica] = v.errMsg
+		}
+	}
+}
+
+// Up reports whether the replica is believed live.
+func (h *health) Up(replica string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up[replica]
+}
+
+// MarkDown records a transport failure observed by a request path.
+func (h *health) MarkDown(replica string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, known := h.up[replica]; !known {
+		return
+	}
+	h.up[replica] = false
+	if err != nil {
+		h.lastErr[replica] = err.Error()
+	}
+}
+
+// View snapshots the liveness map (replica URL -> up).
+func (h *health) View() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.up))
+	for r, ok := range h.up {
+		out[r] = ok
+	}
+	return out
+}

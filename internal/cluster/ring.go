@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over replica names with virtual nodes.
+// Each replica owns vnodes points on a 64-bit circle (the first 8 bytes of
+// SHA-256("<replica>#<i>")); a key routes to the replica owning the first
+// point at or clockwise after the key's own hash. Virtual nodes smooth the
+// load split (with 128 per replica the imbalance across replicas is a few
+// percent), and consistency bounds movement: removing one of n replicas
+// re-routes only the keys that replica owned — about 1/n of the space —
+// while every other key keeps its home, which is what keeps the content-
+// addressed caches of the surviving replicas warm through membership
+// changes.
+//
+// The ring is immutable after construction; membership changes build a new
+// ring (they are rare — static config plus health transitions — and an
+// immutable ring needs no locking on the routing hot path).
+type Ring struct {
+	replicas []string
+	points   []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node int // index into replicas
+}
+
+// DefaultVirtualNodes is the per-replica point count used when a Config
+// leaves it zero.
+const DefaultVirtualNodes = 128
+
+// NewRing builds a ring over the given replica names (order-insensitive:
+// the layout depends only on the name set). vnodes <= 0 selects
+// DefaultVirtualNodes.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	names := append([]string(nil), replicas...)
+	sort.Strings(names)
+	r := &Ring{replicas: names}
+	for ni, name := range names {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", name, i)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break on the replica name so the
+		// layout stays a pure function of the membership set.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Replicas returns the ring's member names (sorted).
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// Lookup returns every replica in preference order for key: the primary
+// (the owner of the first point clockwise from the key's hash) followed by
+// the distinct successors around the ring. Callers walk the list skipping
+// unhealthy replicas, which makes failover routing a pure function of the
+// membership set and the health view.
+func (r *Ring) Lookup(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.replicas))
+	seen := make(map[int]bool, len(r.replicas))
+	for i := 0; i < len(r.points) && len(out) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.replicas[p.node])
+		}
+	}
+	return out
+}
+
+// Primary returns the first preference for key ("" on an empty ring).
+func (r *Ring) Primary(key string) string {
+	prefs := r.Lookup(key)
+	if len(prefs) == 0 {
+		return ""
+	}
+	return prefs[0]
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestRingMovementBound is the consistency property the tentpole leans on:
+// removing one of n replicas re-routes ONLY the keys that replica owned —
+// every other key keeps its primary, so the surviving replicas' caches stay
+// warm through the membership change.
+func TestRingMovementBound(t *testing.T) {
+	replicas := []string{"http://a", "http://b", "http://c", "http://d", "http://e"}
+	before := NewRing(replicas, 0)
+	after := NewRing(replicas[:4], 0) // drop http://e
+
+	moved := 0
+	for _, k := range keys(10_000) {
+		pb, pa := before.Primary(k), after.Primary(k)
+		if pb != pa {
+			if pb != "http://e" {
+				t.Fatalf("key %s moved %s -> %s though its owner survived", k, pb, pa)
+			}
+			moved++
+		} else if pb == "http://e" {
+			t.Fatalf("key %s still routes to removed replica", k)
+		}
+	}
+	// The removed replica owned ~1/5 of the space; allow generous slack for
+	// virtual-node variance but insist the bound is in the right regime (a
+	// naive mod-n hash would move ~4/5 of the keys).
+	if moved == 0 {
+		t.Fatal("no keys moved — removed replica owned nothing?")
+	}
+	if frac := float64(moved) / 10_000; frac > 0.30 {
+		t.Fatalf("%.0f%% of keys moved; want about 1/5", frac*100)
+	}
+}
+
+// TestRingBalance checks the virtual nodes smooth the split: with 128
+// points per replica no replica owns more than twice the fair share.
+func TestRingBalance(t *testing.T) {
+	replicas := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(replicas, 0)
+	counts := make(map[string]int)
+	for _, k := range keys(20_000) {
+		counts[r.Primary(k)]++
+	}
+	fair := 20_000 / len(replicas)
+	for _, rep := range replicas {
+		if counts[rep] == 0 {
+			t.Fatalf("replica %s owns no keys", rep)
+		}
+		if counts[rep] > 2*fair {
+			t.Fatalf("replica %s owns %d of 20000 keys (fair share %d)", rep, counts[rep], fair)
+		}
+	}
+}
+
+// TestRingOrderInsensitive: the layout is a pure function of the membership
+// set, not the configuration order.
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"http://x", "http://y", "http://z"}, 16)
+	b := NewRing([]string{"http://z", "http://x", "http://y"}, 16)
+	for _, k := range keys(500) {
+		if a.Primary(k) != b.Primary(k) {
+			t.Fatalf("replica order changed the layout for %s", k)
+		}
+	}
+}
+
+// TestRingLookupPreferenceOrder: Lookup yields every replica exactly once,
+// primary first, so a failover walk always terminates with full coverage.
+func TestRingLookupPreferenceOrder(t *testing.T) {
+	replicas := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(replicas, 8)
+	for _, k := range keys(200) {
+		prefs := r.Lookup(k)
+		if len(prefs) != len(replicas) {
+			t.Fatalf("Lookup(%s) = %v; want all %d replicas", k, prefs, len(replicas))
+		}
+		seen := make(map[string]bool)
+		for _, p := range prefs {
+			if seen[p] {
+				t.Fatalf("Lookup(%s) repeats %s", k, p)
+			}
+			seen[p] = true
+		}
+		if prefs[0] != r.Primary(k) {
+			t.Fatalf("Lookup(%s)[0] = %s, Primary = %s", k, prefs[0], r.Primary(k))
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Lookup("k"); got != nil {
+		t.Fatalf("empty ring Lookup = %v; want nil", got)
+	}
+	if got := r.Primary("k"); got != "" {
+		t.Fatalf("empty ring Primary = %q; want empty", got)
+	}
+}

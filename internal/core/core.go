@@ -49,7 +49,25 @@ type Job struct {
 	// checks (when Verify is also set). Extraction is deterministic, so the
 	// traces are byte-identical across worker counts.
 	Witnesses int
+	// Progress, when non-nil, receives phase-start notifications as the run
+	// advances: PhaseCompile, then PhaseStep1/PhaseStep2 per outer repair
+	// iteration (relayed through Options.Phasef unless the caller set that
+	// hook itself), then PhaseWitness and PhaseVerify when requested. The
+	// daemon streams these to clients; the outcome never depends on them.
+	// Called sequentially from the goroutine running the job.
+	Progress func(phase string)
 }
+
+// The phase names reported through Job.Progress, matching the per-phase
+// counters of RunReport (compile_ns, step1_ns, step2_ns, witness_ns,
+// verify_ns).
+const (
+	PhaseCompile = "compile"
+	PhaseStep1   = "step1"
+	PhaseStep2   = "step2"
+	PhaseWitness = "witness"
+	PhaseVerify  = "verify"
+)
 
 // Outcome is the result of a Job.
 type Outcome struct {
@@ -83,6 +101,15 @@ type Outcome struct {
 // is built per run and shared between the synthesis and the verifier, so the
 // worker clones are compiled once.
 func Run(ctx context.Context, job Job) (out *Outcome, err error) {
+	progress := func(phase string) {
+		if job.Progress != nil {
+			job.Progress(phase)
+		}
+	}
+	if job.Options.Phasef == nil {
+		job.Options.Phasef = job.Progress
+	}
+	progress(PhaseCompile)
 	t0 := time.Now()
 	compiled, err := job.Def.Compile()
 	if err != nil {
@@ -135,6 +162,7 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 	out.Result = res
 
 	if job.Witnesses > 0 {
+		progress(PhaseWitness)
 		t1 := time.Now()
 		demos, err := witness.RecoveryDemos(ctx, compiled, res.Trans, res.Invariant, res.FaultSpan, job.Witnesses)
 		if err != nil {
@@ -145,6 +173,7 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 	}
 
 	if job.Verify {
+		progress(PhaseVerify)
 		t1 := time.Now()
 		backend, err := verify.ParseBackend(string(job.Backend))
 		if err != nil {

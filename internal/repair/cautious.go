@@ -45,6 +45,10 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 	start := time.Now()
 	var stats Stats
 
+	// Cautious repair is one monolithic fixpoint (group closure runs inside
+	// the main loop), so the whole synthesis reports as step 1.
+	opts.phase("step1")
+
 	sc := m.Protect()
 	defer sc.Release()
 	ms, mt := ComputeMsMt(c, c.BadTrans)

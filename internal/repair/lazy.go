@@ -73,6 +73,7 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 			return nil, err
 		}
 
+		opts.phase("step1")
 		t0 := time.Now()
 		mask, err := AddMaskingEngine(ctx, eng, invariant.Node(), badTrans.Node(), opts)
 		stats.Step1 += time.Since(t0)
@@ -82,6 +83,7 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		opts.logf("lazy: iteration %d: step 1 done (|S'|=%g, |T'|=%g)",
 			iter, s.CountStates(mask.Invariant), s.CountStates(mask.FaultSpan))
 
+		opts.phase("step2")
 		t1 := time.Now()
 		parts, err := RealizePartsEngine(ctx, eng, mask.Trans, mask.FaultSpan)
 		if err != nil {

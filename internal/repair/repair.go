@@ -141,6 +141,12 @@ type Options struct {
 	// its own state; see internal/service's per-job logger for the pattern
 	// used by the daemon's worker pool.
 	Logf func(format string, args ...any)
+	// Phasef, when non-nil, is called at the start of each synthesis step
+	// ("step1" when Add-Masking begins, "step2" when realization begins —
+	// once per outer iteration). The daemon uses it to feed streaming job
+	// progress; the synthesized result never depends on it. Same
+	// concurrency contract as Logf.
+	Phasef func(phase string)
 }
 
 // DefaultOptions returns the configuration used in the paper's headline
@@ -152,6 +158,12 @@ func DefaultOptions() Options {
 func (o *Options) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
+	}
+}
+
+func (o *Options) phase(name string) {
+	if o.Phasef != nil {
+		o.Phasef(name)
 	}
 }
 

@@ -2,15 +2,32 @@ package service
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
 )
 
 // Cache is a bounded, content-addressed LRU of finished repair reports,
-// keyed by defKey. It stores only the serializable RunReport — never BDD
-// nodes, whose managers belong to a single synthesis — so a hit costs one
-// map lookup and entries do not pin symbolic state in memory.
+// keyed by defKey, with an optional disk-backed spill behind it. It stores
+// only the serializable RunReport — never BDD nodes, whose managers belong
+// to a single synthesis — so a hit costs one map lookup and entries do not
+// pin symbolic state in memory.
+//
+// With a spill directory configured, Put writes through to disk (one
+// content-key-named JSON file per entry, checksummed) and a Get that misses
+// in memory falls back to the file store, so results survive both LRU
+// eviction and daemon restarts. Entries are validated on load — key,
+// checksum, and JSON shape — and a file that fails validation is deleted
+// and reported as a miss, so a corrupted spill entry is recomputed rather
+// than served.
 //
 // Safe for concurrent use.
 type Cache struct {
@@ -20,6 +37,15 @@ type Cache struct {
 	items map[string]*list.Element
 
 	hits, misses int64
+
+	// Spill state; zero when no directory is configured.
+	dir        string
+	spillMax   int
+	spillOrder []string // keys on disk, oldest first (eviction order)
+	spillSet   map[string]struct{}
+	spillHits  int64 // memory misses served from disk
+	spillBad   int64 // entries rejected at load (corrupt/mismatched)
+	spillErrs  int64 // write failures (spill is best-effort)
 }
 
 type cacheEntry struct {
@@ -27,35 +53,176 @@ type cacheEntry struct {
 	report core.RunReport
 }
 
-// NewCache returns a cache holding at most max entries (max <= 0 disables
-// caching: every Get misses and Put is a no-op).
+// spillEntry is the on-disk format of one spilled result: the content key
+// it answers, a SHA-256 over the exact report bytes, and the report itself.
+// The filename repeats the key (<key>.json), so a renamed or truncated file
+// fails validation instead of aliasing another job.
+type spillEntry struct {
+	V      int             `json:"v"`
+	Key    string          `json:"key"`
+	Sum    string          `json:"sum"`
+	Report json.RawMessage `json:"report"`
+}
+
+const spillVersion = 1
+
+var spillNameRE = regexp.MustCompile(`^[0-9a-f]{64}\.json$`)
+
+// NewCache returns a memory-only cache holding at most max entries (max <= 0
+// disables caching: every Get misses and Put is a no-op).
 func NewCache(max int) *Cache {
 	return &Cache{max: max, order: list.New(), items: make(map[string]*list.Element)}
 }
 
+// NewSpillCache returns a cache of max in-memory entries backed by a
+// write-through file store in dir holding up to spillMax entries. The
+// directory is created if needed and scanned once: existing entries (from a
+// previous daemon run) become immediately servable. Filenames that are not
+// content-key-shaped are ignored; validation of each entry's contents is
+// deferred to first Get.
+func NewSpillCache(max int, dir string, spillMax int) (*Cache, error) {
+	c := NewCache(max)
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: spill dir: %w", err)
+	}
+	if spillMax <= 0 {
+		spillMax = 4096
+	}
+	c.dir = dir
+	c.spillMax = spillMax
+	c.spillSet = make(map[string]struct{})
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: spill dir: %w", err)
+	}
+	type onDisk struct {
+		key string
+		mod int64
+	}
+	var found []onDisk
+	for _, e := range entries {
+		if e.IsDir() || !spillNameRE.MatchString(e.Name()) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{key: e.Name()[:64], mod: info.ModTime().UnixNano()})
+	}
+	// Oldest first, so eviction after a restart still drops the stalest
+	// entries; ties (same mtime granularity) break on the key for
+	// determinism.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mod != found[j].mod {
+			return found[i].mod < found[j].mod
+		}
+		return found[i].key < found[j].key
+	})
+	for _, f := range found {
+		c.spillOrder = append(c.spillOrder, f.key)
+		c.spillSet[f.key] = struct{}{}
+	}
+	return c, nil
+}
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
 // Get returns the cached report for key, if present, and refreshes its
-// recency.
+// recency. A memory miss consults the spill store; a valid spilled entry is
+// promoted back into the in-memory LRU.
 func (c *Cache) Get(key string) (core.RunReport, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return core.RunReport{}, false
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).report, true
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).report, true
+	if report, ok := c.loadSpillLocked(key); ok {
+		c.hits++
+		c.spillHits++
+		if c.max > 0 {
+			c.putMemLocked(key, report)
+		}
+		return report, true
+	}
+	c.misses++
+	return core.RunReport{}, false
 }
 
-// Put stores the report under key, evicting the least recently used entry
-// when the cache is full.
+// loadSpillLocked reads and validates one spilled entry. Any validation
+// failure — unreadable file, bad JSON, wrong version, key mismatch,
+// checksum mismatch, report that does not decode — deletes the file and
+// reports a miss, so the caller recomputes instead of serving corruption.
+func (c *Cache) loadSpillLocked(key string) (core.RunReport, bool) {
+	if c.dir == "" {
+		return core.RunReport{}, false
+	}
+	if _, ok := c.spillSet[key]; !ok {
+		return core.RunReport{}, false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.dropSpillLocked(key)
+		return core.RunReport{}, false
+	}
+	var ent spillEntry
+	var report core.RunReport
+	valid := json.Unmarshal(raw, &ent) == nil &&
+		ent.V == spillVersion &&
+		ent.Key == key &&
+		ent.Sum == hex.EncodeToString(sumOf(ent.Report)) &&
+		json.Unmarshal(ent.Report, &report) == nil
+	if !valid {
+		c.spillBad++
+		c.dropSpillLocked(key)
+		_ = os.Remove(c.path(key))
+		return core.RunReport{}, false
+	}
+	return report, true
+}
+
+func sumOf(b []byte) []byte {
+	s := sha256.Sum256(b)
+	return s[:]
+}
+
+func (c *Cache) dropSpillLocked(key string) {
+	if _, ok := c.spillSet[key]; !ok {
+		return
+	}
+	delete(c.spillSet, key)
+	for i, k := range c.spillOrder {
+		if k == key {
+			c.spillOrder = append(c.spillOrder[:i], c.spillOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Put stores the report under key — in memory, evicting the least recently
+// used entry when full, and (when a spill directory is configured) through
+// to disk. Spill writes are atomic (temp file + rename) and best-effort: a
+// full or read-only disk degrades the cache to memory-only rather than
+// failing the job.
 func (c *Cache) Put(key string, report core.RunReport) {
-	if c.max <= 0 {
+	if c.max <= 0 && c.dir == "" {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.max > 0 {
+		c.putMemLocked(key, report)
+	}
+	c.spillLocked(key, report)
+}
+
+func (c *Cache) putMemLocked(key string, report core.RunReport) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).report = report
 		c.order.MoveToFront(el)
@@ -69,16 +236,76 @@ func (c *Cache) Put(key string, report core.RunReport) {
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, report: report})
 }
 
-// Len returns the number of cached entries.
+func (c *Cache) spillLocked(key string, report core.RunReport) {
+	if c.dir == "" {
+		return
+	}
+	raw, err := json.Marshal(report)
+	if err != nil {
+		c.spillErrs++
+		return
+	}
+	ent := spillEntry{V: spillVersion, Key: key, Sum: hex.EncodeToString(sumOf(raw)), Report: raw}
+	buf, err := json.Marshal(ent)
+	if err != nil {
+		c.spillErrs++
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "spill-*.tmp")
+	if err != nil {
+		c.spillErrs++
+		return
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		c.spillErrs++
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		c.spillErrs++
+		return
+	}
+	if _, ok := c.spillSet[key]; !ok {
+		c.spillSet[key] = struct{}{}
+		c.spillOrder = append(c.spillOrder, key)
+		for len(c.spillOrder) > c.spillMax {
+			victim := c.spillOrder[0]
+			c.spillOrder = c.spillOrder[1:]
+			delete(c.spillSet, victim)
+			_ = os.Remove(c.path(victim))
+		}
+	}
+}
+
+// Len returns the number of in-memory entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
-// Counters returns the lifetime hit and miss counts.
+// SpillLen returns the number of entries resident in the spill store.
+func (c *Cache) SpillLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spillOrder)
+}
+
+// Counters returns the lifetime hit and miss counts (spill hits included in
+// hits).
 func (c *Cache) Counters() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// SpillCounters returns the spill store's lifetime activity: memory misses
+// served from disk, entries rejected at load, and failed writes.
+func (c *Cache) SpillCounters() (hits, bad, errs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spillHits, c.spillBad, c.spillErrs
 }

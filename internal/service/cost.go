@@ -1,0 +1,68 @@
+package service
+
+import (
+	"math"
+
+	"repro/internal/program"
+)
+
+// The admission cost model: a log-linear fit over the BENCH_1..7 snapshots
+// (9 distinct case-study instances, best serial run per instance) predicting
+// a synthesis' wall time and peak BDD node count from two features readable
+// straight off the parsed definition, before any compilation — the boolean
+// state-bit count and the process count:
+//
+//	ln(total_ns)   ≈ 12.89 + 0.126·state_bits + 0.296·ln(procs)
+//	ln(peak_nodes) ≈  7.49 + 0.131·state_bits − 0.084·ln(procs)
+//
+// The fit is deliberately crude — admission needs an order of magnitude,
+// not a benchmark. On the training instances it stays within about 12× of
+// the measured time (most within 3×), which cleanly separates the
+// sub-100ms ladder from the minutes-long deep-chain instances that motivate
+// budgeted early termination. DESIGN.md §18 records the regression.
+const (
+	costTimeIntercept = 12.89
+	costTimePerBit    = 0.126
+	costTimePerLnProc = 0.296
+
+	costNodesIntercept = 7.49
+	costNodesPerBit    = 0.131
+	costNodesPerLnProc = -0.084
+)
+
+// CostEstimate is the admission controller's prediction for one job.
+type CostEstimate struct {
+	// StateBits and Procs are the model's input features.
+	StateBits int `json:"state_bits"`
+	Procs     int `json:"procs"`
+	// TotalNS is the predicted serial synthesis wall time.
+	TotalNS int64 `json:"total_ns"`
+	// PeakNodes is the predicted peak live BDD node count.
+	PeakNodes int64 `json:"peak_nodes"`
+}
+
+// estimateCost evaluates the model on a parsed definition.
+func estimateCost(def *program.Def) CostEstimate {
+	bits := 0
+	for _, v := range def.Vars {
+		b := 1
+		for (1 << b) < v.Domain {
+			b++
+		}
+		bits += b
+	}
+	procs := len(def.Processes)
+	if procs < 1 {
+		procs = 1
+	}
+	lnProcs := math.Log(float64(procs))
+	ns := math.Exp(costTimeIntercept + costTimePerBit*float64(bits) + costTimePerLnProc*lnProcs)
+	nodes := math.Exp(costNodesIntercept + costNodesPerBit*float64(bits) + costNodesPerLnProc*lnProcs)
+	clamp := func(f float64) int64 {
+		if f > math.MaxInt64/2 {
+			return math.MaxInt64 / 2
+		}
+		return int64(f)
+	}
+	return CostEstimate{StateBits: bits, Procs: procs, TotalNS: clamp(ns), PeakNodes: clamp(nodes)}
+}

@@ -221,18 +221,31 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	return def, job, key, nil
 }
 
+// ContentKey validates a spec and returns its content address without
+// registering a job — the routing primitive of the cluster coordinator,
+// which consistent-hashes this key across replicas so identical jobs land
+// on (and dedup within) the same node.
+func ContentKey(spec Spec) (string, error) {
+	_, _, key, err := spec.resolve()
+	return key, err
+}
+
 // job is the service's internal record of one submission.
 type job struct {
 	id  string
 	key string
 
-	spec    Spec
-	coreJob core.Job
+	spec      Spec
+	coreJob   core.Job
+	client    string       // submitting client (quota attribution); may be empty
+	predicted CostEstimate // the admission cost model's prediction
+	lane      string       // "fast" or "general"
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	done   chan struct{} // closed exactly once on reaching a terminal state
 	logger *jobLogger
+	events *eventLog
 
 	mu       sync.Mutex
 	state    State
@@ -255,6 +268,11 @@ type JobView struct {
 	// coalesced onto an identical in-flight synthesis.
 	CacheHit bool   `json:"cache_hit"`
 	Error    string `json:"error,omitempty"`
+	// Lane is the queue lane the admission cost model routed the job to
+	// ("fast" for predicted-cheap jobs, "general" otherwise); Predicted is
+	// the model's estimate.
+	Lane      string        `json:"lane,omitempty"`
+	Predicted *CostEstimate `json:"predicted,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -274,9 +292,14 @@ func (j *job) view() JobView {
 		State:       j.state,
 		CacheHit:    j.cacheHit,
 		Error:       j.err,
+		Lane:        j.lane,
 		SubmittedAt: j.submitted,
 		Result:      j.report,
 		Log:         j.logger.snapshot(),
+	}
+	if j.predicted.TotalNS > 0 {
+		p := j.predicted
+		v.Predicted = &p
 	}
 	if !j.started.IsZero() {
 		t := j.started

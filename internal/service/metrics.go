@@ -3,21 +3,64 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// waitRing retains the most recent queue-wait durations (submission to
+// worker pickup) in a fixed ring, so the metrics endpoints can report live
+// p50/p99 latency without unbounded history. Percentile reads copy and sort
+// the ring — at 512 entries that is cheap and only paid on scrape.
+type waitRing struct {
+	mu   sync.Mutex
+	buf  [512]int64 // nanoseconds
+	next int
+	n    int
+}
+
+func (r *waitRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = int64(d)
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the retained waits (zeros when no
+// job has been picked up yet).
+func (r *waitRing) percentiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	vals := append([]int64(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(vals)-1))
+		return time.Duration(vals[i])
+	}
+	return at(0.50), at(0.99)
+}
 
 // metrics holds the service's monotonic counters. Everything is atomic so
 // workers and HTTP handlers never contend on a lock for bookkeeping; gauges
 // (queue depth, cache size) are read from their owning structures at render
 // time instead of being duplicated here.
 type metrics struct {
-	submitted int64 // jobs accepted into the system (including cache hits)
-	rejected  int64 // submissions refused because the queue was full
-	completed int64 // jobs reaching StateDone (cache hits included)
-	failed    int64 // jobs reaching StateFailed
-	cancelled int64 // jobs reaching StateCancelled
-	synthRuns int64 // actual syntheses executed by workers
-	running   int64 // gauge: jobs currently executing
+	submitted     int64 // jobs accepted into the system (including cache hits)
+	rejected      int64 // submissions refused because the queue was full
+	shed          int64 // predicted-expensive submissions shed over the watermark
+	quotaRejected int64 // submissions refused by a client's token bucket
+	completed     int64 // jobs reaching StateDone (cache hits included)
+	failed        int64 // jobs reaching StateFailed
+	cancelled     int64 // jobs reaching StateCancelled
+	synthRuns     int64 // actual syntheses executed by workers
+	running       int64 // gauge: jobs currently executing
 
 	compileNS int64 // accumulated per-phase wall time, in nanoseconds
 	step1NS   int64
@@ -66,6 +109,8 @@ func (m *metrics) write(w io.Writer, s *Service) {
 
 	c("ftrepaird_jobs_submitted_total", "Jobs accepted for processing.", m.get(&m.submitted))
 	c("ftrepaird_jobs_rejected_total", "Submissions rejected because the queue was full.", m.get(&m.rejected))
+	c("ftrepaird_jobs_shed_total", "Predicted-expensive submissions shed over the queue watermark.", m.get(&m.shed))
+	c("ftrepaird_quota_rejected_total", "Submissions rejected by per-client quotas.", m.get(&m.quotaRejected))
 	c("ftrepaird_jobs_completed_total", "Jobs finished successfully.", m.get(&m.completed))
 	c("ftrepaird_jobs_failed_total", "Jobs finished with an error.", m.get(&m.failed))
 	c("ftrepaird_jobs_cancelled_total", "Jobs cancelled by deadline or client.", m.get(&m.cancelled))
@@ -79,10 +124,18 @@ func (m *metrics) write(w io.Writer, s *Service) {
 	fmt.Fprintf(w, "# HELP ftrepaird_cache_hit_ratio Fraction of lookups served from cache.\n"+
 		"# TYPE ftrepaird_cache_hit_ratio gauge\nftrepaird_cache_hit_ratio %g\n", ratio)
 
-	g("ftrepaird_queue_depth", "Jobs waiting in the bounded work queue.", int64(s.q.depth()))
+	g("ftrepaird_queue_depth", "Jobs waiting in the bounded work queue (both lanes).", int64(s.q.depth()))
 	g("ftrepaird_jobs_running", "Jobs currently being synthesized.", m.get(&m.running))
 	g("ftrepaird_cache_entries", "Entries resident in the result cache.", int64(s.cache.Len()))
+	g("ftrepaird_cache_spill_entries", "Entries resident in the persistent cache spill.", int64(s.cache.SpillLen()))
+	spillHits, spillBad, spillErrs := s.cache.SpillCounters()
+	c("ftrepaird_cache_spill_hits_total", "Memory misses served from the persistent spill.", spillHits)
+	c("ftrepaird_cache_spill_rejected_total", "Spill entries rejected at load (corrupt or mismatched).", spillBad)
+	c("ftrepaird_cache_spill_errors_total", "Failed spill writes (spill is best-effort).", spillErrs)
 	g("ftrepaird_workers", "Size of the worker pool.", int64(s.cfg.Workers))
+	p50, p99 := s.waits.percentiles()
+	g("ftrepaird_queue_wait_p50_ms", "Median queue wait of recent jobs, in milliseconds.", p50.Milliseconds())
+	g("ftrepaird_queue_wait_p99_ms", "99th-percentile queue wait of recent jobs, in milliseconds.", p99.Milliseconds())
 
 	c("ftrepaird_phase_compile_ns_total", "Wall time spent compiling models to BDDs.", m.get(&m.compileNS))
 	c("ftrepaird_phase_step1_ns_total", "Wall time spent in Step 1 (Add-Masking).", m.get(&m.step1NS))
@@ -108,19 +161,32 @@ func (m *metrics) write(w io.Writer, s *Service) {
 // and gauges as the Prometheus text endpoint, for tooling that prefers a
 // structured read (dashboards, tests, jq one-liners).
 type MetricsSnapshot struct {
-	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"`
-	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Cancelled int64 `json:"cancelled"`
-	SynthRuns int64 `json:"synthesis_runs"`
-	Running   int64 `json:"running"`
+	Submitted     int64 `json:"submitted"`
+	Rejected      int64 `json:"rejected"`
+	Shed          int64 `json:"shed"`
+	QuotaRejected int64 `json:"quota_rejected"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Cancelled     int64 `json:"cancelled"`
+	SynthRuns     int64 `json:"synthesis_runs"`
+	Running       int64 `json:"running"`
 
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
-	QueueDepth   int   `json:"queue_depth"`
-	Workers      int   `json:"workers"`
+	// CacheHitRate is hits/(hits+misses) over the daemon's lifetime; 0 when
+	// no lookup has happened yet.
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	SpillEntries  int     `json:"cache_spill_entries"`
+	SpillHits     int64   `json:"cache_spill_hits"`
+	SpillRejected int64   `json:"cache_spill_rejected"`
+	SpillErrors   int64   `json:"cache_spill_errors"`
+	QueueDepth    int     `json:"queue_depth"`
+	// Queue-wait percentiles over a ring of recent jobs (submission to
+	// worker pickup), in milliseconds.
+	QueueWaitP50MS int64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS int64 `json:"queue_wait_p99_ms"`
+	Workers        int   `json:"workers"`
 
 	CompileNS int64 `json:"compile_ns"`
 	Step1NS   int64 `json:"step1_ns"`
@@ -146,20 +212,35 @@ type MetricsSnapshot struct {
 func (s *Service) Metrics() MetricsSnapshot {
 	m := &s.metrics
 	hits, misses := s.cache.Counters()
+	spillHits, spillBad, spillErrs := s.cache.SpillCounters()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	p50, p99 := s.waits.percentiles()
 	return MetricsSnapshot{
-		Submitted: m.get(&m.submitted),
-		Rejected:  m.get(&m.rejected),
-		Completed: m.get(&m.completed),
-		Failed:    m.get(&m.failed),
-		Cancelled: m.get(&m.cancelled),
-		SynthRuns: m.get(&m.synthRuns),
-		Running:   m.get(&m.running),
+		Submitted:     m.get(&m.submitted),
+		Rejected:      m.get(&m.rejected),
+		Shed:          m.get(&m.shed),
+		QuotaRejected: m.get(&m.quotaRejected),
+		Completed:     m.get(&m.completed),
+		Failed:        m.get(&m.failed),
+		Cancelled:     m.get(&m.cancelled),
+		SynthRuns:     m.get(&m.synthRuns),
+		Running:       m.get(&m.running),
 
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheEntries: s.cache.Len(),
-		QueueDepth:   s.q.depth(),
-		Workers:      s.cfg.Workers,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   s.cache.Len(),
+		CacheHitRate:   hitRate,
+		SpillEntries:   s.cache.SpillLen(),
+		SpillHits:      spillHits,
+		SpillRejected:  spillBad,
+		SpillErrors:    spillErrs,
+		QueueDepth:     s.q.depth(),
+		QueueWaitP50MS: p50.Milliseconds(),
+		QueueWaitP99MS: p99.Milliseconds(),
+		Workers:        s.cfg.Workers,
 
 		CompileNS: m.get(&m.compileNS),
 		Step1NS:   m.get(&m.step1NS),

@@ -6,31 +6,39 @@ import (
 )
 
 // ErrQueueFull is returned by Submit when the bounded work queue cannot
-// accept another job; HTTP callers see it as 503 Service Unavailable.
+// accept another job; HTTP callers see it as 503 Service Unavailable with a
+// Retry-After header and the current queue depth in the error body.
 // Backpressure by rejection (rather than blocking the submitter) keeps the
 // daemon responsive under overload: clients retry with their own policy
 // instead of tying up server connections.
 var ErrQueueFull = errors.New("service: work queue is full")
 
-// queue is a bounded FIFO of pending jobs feeding the worker pool. The
-// channel's buffer is the bound, so depth reads are O(1) and pop blocks
-// idle workers without spinning.
+// queue is a bounded two-lane FIFO of pending jobs feeding the worker pool.
+// The general lane carries everything; the fast lane carries jobs the
+// admission cost model predicts cheap, so a burst of expensive work cannot
+// queue a sub-second job behind it. Channel buffers are the bounds, so
+// depth reads are O(1) and pop blocks idle workers without spinning.
 type queue struct {
-	ch chan *job
+	ch   chan *job
+	fast chan *job
 }
 
 func newQueue(depth int) *queue {
 	if depth < 1 {
 		depth = 1
 	}
-	return &queue{ch: make(chan *job, depth)}
+	return &queue{ch: make(chan *job, depth), fast: make(chan *job, depth)}
 }
 
-// tryPush enqueues j without blocking; it reports false when the queue is
-// at capacity.
-func (q *queue) tryPush(j *job) bool {
+// tryPush enqueues j on the selected lane without blocking; it reports
+// false when that lane is at capacity.
+func (q *queue) tryPush(j *job, fastLane bool) bool {
+	lane := q.ch
+	if fastLane {
+		lane = q.fast
+	}
 	select {
-	case q.ch <- j:
+	case lane <- j:
 		return true
 	default:
 		return false
@@ -38,9 +46,27 @@ func (q *queue) tryPush(j *job) bool {
 }
 
 // pop dequeues the next job, blocking until one is available or the context
-// (the service's lifetime) ends.
-func (q *queue) pop(ctx context.Context) (*job, bool) {
+// (the service's lifetime) ends. Fast-lane jobs are preferred when both
+// lanes are non-empty; a worker with fastOnly set serves nothing else, so
+// at least one worker is always within one cheap job of idle.
+func (q *queue) pop(ctx context.Context, fastOnly bool) (*job, bool) {
+	if fastOnly {
+		select {
+		case j := <-q.fast:
+			return j, true
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+	// Prefer the fast lane without blocking on it.
 	select {
+	case j := <-q.fast:
+		return j, true
+	default:
+	}
+	select {
+	case j := <-q.fast:
+		return j, true
 	case j := <-q.ch:
 		return j, true
 	case <-ctx.Done():
@@ -48,5 +74,9 @@ func (q *queue) pop(ctx context.Context) (*job, bool) {
 	}
 }
 
-// depth returns the number of queued jobs.
-func (q *queue) depth() int { return len(q.ch) }
+// depth returns the number of queued jobs across both lanes.
+func (q *queue) depth() int { return len(q.ch) + len(q.fast) }
+
+// generalDepth returns the general lane's depth — the load-shedding signal
+// (the fast lane drains quickly by construction).
+func (q *queue) generalDepth() int { return len(q.ch) }

@@ -42,6 +42,43 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxLogLines bounds each job's retained progress log; default 64.
 	MaxLogLines int
+	// SpillDir, when non-empty, arms the persistent result-cache spill: every
+	// finished report is written through to a content-key-named, checksummed
+	// file in this directory, and cache lookups that miss in memory fall back
+	// to it — so results survive restarts and LRU eviction. Entries are
+	// validated on load; corruption is deleted and recomputed.
+	SpillDir string
+	// SpillEntries bounds the spill store's entry count (oldest evicted
+	// first); default 4096. Only meaningful with SpillDir.
+	SpillEntries int
+	// QuotaRate arms per-client admission quotas: each client accrues this
+	// many submissions per second (token bucket, burst QuotaBurst), and a
+	// submission beyond it fails with ErrQuotaExceeded. 0 disables quotas.
+	// Cache hits are always served — a token pays for synthesis capacity,
+	// not for reads.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket burst size; default 8.
+	QuotaBurst int
+	// ShedWatermark arms load shedding: once the general queue lane holds at
+	// least this many jobs, submissions the cost model predicts expensive
+	// fail with ErrOverloaded while cheap ones are still admitted. 0
+	// disables shedding (only a hard-full queue rejects).
+	ShedWatermark int
+	// FastWorkers reserves that many pool workers for the fast lane (jobs
+	// predicted under FastLaneNS), capped at Workers-1. All other workers
+	// prefer the fast lane but drain both. Default 0: no reservation.
+	FastWorkers int
+	// FastLaneNS is the predicted serial wall time (nanoseconds) under which
+	// a job routes to the fast lane; default 100ms. Negative disables the
+	// fast lane entirely.
+	FastLaneNS int64
+	// CostBudgetScale, when positive, arms cost-based early termination: a
+	// job predicted expensive (over FastLaneNS) that does not set its own
+	// node_budget runs under NodeBudget = scale × predicted peak nodes, so a
+	// synthesis whose BDDs blow far past the prediction fails fast with a
+	// typed budget error instead of burning a worker until its wall-clock
+	// deadline. 0 disables.
+	CostBudgetScale int64
 	// Logf, when non-nil, receives service-level log lines. It must be safe
 	// for concurrent use (workers log concurrently).
 	Logf func(format string, args ...any)
@@ -69,6 +106,21 @@ func (c *Config) fill() {
 	if c.JobWorkers > MaxJobWorkers {
 		c.JobWorkers = MaxJobWorkers
 	}
+	if c.SpillEntries <= 0 {
+		c.SpillEntries = 4096
+	}
+	if c.QuotaBurst <= 0 {
+		c.QuotaBurst = 8
+	}
+	if c.FastLaneNS == 0 {
+		c.FastLaneNS = int64(100 * time.Millisecond)
+	}
+	if c.FastWorkers > c.Workers-1 {
+		c.FastWorkers = c.Workers - 1
+	}
+	if c.FastWorkers < 0 {
+		c.FastWorkers = 0
+	}
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -85,6 +137,8 @@ type Service struct {
 	wg      sync.WaitGroup
 	q       *queue
 	cache   *Cache
+	quotas  *quotas
+	waits   waitRing
 	metrics metrics
 
 	mu       sync.Mutex
@@ -121,24 +175,35 @@ func (s *Service) pruneLocked() {
 	s.order = kept
 }
 
-// New builds and starts a Service: the worker pool is live on return.
+// New builds and starts a Service: the worker pool is live on return. An
+// unusable spill directory degrades the cache to memory-only (logged), so a
+// daemon never fails to boot over a cache tier.
 func New(cfg Config) *Service {
 	cfg.fill()
 	root, stop := context.WithCancel(context.Background())
+	cache, err := NewSpillCache(cfg.CacheEntries, cfg.SpillDir, cfg.SpillEntries)
+	if err != nil {
+		cache = NewCache(cfg.CacheEntries)
+	}
 	s := &Service{
 		cfg:      cfg,
 		root:     root,
 		stop:     stop,
 		q:        newQueue(cfg.QueueDepth),
-		cache:    NewCache(cfg.CacheEntries),
+		cache:    cache,
+		quotas:   newQuotas(cfg.QuotaRate, cfg.QuotaBurst),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 	}
+	if err != nil {
+		s.logf("service: spill disabled: %v", err)
+	}
 	for i := 0; i < cfg.Workers; i++ {
+		fastOnly := i < cfg.FastWorkers
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.worker()
+			s.worker(fastOnly)
 		}()
 	}
 	return s
@@ -167,16 +232,57 @@ func (s *Service) logf(format string, args ...any) {
 	}
 }
 
-// Submit validates and registers a job. The returned view reflects the
-// job's state at return: done (cache hit), or queued. ErrQueueFull and
+// costBudgetFloor is the minimum admission-imposed node budget: it protects
+// jobs the model mispredicts as tiny from being killed by a budget far below
+// anything a real synthesis needs.
+const costBudgetFloor = 1 << 17
+
+// Submit validates and registers a job with no client attribution (quotas
+// do not apply). The returned view reflects the job's state at return: done
+// (cache hit), or queued. ErrQueueFull, ErrOverloaded, ErrQuotaExceeded and
 // ErrClosed are sentinel errors; anything else is a bad spec.
-func (s *Service) Submit(spec Spec) (JobView, error) {
+func (s *Service) Submit(spec Spec) (JobView, error) { return s.SubmitFor("", spec) }
+
+// SubmitFor is Submit with client attribution: when the service is
+// configured with per-client quotas, the submission spends a token from
+// client's bucket (an empty client string bypasses quotas). Admission
+// control — quotas, cost-aware load shedding, and cost-based node budgets —
+// applies only to submissions that need a synthesis; content-addressed
+// cache hits are always served.
+func (s *Service) SubmitFor(client string, spec Spec) (JobView, error) {
 	if spec.Workers == 0 {
 		spec.Workers = s.cfg.JobWorkers
 	}
 	def, coreJob, key, err := spec.resolve()
 	if err != nil {
 		return JobView{}, err
+	}
+
+	predicted := estimateCost(def)
+	cheapNS := s.cfg.FastLaneNS
+	if cheapNS <= 0 {
+		cheapNS = int64(100 * time.Millisecond)
+	}
+	cheap := predicted.TotalNS <= cheapNS
+	fastLane := cheap && s.cfg.FastLaneNS > 0
+
+	cachedReport, cached := s.cache.Get(key)
+	if !cached {
+		if ok, _ := s.quotas.allow(client); !ok {
+			s.metrics.add(&s.metrics.quotaRejected, 1)
+			return JobView{}, fmt.Errorf("%w (client %q)", ErrQuotaExceeded, client)
+		}
+		if s.cfg.ShedWatermark > 0 && !cheap && s.q.generalDepth() >= s.cfg.ShedWatermark {
+			s.metrics.add(&s.metrics.shed, 1)
+			return JobView{}, ErrOverloaded
+		}
+		if s.cfg.CostBudgetScale > 0 && !cheap && coreJob.Options.NodeBudget == 0 {
+			b := s.cfg.CostBudgetScale * predicted.PeakNodes
+			if b < costBudgetFloor {
+				b = costBudgetFloor
+			}
+			coreJob.Options.NodeBudget = b
+		}
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -189,12 +295,19 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 		key:       key,
 		spec:      spec,
 		coreJob:   coreJob,
+		client:    client,
+		predicted: predicted,
+		lane:      "general",
 		ctx:       jctx,
 		cancel:    jcancel,
 		done:      make(chan struct{}),
 		logger:    newJobLogger(s.cfg.MaxLogLines),
+		events:    newEventLog(),
 		state:     StateQueued,
 		submitted: time.Now(),
+	}
+	if fastLane {
+		j.lane = "fast"
 	}
 	// Release the deadline timer once the job reaches a terminal state.
 	go func() {
@@ -202,6 +315,7 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 		cancel()
 	}()
 	j.coreJob.Options.Logf = j.logger.logf
+	j.coreJob.Progress = j.events.phase
 
 	s.mu.Lock()
 	if s.closed {
@@ -218,15 +332,16 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 	s.metrics.add(&s.metrics.submitted, 1)
 
 	// Content-addressed fast path: an identical finished job.
-	if report, ok := s.cache.Get(key); ok {
+	if cached {
 		s.mu.Unlock()
-		s.finishFromCache(j, report)
+		s.finishFromCache(j, cachedReport)
 		return j.view(), nil
 	}
 
 	// Coalesce onto an identical in-flight synthesis.
 	if leader, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
+		j.events.state(StateQueued, "coalesced onto "+leader.id)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -236,9 +351,25 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 		return j.view(), nil
 	}
 
-	// New synthesis: become the in-flight leader and enter the queue.
+	// The leader may have finished between the unlocked cache check above
+	// and here (Put happens before the in-flight slot clears, but this
+	// submission can interleave between the two): one recheck under s.mu
+	// closes the window.
+	if report, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.finishFromCache(j, report)
+		return j.view(), nil
+	}
+
+	// New synthesis: become the in-flight leader and enter the queue. A full
+	// fast lane overflows onto the general lane before rejecting.
 	s.inflight[key] = j
-	if !s.q.tryPush(j) {
+	pushed := s.q.tryPush(j, fastLane)
+	if !pushed && fastLane {
+		j.lane = "general"
+		pushed = s.q.tryPush(j, false)
+	}
+	if !pushed {
 		delete(s.inflight, key)
 		delete(s.jobs, j.id)
 		s.metrics.add(&s.metrics.submitted, -1)
@@ -249,7 +380,8 @@ func (s *Service) Submit(spec Spec) (JobView, error) {
 		return JobView{}, ErrQueueFull
 	}
 	s.mu.Unlock()
-	s.logf("service: job %s queued (model=%q key=%.8s)", j.id, def.Name, key)
+	j.events.state(StateQueued, "")
+	s.logf("service: job %s queued (model=%q key=%.8s lane=%s)", j.id, def.Name, key, j.lane)
 	return j.view(), nil
 }
 
@@ -296,9 +428,11 @@ func (s *Service) Wait(ctx context.Context, id string) (JobView, error) {
 }
 
 // worker is the pool loop: pop, run, repeat until the service closes.
-func (s *Service) worker() {
+// fastOnly workers serve nothing but the fast lane, so cheap jobs always
+// have capacity waiting for them.
+func (s *Service) worker(fastOnly bool) {
 	for {
-		j, ok := s.q.pop(s.root)
+		j, ok := s.q.pop(s.root, fastOnly)
 		if !ok {
 			return
 		}
@@ -313,10 +447,14 @@ func (s *Service) run(j *job) {
 		s.finishCancelled(j, context.Cause(j.ctx))
 		return
 	}
+	now := time.Now()
 	j.mu.Lock()
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = now
+	wait := now.Sub(j.submitted)
 	j.mu.Unlock()
+	s.waits.record(wait)
+	j.events.state(StateRunning, "")
 	s.metrics.add(&s.metrics.running, 1)
 	defer s.metrics.add(&s.metrics.running, -1)
 
@@ -381,7 +519,7 @@ func (s *Service) follow(j, leader *job) {
 			return
 		}
 		s.inflight[j.key] = j
-		if !s.q.tryPush(j) {
+		if !s.q.tryPush(j, j.lane == "fast") {
 			delete(s.inflight, j.key)
 			s.mu.Unlock()
 			s.finishFailed(j, fmt.Errorf("retry after leader %s failed: %w", leader.id, ErrQueueFull))
@@ -410,6 +548,11 @@ func (s *Service) finishDone(j *job, report core.RunReport, viaCache bool) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	s.metrics.add(&s.metrics.completed, 1)
+	msg := ""
+	if viaCache {
+		msg = "cache"
+	}
+	j.events.state(StateDone, msg)
 	close(j.done)
 	s.logf("service: job %s done (cache_hit=%t)", j.id, viaCache)
 }
@@ -422,6 +565,7 @@ func (s *Service) finishFromCache(j *job, report core.RunReport) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	s.metrics.add(&s.metrics.completed, 1)
+	j.events.state(StateDone, "cache")
 	close(j.done)
 	s.logf("service: job %s served from cache", j.id)
 }
@@ -434,6 +578,7 @@ func (s *Service) finishFailed(j *job, err error) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	s.metrics.add(&s.metrics.failed, 1)
+	j.events.state(StateFailed, err.Error())
 	close(j.done)
 	s.logf("service: job %s failed: %v", j.id, err)
 }
@@ -449,6 +594,19 @@ func (s *Service) finishCancelled(j *job, cause error) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	s.metrics.add(&s.metrics.cancelled, 1)
+	j.events.state(StateCancelled, cause.Error())
 	close(j.done)
 	s.logf("service: job %s cancelled: %v", j.id, cause)
 }
+
+// jobByID returns the internal job record (the event stream handlers need
+// the live eventLog, not a snapshot).
+func (s *Service) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	return j, ok
+}
+
+// QueueDepth reports the total number of queued jobs across both lanes.
+func (s *Service) QueueDepth() int { return s.q.depth() }
