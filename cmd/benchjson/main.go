@@ -14,7 +14,7 @@
 //	benchjson -reorder        # reordering on/off comparison -> BENCH_5.json
 //	benchjson -backend        # BDD vs SAT verification -> BENCH_6.json
 //	benchjson -engine shared  # run the ladder on the shared-table engine
-//	benchjson -scaling        # per-core scaling, shared vs partitioned -> BENCH_7.json
+//	benchjson -scaling        # per-core scaling, shared vs partitioned -> BENCH_8.json
 //
 // The -gc mode runs the two largest stabilizing-chain instances twice each —
 // once with automatic collection disabled and once with an aggressive
@@ -27,20 +27,22 @@
 // with the reordering arm, so the node-table reduction of dynamic sifting is
 // directly visible in the bdd_peak_nodes / bdd_nodes_live fields.
 //
-// The -scaling mode runs a stabilizing-chain instance across a worker ladder
-// (1, 2, 4, 8) under both parallel engines — partitioned (private worker
-// managers, canonical DAG transfer at merges) and shared (one lock-free node
-// table, per-worker caches) — and writes one RunReport per cell plus a host
-// block (OS, arch, CPU count); engine_mode, workers, and the *_ns fields
-// make the scaling curves directly plottable. Interpret the numbers against
-// the host block: on a box with fewer physical cores than workers, the
-// extra workers measure scheduling overhead, not speedup. The instance is
-// sc(8), not the ladder's largest sc(12): both parallel modes run the
-// reachability fixpoints round-based (BFS over the whole reached set each
-// round) where the serial engine chains partial images, and on the deep
-// chain of sc(12) that asymmetry makes any multi-worker run orders of
-// magnitude slower than serial — a real property of round-based fixpoints
-// worth measuring separately, not a scaling curve.
+// The -scaling mode runs the stabilizing-chain instances sc(8) through
+// sc(12) across a worker ladder (1, 2, 4) under both parallel engines —
+// partitioned (private worker managers, canonical DAG transfer at merges)
+// and shared (one lock-free node table, per-worker caches) — and writes one
+// RunReport per cell plus a host block (OS, arch, CPU count); engine_mode,
+// workers, the *_ns fields, and the fix_* scheduler counters make the
+// scaling curves directly plottable. The partitioned workers=1 row is the
+// serial engine. Interpret the numbers against the host block: on a box
+// with fewer physical cores than workers, the extra workers measure
+// scheduling overhead, not speedup. Earlier snapshots (BENCH_7.json) pinned
+// the instance at sc(8) because the round-based parallel fixpoints of that
+// generation recomputed images of the whole reached set every round, which
+// on the deep chain of sc(12) made any multi-worker run orders of magnitude
+// slower than serial; the unified frontier-chained scheduler (see
+// internal/program/fixpoint.go and DESIGN.md §19) removed that pathology,
+// so the ladder now runs unpinned through sc(12).
 //
 // The -backend mode verifies each ladder instance's repaired program under
 // both verification backends (BDD fixpoints vs SAT bounded model checking)
@@ -208,25 +210,27 @@ type scalingHost struct {
 	GoVersion  string `json:"go_version"`
 }
 
-// scalingSnapshot is the BENCH_7.json shape: host metadata plus one
-// RunReport per (engine, workers) cell.
+// scalingSnapshot is the BENCH_8.json shape: host metadata plus one
+// RunReport per (instance, engine, workers) cell.
 type scalingSnapshot struct {
 	Host scalingHost      `json:"host"`
 	Runs []core.RunReport `json:"runs"`
 }
 
-// scalingComparison runs one instance across a worker ladder under both
-// parallel engines. Each cell is a full repair+verify job; the RunReport's
-// engine_mode and workers fields identify the cell and total_ns carries the
-// wall time, so the output is directly plottable as two scaling curves. See
-// the package comment for why the instance is sc(8) rather than sc(12).
+// scalingComparison runs the stabilizing-chain instances sc(8)..sc(12)
+// across a worker ladder under both parallel engines (the partitioned
+// workers=1 cell is the serial engine). Each cell is a full repair+verify
+// job; the RunReport's engine_mode and workers fields identify the cell,
+// total_ns carries the wall time, and the fix_* fields carry the scheduler's
+// round/image/frontier counters, so the output is directly plottable as
+// scaling curves per instance.
 func scalingComparison(ctx context.Context, out string, quick bool, witnesses int) {
-	inst := instance{"sc", 8}
+	sizes := []int{8, 9, 10, 11, 12}
 	if quick {
-		inst = instance{"sc", 5}
+		sizes = []int{5, 8}
 	}
 	engines := []string{string(program.ModePartitioned), string(program.ModeShared)}
-	ladder := []int{1, 2, 4, 8}
+	ladder := []int{1, 2, 4}
 	snap := scalingSnapshot{Host: scalingHost{
 		OS:         runtime.GOOS,
 		Arch:       runtime.GOARCH,
@@ -234,17 +238,20 @@ func scalingComparison(ctx context.Context, out string, quick bool, witnesses in
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}}
-	for _, mode := range engines {
-		for _, w := range ladder {
-			r, err := runOne(ctx, inst, mode, w, witnesses, 0, 0)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
+	for _, n := range sizes {
+		inst := instance{"sc", n}
+		for _, mode := range engines {
+			for _, w := range ladder {
+				r, err := runOne(ctx, inst, mode, w, witnesses, 0, 0)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", err)
+					os.Exit(1)
+				}
+				snap.Runs = append(snap.Runs, r)
+				fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d engine=%-11s workers=%d total=%s verify=%s rounds=%d images=%d\n",
+					inst.name, inst.n, r.EngineMode, r.Workers,
+					time.Duration(r.TotalNS), time.Duration(r.VerifyNS), r.FixRounds, r.FixImages)
 			}
-			snap.Runs = append(snap.Runs, r)
-			fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d engine=%-11s workers=%d total=%s verify=%s\n",
-				inst.name, inst.n, r.EngineMode, r.Workers,
-				time.Duration(r.TotalNS), time.Duration(r.VerifyNS))
 		}
 	}
 	writeJSON(out, snap, len(snap.Runs))
@@ -454,7 +461,7 @@ func main() {
 	}
 	if *scaling {
 		if *out == "" {
-			*out = "BENCH_7.json"
+			*out = "BENCH_8.json"
 		}
 		scalingComparison(ctx, *out, *quick, *witnesses)
 		return

@@ -57,14 +57,29 @@ func (m *Manager) andRec(f, g Node) Node {
 		return r
 	}
 	nf, ng := m.nodes[f], m.nodes[g]
+	top := nf.level
+	if ng.level < top {
+		top = ng.level
+	}
 	var r Node
-	switch {
-	case nf.level == ng.level:
-		r = m.mk(nf.level, m.andRec(nf.low, ng.low), m.andRec(nf.high, ng.high))
-	case nf.level < ng.level:
-		r = m.mk(nf.level, m.andRec(nf.low, g), m.andRec(nf.high, g))
-	default:
-		r = m.mk(ng.level, m.andRec(f, ng.low), m.andRec(f, ng.high))
+	if m.shouldFork(top) {
+		// Fork/join (Shared.Run regions only): the high branch becomes a
+		// stealable opTask, the low branch runs inline, and the join happens
+		// before the mk and the cache write below.
+		f0, f1 := m.cofactor(f, top)
+		g0, g1 := m.cofactor(g, top)
+		ot := m.forkSpawn(opAnd, f1, g1, False)
+		lo := m.andRec(f0, g0)
+		r = m.mk(top, lo, m.forkJoin(ot))
+	} else {
+		switch {
+		case nf.level == ng.level:
+			r = m.mk(top, m.andRec(nf.low, ng.low), m.andRec(nf.high, ng.high))
+		case nf.level < ng.level:
+			r = m.mk(top, m.andRec(nf.low, g), m.andRec(nf.high, g))
+		default:
+			r = m.mk(top, m.andRec(f, ng.low), m.andRec(f, ng.high))
+		}
 	}
 	m.binStore(opAnd, f, g, r)
 	return r
@@ -94,14 +109,26 @@ func (m *Manager) orRec(f, g Node) Node {
 		return r
 	}
 	nf, ng := m.nodes[f], m.nodes[g]
+	top := nf.level
+	if ng.level < top {
+		top = ng.level
+	}
 	var r Node
-	switch {
-	case nf.level == ng.level:
-		r = m.mk(nf.level, m.orRec(nf.low, ng.low), m.orRec(nf.high, ng.high))
-	case nf.level < ng.level:
-		r = m.mk(nf.level, m.orRec(nf.low, g), m.orRec(nf.high, g))
-	default:
-		r = m.mk(ng.level, m.orRec(f, ng.low), m.orRec(f, ng.high))
+	if m.shouldFork(top) {
+		f0, f1 := m.cofactor(f, top)
+		g0, g1 := m.cofactor(g, top)
+		ot := m.forkSpawn(opOr, f1, g1, False)
+		lo := m.orRec(f0, g0)
+		r = m.mk(top, lo, m.forkJoin(ot))
+	} else {
+		switch {
+		case nf.level == ng.level:
+			r = m.mk(top, m.orRec(nf.low, ng.low), m.orRec(nf.high, ng.high))
+		case nf.level < ng.level:
+			r = m.mk(top, m.orRec(nf.low, g), m.orRec(nf.high, g))
+		default:
+			r = m.mk(top, m.orRec(f, ng.low), m.orRec(f, ng.high))
+		}
 	}
 	m.binStore(opOr, f, g, r)
 	return r

@@ -102,10 +102,12 @@ type Manager struct {
 	extBits           []uint64  // session-local bitset of externally rooted nodes
 	deadCnt           int       // nodes currently dead (unreachable) in the session
 
-	// Shared-memory parallel mode (see shared.go).
+	// Shared-memory parallel mode (see shared.go, sched.go).
 	shared      *Shared    // set on a view while a parallel region is active
 	sharedViews []*Manager // set on the primary for a Shared session's lifetime
 	chunk       []Node     // view-private allocation chunk during a region
+	team        *stealTeam // set on a view while a Shared.Run drives it (fork/join)
+	worker      int        // this view's worker index in team
 
 	// Statistics.
 	stats Stats

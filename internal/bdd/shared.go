@@ -53,6 +53,7 @@ package bdd
 // exactly that.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -99,6 +100,44 @@ type Shared struct {
 	frontier int    // next virgin slot to grant
 	capNodes int    // fixed node capacity of the region
 	granted  int    // slots handed to chunks this region
+
+	// Cumulative fork/join counters across all Shared.Run calls, folded in
+	// single-threaded after each run.
+	opSpawns int64
+	opSteals int64
+}
+
+// OpStats returns the cumulative fork/join counters: opTasks spawned by
+// forked apply recursions, and how many of them were executed by a worker
+// other than the spawner. Must be called outside a parallel region.
+func (s *Shared) OpStats() (spawns, steals int64) { return s.opSpawns, s.opSteals }
+
+// Run executes fn once per task index in [0, tasks) across the session's
+// worker views inside the current parallel region — RunSteal with
+// op-internal fork/join enabled: while fn(w, task) runs a large And/Or/
+// AndExists on view w, the top recursion levels spawn their high branches as
+// stealable opTasks, so idle views parallelize a single giant operation
+// instead of waiting for the next task. Unlike RunSteal, surplus workers are
+// kept (they steal opTasks even when tasks < workers). Must be called
+// between Begin and End; exactly one goroutine drives each view.
+func (s *Shared) Run(ctx context.Context, tasks int, fn func(worker, task int) error) error {
+	if !s.active {
+		panic("bdd: Shared.Run outside a parallel region")
+	}
+	if tasks == 0 {
+		return nil
+	}
+	t := newStealTeam(len(s.views), tasks, s.views, forkLevelFor(s.m.numVars))
+	for i, v := range s.views {
+		v.team, v.worker = t, i
+	}
+	err := t.run(ctx, fn)
+	for _, v := range s.views {
+		v.team, v.worker = nil, 0
+	}
+	s.opSpawns += atomic.LoadInt64(&t.spawns)
+	s.opSteals += atomic.LoadInt64(&t.steals)
+	return err
 }
 
 // NewShared builds a session with the given number of worker views, each with

@@ -91,6 +91,11 @@ type Outcome struct {
 	GCRuns      int64 // collections performed by the owning manager
 	NodesFreed  int64 // nodes reclaimed by the owning manager
 	ReorderRuns int64 // sifting passes run by the owning manager
+
+	// Fixpoint is the unified reachability scheduler's cumulative work
+	// counters (rounds, frontier images, frontier sizes, fork/join
+	// spawn/steal counts), captured after the job finishes.
+	Fixpoint program.FixpointStats
 }
 
 // Run executes a repair job. The context bounds the synthesis: a deadline or
@@ -144,6 +149,7 @@ func Run(ctx context.Context, job Job) (out *Outcome, err error) {
 			out.GCRuns = st.GCRuns
 			out.NodesFreed = st.NodesFreed
 			out.ReorderRuns = st.ReorderRuns
+			out.Fixpoint = eng.FixpointStats()
 		}
 	}()
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/bdd"
@@ -19,19 +20,26 @@ import (
 // owner/worker handoff for data races.
 func TestWorkersDeterministic(t *testing.T) {
 	cases := []struct {
-		name string
-		n    int
-		alg  Algorithm
+		name  string
+		n     int
+		alg   Algorithm
+		short bool // keep under -short
 	}{
-		{"ba", 3, LazyRepair},
-		{"bafs", 2, LazyRepair},
-		{"sc", 8, LazyRepair},
-		{"ring", 2, LazyRepair},
-		{"tmr", 0, LazyRepair},
-		{"sc", 5, CautiousRepair},
+		{"ba", 3, LazyRepair, true},
+		{"bafs", 2, LazyRepair, true},
+		{"sc", 8, LazyRepair, true},
+		{"ring", 2, LazyRepair, true},
+		{"tmr", 0, LazyRepair, true},
+		{"sc", 5, CautiousRepair, true},
+		// The deep-diameter instance: the scheduler must fan out (not hide
+		// behind its cost-aware serial path) and still match the serial run.
+		{"sc", 12, LazyRepair, false},
 	}
 	for _, tc := range cases {
-		t.Run(string(tc.alg)+"/"+tc.name, func(t *testing.T) {
+		if testing.Short() && !tc.short {
+			continue
+		}
+		t.Run(fmt.Sprintf("%s/%s%d", tc.alg, tc.name, tc.n), func(t *testing.T) {
 			var reports [2][]byte
 			for i, workers := range []int{1, 4} {
 				def, err := CaseStudy(tc.name, tc.n)
@@ -108,12 +116,15 @@ func TestSharedDeterministic(t *testing.T) {
 		{"ring", 2, LazyRepair, true},
 		{"tmr", 0, LazyRepair, true},
 		{"sc", 5, CautiousRepair, false},
+		// Deep diameter: fan-out rounds, fork/join under the views, and the
+		// owner-side serial tail all on one instance.
+		{"sc", 12, LazyRepair, false},
 	}
 	for _, tc := range cases {
 		if testing.Short() && !tc.short {
 			continue
 		}
-		t.Run(string(tc.alg)+"/"+tc.name, func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/%s%d", tc.alg, tc.name, tc.n), func(t *testing.T) {
 			configs := []struct {
 				mode    string
 				workers int

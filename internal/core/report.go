@@ -46,6 +46,17 @@ type RunReport struct {
 	BDDNodesFreed  int64 `json:"bdd_nodes_freed,omitempty"`
 	BDDReorderRuns int64 `json:"bdd_reorder_runs,omitempty"`
 
+	// Fixpoint-scheduler work counters (internal/program's frontier-chained
+	// scheduler): rounds and frontier images across every reachability
+	// fixpoint of the run, the peak and final frontier sizes in BDD nodes,
+	// and the shared engine's fork/join spawn/steal counts.
+	FixRounds        int64 `json:"fix_rounds,omitempty"`
+	FixImages        int64 `json:"fix_images,omitempty"`
+	FixFrontierPeak  int64 `json:"fix_frontier_peak,omitempty"`
+	FixFrontierFinal int64 `json:"fix_frontier_final,omitempty"`
+	FixOpSpawns      int64 `json:"fix_op_spawns,omitempty"`
+	FixOpSteals      int64 `json:"fix_op_steals,omitempty"`
+
 	CompileNS int64 `json:"compile_ns"`
 	Step1NS   int64 `json:"step1_ns"`
 	Step2NS   int64 `json:"step2_ns"`
@@ -104,6 +115,13 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		BDDNodesFreed:  out.NodesFreed,
 		BDDReorderRuns: out.ReorderRuns,
 
+		FixRounds:        out.Fixpoint.Rounds,
+		FixImages:        out.Fixpoint.Images,
+		FixFrontierPeak:  out.Fixpoint.PeakFrontier,
+		FixFrontierFinal: out.Fixpoint.FinalFrontier,
+		FixOpSpawns:      out.Fixpoint.OpSpawns,
+		FixOpSteals:      out.Fixpoint.OpSteals,
+
 		CompileNS: out.CompileTime.Nanoseconds(),
 		Step1NS:   res.Stats.Step1.Nanoseconds(),
 		Step2NS:   res.Stats.Step2.Nanoseconds(),
@@ -143,6 +161,11 @@ func (r RunReport) Normalized() RunReport {
 	// reordering cadence exactly like BDDNodes does.
 	r.BDDNodesLive, r.BDDPeakNodes, r.BDDGCRuns, r.BDDNodesFreed = 0, 0, 0, 0
 	r.BDDReorderRuns = 0
+	// Scheduler work counters: rounds, images, and frontier sizes depend on
+	// the worker count (blocks per round) and spawn/steal counts on the
+	// steal schedule — how the fixpoint was computed, not what it is.
+	r.FixRounds, r.FixImages, r.FixFrontierPeak, r.FixFrontierFinal = 0, 0, 0, 0
+	r.FixOpSpawns, r.FixOpSteals = 0, 0
 	r.CompileNS, r.Step1NS, r.Step2NS, r.TotalNS, r.VerifyNS = 0, 0, 0, 0, 0
 	r.WitnessNS = 0
 	// Solver work counters are performance telemetry, like the BDD node

@@ -64,6 +64,14 @@ type Engine struct {
 	// compiled view per worker (same node table, private caches).
 	shared *bdd.Shared
 	views  []*Compiled
+
+	// fix accumulates the unified fixpoint scheduler's work counters
+	// (fixpoint.go) across the engine's lifetime.
+	fix FixpointStats
+	// fanoutMin overrides the scheduler's cost-aware fan-out threshold when
+	// positive (0 selects fanoutMinFrontier); set by tests to force tiny
+	// models through the parallel round paths.
+	fanoutMin int
 }
 
 // ResolveWorkers maps a requested worker count to an effective one: values
@@ -209,7 +217,10 @@ func (e *Engine) PeakLive() int64 {
 func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Node,
 	fn func(c *Compiled, shared, input bdd.Node, task int) bdd.Node) ([]bdd.Node, error) {
 	if e.shared != nil {
-		return e.mapNodesShared(ctx, shared, inputs, fn)
+		return e.mapNodesShared(ctx, shared, inputs,
+			func(c *Compiled, sh, in bdd.Node, task int) (bdd.Node, error) {
+				return fn(c, sh, in, task), nil
+			})
 	}
 	if e.pool == nil {
 		// shared, the remaining inputs, and the already-produced results all
@@ -274,16 +285,18 @@ func (e *Engine) MapNodes(ctx context.Context, shared bdd.Node, inputs []bdd.Nod
 }
 
 // mapNodesShared is MapNodes on the shared-memory engine: tasks run on
-// worker views inside one parallel region (bdd.RunSteal over the shared
-// table), results are Ref-rooted in the computing view, and after the
-// End barrier — where any deferred GC, sifting, or budget enforcement runs
-// stop-the-world — the owner adopts them directly: no transfer, no
-// re-canonicalization, the result nodes ARE owner nodes. A region that
-// exhausts its pre-sized table aborts (the partial results are un-rooted and
-// die at a barrier), grows the session, and reruns; tasks are pure functions
-// of their rooted inputs, so a rerun is sound.
+// worker views inside one parallel region (bdd.Shared.Run over the shared
+// table, with op-internal fork/join underneath — surplus workers steal
+// spawned apply branches, so even one giant task keeps every worker busy),
+// results are Ref-rooted in the computing view, and after the End barrier —
+// where any deferred GC, sifting, or budget enforcement runs stop-the-world —
+// the owner adopts them directly: no transfer, no re-canonicalization, the
+// result nodes ARE owner nodes. A region that exhausts its pre-sized table
+// aborts (the partial results are un-rooted and die at a barrier), grows the
+// session, and reruns; tasks are pure functions of their rooted inputs, so a
+// rerun is sound.
 func (e *Engine) mapNodesShared(ctx context.Context, shared bdd.Node, inputs []bdd.Node,
-	fn func(c *Compiled, shared, input bdd.Node, task int) bdd.Node) ([]bdd.Node, error) {
+	fn func(c *Compiled, shared, input bdd.Node, task int) (bdd.Node, error)) ([]bdd.Node, error) {
 	m := e.C.Space.M
 	sc := m.Protect()
 	defer sc.Release()
@@ -303,9 +316,13 @@ func (e *Engine) mapNodesShared(ctx context.Context, shared bdd.Node, inputs []b
 	}
 	for {
 		e.shared.Begin()
-		err := bdd.RunSteal(ctx, len(e.views), len(inputs), func(w, task int) error {
+		err := e.shared.Run(ctx, len(inputs), func(w, task int) error {
 			cv := e.views[w]
-			out[task] = cv.Space.M.Ref(fn(cv, shared, inputs[task], task))
+			r, ferr := fn(cv, shared, inputs[task], task)
+			if ferr != nil {
+				return ferr
+			}
+			out[task] = cv.Space.M.Ref(r)
 			owner[task] = w + 1 // 0 = not run; results of aborted rounds need un-rooting
 			return nil
 		})
@@ -340,144 +357,16 @@ func (e *Engine) MapProcs(ctx context.Context, shared bdd.Node,
 }
 
 // ReachableParts computes the forward reachability fixpoint of init under the
-// partitioned transition relation. The serial engine chains per-partition
-// fixpoints (symbolic.ReachablePartsCtx); with workers it switches to rounds —
-// all partition images of the reached set computed concurrently, merged on
-// the owner, repeated to the fixpoint. Both compute the same least fixpoint.
+// partitioned transition relation, via the unified frontier-chained scheduler
+// (fixpoint.go): frontier-only images with saturation-style firing, chained
+// within worker blocks and merged across rounds. Every engine configuration
+// computes the same least fixpoint.
 func (e *Engine) ReachableParts(ctx context.Context, init bdd.Node, parts []bdd.Node) (bdd.Node, error) {
-	if e.shared != nil {
-		return e.roundFixpointShared(ctx, e.C.Space.M.And(init, e.C.Space.ValidCur()), parts, false)
-	}
-	if e.pool == nil {
-		return e.C.Space.ReachablePartsCtx(ctx, init, parts)
-	}
-	return e.roundFixpoint(ctx, e.C.Space.M.And(init, e.C.Space.ValidCur()), parts, false)
+	return e.fixpoint(ctx, init, parts, false)
 }
 
 // BackwardReachableParts is the backward (preimage) counterpart of
 // ReachableParts.
 func (e *Engine) BackwardReachableParts(ctx context.Context, target bdd.Node, parts []bdd.Node) (bdd.Node, error) {
-	if e.shared != nil {
-		return e.roundFixpointShared(ctx, e.C.Space.M.And(target, e.C.Space.ValidCur()), parts, true)
-	}
-	if e.pool == nil {
-		return e.C.Space.BackwardReachablePartsCtx(ctx, target, parts)
-	}
-	return e.roundFixpoint(ctx, e.C.Space.M.And(target, e.C.Space.ValidCur()), parts, true)
-}
-
-// roundFixpointShared is roundFixpoint on the shared-memory engine: each
-// round fans the per-partition images of the reached set out across the
-// worker views of one parallel region, and the owner merges them — directly,
-// the images already are owner nodes — until the set stops growing. Every
-// round boundary is a shared-session barrier, which is where deferred GC and
-// sifting run.
-func (e *Engine) roundFixpointShared(ctx context.Context, reached bdd.Node, parts []bdd.Node, backward bool) (bdd.Node, error) {
-	m := e.C.Space.M
-	sc := m.Protect()
-	defer sc.Release()
-	for _, p := range parts {
-		sc.Keep(p) // partitions are operands of every round; root them across barriers
-	}
-	set := sc.Slot(reached)
-	for {
-		imgs, err := e.mapNodesShared(ctx, set.Node(), parts,
-			func(c *Compiled, sh, part bdd.Node, task int) bdd.Node {
-				if backward {
-					return c.Space.Preimage(sh, part)
-				}
-				return c.Space.Image(sh, part)
-			})
-		if err != nil {
-			return bdd.False, err
-		}
-		next := m.NewRooted(set.Node())
-		for _, img := range imgs {
-			next.Set(m.Or(next.Node(), img))
-		}
-		done := next.Node() == set.Node()
-		set.Set(next.Node())
-		next.Release()
-		if done {
-			return set.Node(), nil
-		}
-	}
-}
-
-// roundFixpoint runs the parallel round-based reachability: per round, one
-// image (or preimage) of the reached set per partition, fanned out across the
-// workers. Partition predicates are static, so each worker imports a
-// partition at most once for the whole fixpoint.
-func (e *Engine) roundFixpoint(ctx context.Context, reached bdd.Node, parts []bdd.Node, backward bool) (bdd.Node, error) {
-	m := e.C.Space.M
-	partBufs := make([][]byte, len(parts))
-	for i, p := range parts {
-		partBufs[i] = m.Export(p)
-	}
-	// Worker-side partition imports are cached for the whole fixpoint, so
-	// each one is rooted in its worker's manager until the function returns.
-	wParts := make([][]bdd.Node, len(e.workers))
-	wHaveP := make([][]bool, len(e.workers))
-	for i := range e.workers {
-		wParts[i] = make([]bdd.Node, len(parts))
-		wHaveP[i] = make([]bool, len(parts))
-	}
-	defer func() {
-		for i := range e.workers {
-			w := e.workers[i].Space.M
-			for t, have := range wHaveP[i] {
-				if have {
-					w.Deref(wParts[i][t])
-				}
-			}
-		}
-	}()
-	// The owner merges 2*len(parts) operations per round against the current
-	// reached set, so it rides in a rooted slot.
-	set := m.NewRooted(reached)
-	defer set.Release()
-	for {
-		// Owner-side merges between rounds can trigger an owner reorder;
-		// re-align the idle workers before each fan-out.
-		e.syncOrders()
-		setBuf := m.Export(set.Node())
-		wSet := make([]bdd.Node, len(e.workers))
-		wHaveS := make([]bool, len(e.workers))
-		bufs, err := e.pool.Map(ctx, len(parts), func(w *bdd.Manager, worker, task int) ([]byte, error) {
-			wc := e.workers[worker]
-			if !wHaveS[worker] {
-				wSet[worker] = w.Ref(bdd.Import(w, setBuf))
-				wHaveS[worker] = true
-			}
-			if !wHaveP[worker][task] {
-				wParts[worker][task] = w.Ref(bdd.Import(w, partBufs[task]))
-				wHaveP[worker][task] = true
-			}
-			var img bdd.Node
-			if backward {
-				img = wc.Space.Preimage(wSet[worker], wParts[worker][task])
-			} else {
-				img = wc.Space.Image(wSet[worker], wParts[worker][task])
-			}
-			return w.Export(img), nil
-		})
-		for i, have := range wHaveS {
-			if have {
-				e.workers[i].Space.M.Deref(wSet[i])
-			}
-		}
-		if err != nil {
-			return bdd.False, err
-		}
-		next := m.NewRooted(set.Node())
-		for _, b := range bufs {
-			next.Set(m.Or(next.Node(), bdd.Import(m, b)))
-		}
-		done := next.Node() == set.Node()
-		set.Set(next.Node())
-		next.Release()
-		if done {
-			return set.Node(), nil
-		}
-	}
+	return e.fixpoint(ctx, target, parts, true)
 }

@@ -54,7 +54,10 @@ func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTran
 	sc.Keep(invariant)
 	sc.Keep(badTrans)
 
-	ms, mt := ComputeMsMt(c, badTrans)
+	ms, mt, err := ComputeMsMtEngine(ctx, e, badTrans)
+	if err != nil {
+		return nil, engineErr(ctx, err)
+	}
 	sc.Keep(ms)
 	notMT := sc.Keep(m.Not(mt))
 
@@ -127,15 +130,16 @@ func AddMaskingEngine(ctx context.Context, e *program.Engine, invariant, badTran
 			return nil, engineErr(ctx, err)
 		}
 		t2.Set(m.And(t1.Node(), back))
-		// Remove fault-span states from which faults escape the span.
-		for {
-			escape := preimageAny(c, m.Diff(s.ValidCur(), t2.Node()), c.FaultParts)
-			next := m.Diff(t2.Node(), escape)
-			if next == t2.Node() {
-				break
-			}
-			t2.Set(next)
+		// Remove fault-span states from which faults escape the span: the
+		// states that can reach the span's complement through fault chains
+		// are one backward reachability under the fault partitions (faults
+		// are conjoined with ValidTrans at compile time, so every chain
+		// stays in valid states).
+		esc, err := e.BackwardReachableParts(ctx, m.Diff(s.ValidCur(), t2.Node()), c.FaultParts)
+		if err != nil {
+			return nil, engineErr(ctx, err)
 		}
+		t2.Set(m.Diff(t2.Node(), esc))
 		// Keep the invariant inside the span and deadlock-free.
 		s2 := m.And(s1.Node(), t2.Node())
 		if s2 == bdd.False {

@@ -51,7 +51,10 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 
 	sc := m.Protect()
 	defer sc.Release()
-	ms, mt := ComputeMsMt(c, c.BadTrans)
+	ms, mt, err := ComputeMsMtEngine(ctx, eng, c.BadTrans)
+	if err != nil {
+		return nil, engineErr(ctx, err)
+	}
 	sc.Keep(ms)
 	sc.Keep(mt)
 
@@ -216,13 +219,15 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 			span.Set(m.Diff(span.Node(), m.Or(remaining.Node(), unreach)))
 			shrunk = true
 		}
-		for {
-			escape := preimageAny(c, m.Diff(s.ValidCur(), span.Node()), c.FaultParts)
-			next := m.Diff(span.Node(), escape)
-			if next == span.Node() {
-				break
-			}
-			span.Set(next)
+		// Restore fault closure: states with a fault chain out of the span
+		// (one backward reachability under the fault partitions) drop out.
+		esc, err := eng.BackwardReachableParts(ctx, m.Diff(s.ValidCur(), span.Node()), c.FaultParts)
+		if err != nil {
+			isc.Release()
+			return nil, engineErr(ctx, err)
+		}
+		if cut := m.And(span.Node(), esc); cut != bdd.False {
+			span.Set(m.Diff(span.Node(), cut))
 			shrunk = true
 		}
 		if nextInv := m.And(invariant.Node(), span.Node()); nextInv != invariant.Node() {
@@ -237,7 +242,7 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 		union := unionS.Set(m.OrN(deltas...))
 		// States in T−S from which an infinite program-only path avoids the
 		// invariant forever (greatest fixpoint).
-		cyclic := cyclicCore(c, deltas, m.Diff(span.Node(), invariant.Node()))
+		cyclic := program.CyclicCore(c, deltas, m.Diff(span.Node(), invariant.Node()))
 		if cyclic != bdd.False {
 			banned.Set(m.Or(banned.Node(), m.AndN(union, cyclic, s.Prime(cyclic))))
 			continue

@@ -141,7 +141,7 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 			for j := range parts {
 				badParts[j] = isc.Keep(m.And(parts[j], bad.Node()))
 			}
-			core := isc.Keep(cyclicCore(c, badParts, region))
+			core := isc.Keep(program.CyclicCore(c, badParts, region))
 			toRemove := isc.Keep(m.Or(m.AndN(bad.Node(), core, s.Prime(core)), m.And(bad.Node(), remaining.Node())))
 			changed := false
 			for j, p := range c.Procs {

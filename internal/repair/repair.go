@@ -227,22 +227,6 @@ func src(c *program.Compiled, delta bdd.Node) bdd.Node {
 	return m.AndExists(delta, c.Space.ValidTrans(), c.Space.NextCube())
 }
 
-// preimageAny returns the union of per-partition preimages of target.
-func preimageAny(c *program.Compiled, target bdd.Node, parts []bdd.Node) bdd.Node {
-	m := c.Space.M
-	sc := m.Protect()
-	defer sc.Release()
-	sc.Keep(target)
-	for _, p := range parts {
-		sc.Keep(p)
-	}
-	out := sc.Slot(bdd.False)
-	for _, p := range parts {
-		out.Set(m.Or(out.Node(), c.Space.Preimage(target, p)))
-	}
-	return out.Node()
-}
-
 // srcInto returns the states of from with an edge into to, computed per
 // partition to keep intermediate products small. The relational product is
 // taken against the raw partition (∃next. p ∧ to′ is conjoined with from
@@ -266,62 +250,37 @@ func srcInto(c *program.Compiled, parts []bdd.Node, from, to bdd.Node) bdd.Node 
 	return m.And(from, out.Node())
 }
 
-// cyclicCore returns the greatest fixpoint of states in region with a
-// partition-edge successor staying in the set: the states from which an
-// infinite path inside region exists.
-//
-// The fixpoint runs on the union of the partitions restricted to
-// region × region, computed once up front: the greatest fixpoint peels the
-// set one layer per iteration (a chain of n cells takes ~n iterations), so a
-// single static relation whose relational-product subresults stay cached
-// across iterations beats re-scanning every partition per iteration.
-func cyclicCore(c *program.Compiled, parts []bdd.Node, region bdd.Node) bdd.Node {
-	m := c.Space.M
-	s := c.Space
-	sc := m.Protect()
-	defer sc.Release()
-	sc.Keep(region)
-	for _, p := range parts {
-		sc.Keep(p)
-	}
-	rel := sc.Slot(bdd.False)
-	inside := sc.Keep(m.And(region, s.Prime(region)))
-	for _, p := range parts {
-		rel.Set(m.Or(rel.Node(), m.And(p, inside)))
-	}
-	z := sc.Slot(region)
-	for {
-		next := m.And(z.Node(), m.AndExists(rel.Node(), s.Prime(z.Node()), s.NextCube()))
-		if next == z.Node() {
-			return z.Node()
-		}
-		z.Set(next)
-	}
-}
-
 // ComputeMsMt computes the set ms of states from which fault transitions
 // alone can violate safety, and the set mt of transitions the fault-tolerant
 // program must never execute (Section V-A). It is exported for the
 // synchronous-semantics extension, which reuses the Add-Masking skeleton.
 func ComputeMsMt(c *program.Compiled, badTrans bdd.Node) (ms, mt bdd.Node) {
+	ms, mt, _ = ComputeMsMtEngine(context.Background(), program.SerialEngine(c), badTrans)
+	return ms, mt
+}
+
+// ComputeMsMtEngine is ComputeMsMt running its fault-closure fixpoint on the
+// engine's unified scheduler. The closure is an ordinary backward
+// reachability under the fault partitions: every compiled action — faults
+// included — is conjoined with ValidTrans, so fault preimages of invalid
+// states are empty and restricting the seed to ValidCur (which
+// BackwardReachableParts does) loses nothing.
+func ComputeMsMtEngine(ctx context.Context, e *program.Engine, badTrans bdd.Node) (ms, mt bdd.Node, err error) {
+	c := e.C
 	m := c.Space.M
 	s := c.Space
 	sc := m.Protect()
 	defer sc.Release()
 	sc.Keep(badTrans)
 	// Sources of fault transitions that themselves violate safety.
-	msS := sc.Slot(m.Or(c.BadStates, src(c, m.And(c.Fault, badTrans))))
-	for {
-		pre := s.Preimage(msS.Node(), c.Fault)
-		next := m.Or(msS.Node(), pre)
-		if next == msS.Node() {
-			break
-		}
-		msS.Set(next)
+	ms0 := sc.Keep(m.Or(c.BadStates, src(c, m.And(c.Fault, badTrans))))
+	back, err := e.BackwardReachableParts(ctx, ms0, c.FaultParts)
+	if err != nil {
+		return bdd.False, bdd.False, err
 	}
-	ms = msS.Node()
+	ms = sc.Keep(m.Or(ms0, back))
 	mt = m.Or(badTrans, m.And(s.Prime(ms), s.ValidTrans()))
-	return ms, mt
+	return ms, mt, nil
 }
 
 // Invariant states that lose all their transitions during repair are NOT
@@ -363,7 +322,7 @@ func LayeredRecovery(c *program.Compiled, invariant, span bdd.Node, availParts [
 	outside := sc.Keep(m.Diff(span, invariant))
 
 	// Cyclic core: states of T−S with an infinite avail-path inside T−S.
-	z := sc.Keep(cyclicCore(c, availParts, outside))
+	z := sc.Keep(program.CyclicCore(c, availParts, outside))
 
 	acyclic := sc.Keep(m.Diff(outside, z))
 	recS := sc.Slot(bdd.False)

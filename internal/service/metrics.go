@@ -74,6 +74,14 @@ type metrics struct {
 	peakNodes  int64 // gauge: largest per-job peak live node count seen
 	liveNodes  int64 // gauge: live node count of the most recent job
 
+	// Fixpoint-scheduler work across all finished jobs (the engine's
+	// frontier-chained scheduler; see internal/program).
+	fixRounds       int64
+	fixImages       int64
+	fixFrontierPeak int64 // gauge: largest frontier BDD seen in any job
+	fixOpSpawns     int64
+	fixOpSteals     int64
+
 	// CDCL solver work across all jobs verified under the SAT backend.
 	satConflicts    int64
 	satDecisions    int64
@@ -149,6 +157,12 @@ func (m *metrics) write(w io.Writer, s *Service) {
 	g("ftrepaird_bdd_peak_nodes", "Largest per-job peak live BDD node count observed.", m.get(&m.peakNodes))
 	g("ftrepaird_bdd_live_nodes", "Live BDD node count of the most recently finished job.", m.get(&m.liveNodes))
 
+	c("ftrepaird_fixpoint_rounds_total", "Reachability-scheduler rounds across finished jobs.", m.get(&m.fixRounds))
+	c("ftrepaird_fixpoint_images_total", "Frontier images computed across finished jobs.", m.get(&m.fixImages))
+	g("ftrepaird_fixpoint_frontier_peak_nodes", "Largest frontier BDD (nodes) observed in any job.", m.get(&m.fixFrontierPeak))
+	c("ftrepaird_fixpoint_op_spawns_total", "Fork/join apply branches spawned across finished jobs.", m.get(&m.fixOpSpawns))
+	c("ftrepaird_fixpoint_op_steals_total", "Fork/join apply branches stolen across finished jobs.", m.get(&m.fixOpSteals))
+
 	c("ftrepaird_sat_conflicts_total", "CDCL conflicts across jobs verified under the SAT backend.", m.get(&m.satConflicts))
 	c("ftrepaird_sat_decisions_total", "CDCL decisions across jobs verified under the SAT backend.", m.get(&m.satDecisions))
 	c("ftrepaird_sat_propagations_total", "CDCL unit propagations across jobs verified under the SAT backend.", m.get(&m.satPropagations))
@@ -199,6 +213,12 @@ type MetricsSnapshot struct {
 	BDDNodesFreed int64 `json:"bdd_nodes_freed"`
 	BDDPeakNodes  int64 `json:"bdd_peak_nodes"`
 	BDDLiveNodes  int64 `json:"bdd_live_nodes"`
+
+	FixRounds       int64 `json:"fix_rounds"`
+	FixImages       int64 `json:"fix_images"`
+	FixFrontierPeak int64 `json:"fix_frontier_peak"`
+	FixOpSpawns     int64 `json:"fix_op_spawns"`
+	FixOpSteals     int64 `json:"fix_op_steals"`
 
 	SATConflicts    int64 `json:"sat_conflicts"`
 	SATDecisions    int64 `json:"sat_decisions"`
@@ -253,6 +273,12 @@ func (s *Service) Metrics() MetricsSnapshot {
 		BDDNodesFreed: m.get(&m.nodesFreed),
 		BDDPeakNodes:  m.get(&m.peakNodes),
 		BDDLiveNodes:  m.get(&m.liveNodes),
+
+		FixRounds:       m.get(&m.fixRounds),
+		FixImages:       m.get(&m.fixImages),
+		FixFrontierPeak: m.get(&m.fixFrontierPeak),
+		FixOpSpawns:     m.get(&m.fixOpSpawns),
+		FixOpSteals:     m.get(&m.fixOpSteals),
 
 		SATConflicts:    m.get(&m.satConflicts),
 		SATDecisions:    m.get(&m.satDecisions),

@@ -477,6 +477,11 @@ func (s *Service) run(j *job) {
 		s.metrics.add(&s.metrics.nodesFreed, report.BDDNodesFreed)
 		s.metrics.maxOf(&s.metrics.peakNodes, report.BDDPeakNodes)
 		s.metrics.set(&s.metrics.liveNodes, report.BDDNodesLive)
+		s.metrics.add(&s.metrics.fixRounds, report.FixRounds)
+		s.metrics.add(&s.metrics.fixImages, report.FixImages)
+		s.metrics.maxOf(&s.metrics.fixFrontierPeak, report.FixFrontierPeak)
+		s.metrics.add(&s.metrics.fixOpSpawns, report.FixOpSpawns)
+		s.metrics.add(&s.metrics.fixOpSteals, report.FixOpSteals)
 		if st := report.SAT; st != nil {
 			s.metrics.add(&s.metrics.satConflicts, st.Conflicts)
 			s.metrics.add(&s.metrics.satDecisions, st.Decisions)

@@ -283,27 +283,9 @@ func resultEngine(ctx context.Context, e *program.Engine, res *repair.Result, ba
 	rep.add("no deadlock outside invariant", noOut == bdd.False,
 		fmt.Sprintf("%g stuck state(s)", s.CountStates(noOut)))
 	// Greatest fixpoint: states in T'−S' from which some program-only path
-	// stays outside the invariant forever.
-	// The fixpoint runs on the union of the per-process relations restricted
-	// to outside × outside, built once up front: the greatest fixpoint peels
-	// one layer per iteration, so a single static relation whose
-	// relational-product subresults stay cached across iterations beats
-	// re-scanning every partition per iteration (mirrors repair.cyclicCore).
-	inside := sc.Keep(m.And(outside, s.Prime(outside)))
-	cycRelS := sc.Slot(bdd.False)
-	for _, p := range procParts {
-		cycRelS.Set(m.Or(cycRelS.Node(), m.And(p, inside)))
-	}
-	cycRel := cycRelS.Node()
-	cyclicS := sc.Slot(outside)
-	for {
-		next := m.And(cyclicS.Node(), m.AndExists(cycRel, s.Prime(cyclicS.Node()), s.NextCube()))
-		if next == cyclicS.Node() {
-			break
-		}
-		cyclicS.Set(next)
-	}
-	cyclic := cyclicS.Node()
+	// stays outside the invariant forever (program.CyclicCore — the one GFP
+	// loop shared with the repair algorithms' cycle analysis).
+	cyclic := sc.Keep(program.CyclicCore(c, procParts, outside))
 	rep.add("no livelock outside invariant", cyclic == bdd.False,
 		fmt.Sprintf("%g state(s) on non-recovering paths", s.CountStates(cyclic)))
 	// New finite computations: invariant states deadlocked now but not
