@@ -98,10 +98,10 @@ type EngineConfig struct {
 }
 
 // WithEngine applies a full engine configuration. It is the single
-// engine-tuning entry point — WithWorkers, WithNodeBudget, WithReorder and
-// WithBackend are thin deprecated wrappers over individual fields — and it
-// assigns every field, so combine it with the wrappers by placing WithEngine
-// first (like WithOptions).
+// engine-tuning entry point and it assigns every field, so combine it with
+// other options by placing WithEngine first (like WithOptions). The former
+// per-knob wrappers (WithWorkers, WithNodeBudget, WithReorder, WithBackend)
+// were removed; each one maps to the EngineConfig field of the same name.
 func WithEngine(ec EngineConfig) Option {
 	return func(c *repairConfig) {
 		c.opts.Mode = string(ec.Mode)
@@ -111,16 +111,6 @@ func WithEngine(ec EngineConfig) Option {
 		c.opts.Reorder = ec.Reorder
 		c.backend = ec.Backend
 	}
-}
-
-// WithWorkers sets the number of BDD workers that fan out the per-process
-// symbolic work inside the synthesis. Values below 1 select GOMAXPROCS (the
-// default); 1 runs fully serial. The synthesized program is identical for
-// every worker count.
-//
-// Deprecated: use WithEngine(EngineConfig{Workers: n}).
-func WithWorkers(n int) Option {
-	return func(c *repairConfig) { c.opts.Workers = n }
 }
 
 // WithTimeout bounds the synthesis: when the deadline passes, the repair
@@ -137,31 +127,28 @@ func WithLogf(f func(format string, args ...any)) Option {
 	return func(c *repairConfig) { c.opts.Logf = f }
 }
 
-// WithNodeBudget bounds the live BDD node count of the synthesis's managers
-// to n nodes. If the synthesis grows past the budget and a garbage
-// collection cannot bring it back under, Repair fails with a *BudgetError
-// (use errors.As) instead of exhausting memory. n ≤ 0 (the default) means
-// unbounded.
-//
-// Deprecated: use WithEngine(EngineConfig{NodeBudget: n}).
-func WithNodeBudget(n int64) Option {
-	return func(c *repairConfig) { c.opts.NodeBudget = n }
-}
+// CostModel prices transitions for cost-aware repair; see WithCostModel.
+// Default is the weight of transitions no other source prices (values below
+// 1 mean 1), and Actions overrides per-action weights by name: a
+// "proc.action" key binds one process's action, a bare "action" key binds
+// every action with that name. Qualified keys win over bare ones, and both
+// win over the .ftr `cost` annotation.
+type CostModel = repair.CostModel
 
-// WithReorder arms dynamic variable reordering on the run's BDD managers: a
-// sifting pass runs once n nodes have been allocated since the last pass
-// and the table has materially outgrown the previous pass's result,
-// shrinking the shared node table by moving variables to locally optimal
-// order positions. n < 0
-// disables reordering even when the REPRO_REORDER_STRESS environment
-// variable is set; n = 0 (the default) keeps the manager default.
-// Reordering changes only memory and time, never results: the synthesized
-// program, the verifier verdict, and the witness traces are byte-identical
-// with it on or off.
-//
-// Deprecated: use WithEngine(EngineConfig{Reorder: n}).
-func WithReorder(n int64) Option {
-	return func(c *repairConfig) { c.opts.Reorder = n }
+// WithCostModel prices the model's transitions and turns on cost-aware
+// repair: the synthesis still produces the same verdict (and a program
+// passing the same Verify checks), but prefers removing cheap transitions
+// when breaking livelocks and thins the synthesized recovery of expensive
+// read-restriction groups once converged. The result carries the exact
+// weighted counts in Result.AchievedCost (kept recovery transitions) and
+// Result.CostRemoved (original transitions deleted); both are identical
+// across worker counts and engine modes. Weights come from the model's .ftr
+// `cost` annotations, overridden by cm (see CostModel).
+func WithCostModel(cm CostModel) Option {
+	return func(c *repairConfig) {
+		c.opts.Costs = &cm
+		c.opts.MinimizeCost = true
+	}
 }
 
 // WithWitnesses asks for up to n recovery demonstrations in
@@ -172,19 +159,6 @@ func WithReorder(n int64) Option {
 // nothing.
 func WithWitnesses(n int) Option {
 	return func(c *repairConfig) { c.witnesses = n }
-}
-
-// WithBackend selects the engine behind Verify's reachability checks:
-// BackendBDD (the default) computes exact reachability fixpoints on the BDD
-// engine; BackendSAT answers the same questions by bounded model checking
-// over the built-in CDCL solver, an independent evidence chain whose verdicts
-// must agree with the BDD engine's. Repair accepts and ignores it — the
-// synthesis algorithms are fixpoint computations with no SAT formulation
-// here, so only verification is routed.
-//
-// Deprecated: use WithEngine(EngineConfig{Backend: b}).
-func WithBackend(b Backend) Option {
-	return func(c *repairConfig) { c.backend = b }
 }
 
 // WithOptions replaces the full low-level Options struct (ablations such as
@@ -269,12 +243,11 @@ func NodeStats(c *Compiled) (live, peak, gcRuns, freed int64) {
 // Verify independently checks a repair result against the paper's
 // definitions: the problem-statement conditions of Section II, masking
 // fault-tolerance (Definition 15), and realizability (Definitions 19–20).
-// It accepts the same functional options as Repair — WithWorkers fans the
-// per-process checks out across private managers, WithTimeout bounds the
-// checking, WithNodeBudget and WithReorder tune the BDD managers the same
-// way they do for synthesis, and WithBackend routes the reachability checks
-// through the SAT/BMC engine instead of BDD fixpoints. Options that only
-// steer synthesis (WithAlgorithm, WithWitnesses) are accepted and ignored.
+// It accepts the same functional options as Repair — WithEngine selects the
+// worker count and node-lifetime knobs of the checking managers and routes
+// the reachability checks through the SAT/BMC engine via its Backend field,
+// and WithTimeout bounds the checking. Options that only steer synthesis
+// (WithAlgorithm, WithWitnesses, WithCostModel) are accepted and ignored.
 func Verify(ctx context.Context, c *Compiled, res *Result, opts ...Option) (report *Report, err error) {
 	cfg := repairConfig{opts: repair.DefaultOptions()}
 	for _, o := range opts {

@@ -17,11 +17,11 @@ func TestRepairSingleEntry(t *testing.T) {
 			t.Fatal(err)
 		}
 		c, res, err := Repair(context.Background(), def,
-			WithAlgorithm(alg), WithWorkers(2))
+			WithAlgorithm(alg), WithEngine(EngineConfig{Workers: 2}))
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
-		rep, err := Verify(context.Background(), c, res, WithWorkers(2))
+		rep, err := Verify(context.Background(), c, res, WithEngine(EngineConfig{Workers: 2}))
 		if err != nil {
 			t.Fatalf("%v: verify: %v", alg, err)
 		}
@@ -59,11 +59,11 @@ func TestVerifyOptionsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Verify(context.Background(), c, res, WithWorkers(1))
+	serial, err := Verify(context.Background(), c, res, WithEngine(EngineConfig{Workers: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Verify(context.Background(), c, res, WithWorkers(3), WithReorder(1<<14))
+	parallel, err := Verify(context.Background(), c, res, WithEngine(EngineConfig{Workers: 3, Reorder: 1 << 14}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,13 +81,50 @@ func TestVerifyBudgetError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Verify(context.Background(), c, res, WithNodeBudget(16))
+	_, err = Verify(context.Background(), c, res, WithEngine(EngineConfig{NodeBudget: 16}))
 	var be *BudgetError
 	if !errors.As(err, &be) {
 		t.Fatalf("err = %v, want *BudgetError", err)
 	}
 	if be.Live <= be.Budget || be.Budget != 16 {
 		t.Fatalf("implausible BudgetError: %+v", be)
+	}
+}
+
+// TestRepairWithCostModel drives the cost-carrying API end to end: a costed
+// run must verify exactly like an uncosted one, report exact weighted counts,
+// and achieve no more cost than the cost-blind synthesis under the same
+// weights (measured here by re-pricing the uncosted result's transitions).
+func TestRepairWithCostModel(t *testing.T) {
+	def, err := CaseStudy("ba", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, res, err := Repair(context.Background(), def, WithCostModel(CostModel{Default: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Costed || res.AchievedCost <= 0 {
+		t.Fatalf("costed run reported Costed=%t AchievedCost=%g", res.Costed, res.AchievedCost)
+	}
+	rep, err := Verify(context.Background(), c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("costed repair fails verification:\n%s", rep)
+	}
+
+	blindDef, _ := CaseStudy("ba", 3)
+	bc, blind, err := Repair(context.Background(), blindDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under unit weights the cost-blind achieved cost is its recovery
+	// transition count; the minimizing run must not exceed it.
+	blindCost := CountTransitions(bc, bc.Space.M.AndN(blind.Trans, bc.Space.M.Not(blind.Invariant), bc.Space.ValidTrans()))
+	if res.AchievedCost > blindCost {
+		t.Fatalf("cost-aware achieved %g > cost-blind %g", res.AchievedCost, blindCost)
 	}
 }
 

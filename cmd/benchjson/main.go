@@ -15,6 +15,7 @@
 //	benchjson -backend        # BDD vs SAT verification -> BENCH_6.json
 //	benchjson -engine shared  # run the ladder on the shared-table engine
 //	benchjson -scaling        # per-core scaling, shared vs partitioned -> BENCH_8.json
+//	benchjson -cost           # cost-blind vs cost-aware synthesis -> BENCH_9.json
 //
 // The -gc mode runs the two largest stabilizing-chain instances twice each —
 // once with automatic collection disabled and once with an aggressive
@@ -257,6 +258,68 @@ func scalingComparison(ctx context.Context, out string, quick bool, witnesses in
 	writeJSON(out, snap, len(snap.Runs))
 }
 
+// costReport is one record of the -cost comparison: a RunReport tagged with
+// the arm it ran under ("baseline" prices transitions but synthesizes
+// cost-blind; "mincost" turns on cost-aware synthesis).
+type costReport struct {
+	Arm string `json:"arm"` // "baseline" or "mincost"
+	core.RunReport
+}
+
+// costComparison runs each ladder instance twice under a unit cost model —
+// once cost-blind, once with cost-aware synthesis — and writes BENCH_9.json.
+// It enforces the refinement's contract: identical verdicts on every
+// instance, achieved_cost never higher under mincost, and strictly lower on
+// at least one instance (otherwise the pass did nothing and the run fails).
+func costComparison(ctx context.Context, out, mode string, quick bool, workers int) {
+	var reports []costReport
+	improved := false
+	for _, inst := range ladder(quick) {
+		def, err := core.CaseStudy(inst.name, inst.n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var arms [2]core.RunReport
+		for i, arm := range []string{"baseline", "mincost"} {
+			opts := repair.DefaultOptions()
+			opts.Mode = mode
+			opts.Workers = workers
+			opts.Costs = &repair.CostModel{Default: 1}
+			opts.MinimizeCost = arm == "mincost"
+			job := core.Job{Def: def, Algorithm: core.LazyRepair, Options: opts, Verify: true}
+			outc, err := core.Run(ctx, job)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s n=%d %s: %v\n", inst.name, inst.n, arm, err)
+				os.Exit(1)
+			}
+			arms[i] = core.NewRunReport(job, outc, inst.name, inst.n)
+			reports = append(reports, costReport{Arm: arm, RunReport: arms[i]})
+			fmt.Fprintf(os.Stderr, "benchjson: %-4s n=%-2d arm=%-8s cost=%-8g removed=%-8g total=%s verified=%t\n",
+				inst.name, inst.n, arm, arms[i].AchievedCost, arms[i].CostRemoved,
+				time.Duration(arms[i].TotalNS), arms[i].Verified != nil && *arms[i].Verified)
+		}
+		base, min := arms[0], arms[1]
+		if base.Verified == nil || min.Verified == nil || *base.Verified != *min.Verified {
+			fmt.Fprintf(os.Stderr, "benchjson: %s n=%d: verdicts differ between arms\n", inst.name, inst.n)
+			os.Exit(1)
+		}
+		if min.AchievedCost > base.AchievedCost {
+			fmt.Fprintf(os.Stderr, "benchjson: %s n=%d: mincost achieved %g > baseline %g\n",
+				inst.name, inst.n, min.AchievedCost, base.AchievedCost)
+			os.Exit(1)
+		}
+		if min.AchievedCost < base.AchievedCost {
+			improved = true
+		}
+	}
+	if !improved {
+		fmt.Fprintln(os.Stderr, "benchjson: cost-aware synthesis improved no instance")
+		os.Exit(1)
+	}
+	writeJSON(out, reports, len(reports))
+}
+
 // backendRecord is one record of the -backend comparison: one verification
 // pass of one model under one backend.
 type backendRecord struct {
@@ -426,6 +489,7 @@ func main() {
 		reorder   = flag.Bool("reorder", false, "run the variable-reordering on/off comparison instead of the ladder")
 		backend   = flag.Bool("backend", false, "run the BDD vs SAT verification-backend comparison instead of the ladder")
 		scaling   = flag.Bool("scaling", false, "run the per-core scaling comparison (shared vs partitioned engine) instead of the ladder")
+		cost      = flag.Bool("cost", false, "run the cost-blind vs cost-aware synthesis comparison instead of the ladder")
 	)
 	flag.Parse()
 
@@ -464,6 +528,13 @@ func main() {
 			*out = "BENCH_8.json"
 		}
 		scalingComparison(ctx, *out, *quick, *witnesses)
+		return
+	}
+	if *cost {
+		if *out == "" {
+			*out = "BENCH_9.json"
+		}
+		costComparison(ctx, *out, string(mode), *quick, *workers)
 		return
 	}
 	if *out == "" {

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/parse"
@@ -56,9 +58,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS, 1 = serial); private managers in partitioned mode, views of one table in shared mode")
 		budget    = flag.Int64("node-budget", 0, "fail the run if live BDD nodes exceed this after a collection (0 = unbounded)")
 		reorder   = flag.Int64("reorder", 0, "run a BDD variable-reordering (sifting) pass after this many node allocations (0 = off)")
+		costModel = flag.String("cost-model", "", "price transitions and minimize repair cost: \"default=N,action=W,proc.action=W,...\" (weights override .ftr cost annotations)")
 		server    = flag.String("server", "", "run the job on this ftrepaird (or coordinator) base URL instead of in-process")
 	)
 	flag.Parse()
+
+	var costs *repair.CostModel
+	if *costModel != "" {
+		cm, err := parseCostModel(*costModel)
+		if err != nil {
+			fatal(err)
+		}
+		costs = cm
+	}
 
 	if *server != "" {
 		if *protocol {
@@ -79,6 +91,9 @@ func main() {
 				Reorder:    *reorder,
 				Backend:    *backend,
 			},
+		}
+		if costs != nil {
+			spec.Cost = &service.CostSpec{Default: costs.Default, Actions: costs.Actions, Minimize: true}
 		}
 		if *file != "" {
 			src, err := os.ReadFile(*file)
@@ -119,6 +134,10 @@ func main() {
 	opts.Workers = *workers
 	opts.NodeBudget = *budget
 	opts.Reorder = *reorder
+	if costs != nil {
+		opts.Costs = costs
+		opts.MinimizeCost = true
+	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -189,6 +208,10 @@ func main() {
 	fmt.Printf("invariant:         %.3g states\n", s.CountStates(res.Invariant))
 	fmt.Printf("fault-span:        %.3g states\n", s.CountStates(res.FaultSpan))
 	fmt.Printf("BDD nodes:         %d\n", res.Stats.BDDNodes)
+	if res.Costed {
+		fmt.Printf("achieved cost:     %.4g (weighted recovery transitions kept)\n", res.AchievedCost)
+		fmt.Printf("cost removed:      %.4g (weighted original transitions deleted)\n", res.CostRemoved)
+	}
 
 	if out.Report != nil {
 		fmt.Printf("\nverification:\n%s", out.Report)
@@ -226,6 +249,33 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseCostModel parses the -cost-model flag: comma-separated entries, each
+// either "default=N" or "name=weight" where name is an action ("act") or a
+// process-qualified action ("proc.act").
+func parseCostModel(s string) (*repair.CostModel, error) {
+	cm := &repair.CostModel{Actions: map[string]int64{}}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("cost-model entry %q: want name=weight", entry)
+		}
+		w, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil || w < 1 || w > 1<<30 {
+			return nil, fmt.Errorf("cost-model entry %q: weight must be an integer in [1, 2^30]", entry)
+		}
+		if name = strings.TrimSpace(name); name == "default" {
+			cm.Default = w
+		} else {
+			cm.Actions[name] = w
+		}
+	}
+	return cm, nil
 }
 
 func fatal(err error) {

@@ -114,6 +114,10 @@ func runRemote(server string, spec service.Spec, verbose, jsonOut, explain bool)
 	fmt.Printf("invariant:         %.3g states\n", report.InvariantStates)
 	fmt.Printf("fault-span:        %.3g states\n", report.FaultSpanStates)
 	fmt.Printf("BDD nodes:         %d\n", report.BDDNodes)
+	if report.Costed {
+		fmt.Printf("achieved cost:     %.4g (weighted recovery transitions kept)\n", report.AchievedCost)
+		fmt.Printf("cost removed:      %.4g (weighted original transitions deleted)\n", report.CostRemoved)
+	}
 	if final.Predicted != nil {
 		fmt.Printf("admission lane:    %s (predicted %v, %d peak nodes)\n",
 			final.Lane, time.Duration(final.Predicted.TotalNS), final.Predicted.PeakNodes)

@@ -81,6 +81,48 @@ invariant light < 2
 	// lamp: verified true
 }
 
+// ExampleWithCostModel prices a model's transitions and lets cost-aware
+// repair choose the cheap recovery: resetting the glitched lamp to 1 costs 5
+// (the .ftr cost rule), resetting to 0 costs the default 1, so the
+// synthesized recovery keeps only the cheap transition.
+func ExampleWithCostModel() {
+	def, err := repro.ParseProgram(`
+program lamp
+var light : 0..2
+
+process controller
+  read  light
+  write light
+
+fault glitch : light < 2 -> light := 2
+
+invariant light < 2
+cost 5 : light' = 1
+`)
+	if err != nil {
+		fmt.Println("parse failed:", err)
+		return
+	}
+	c, res, err := repro.Repair(context.Background(), def,
+		repro.WithCostModel(repro.CostModel{Default: 1}))
+	if err != nil {
+		fmt.Println("repair failed:", err)
+		return
+	}
+	rep, err := repro.Verify(context.Background(), c, res)
+	if err != nil {
+		fmt.Println("verify failed:", err)
+		return
+	}
+	fmt.Printf("achieved cost: %g, verified %v\n", res.AchievedCost, rep.OK())
+	for _, line := range c.Procs[0].DescribeActions(res.Trans, 4) {
+		fmt.Println("protocol: ", line)
+	}
+	// Output:
+	// achieved cost: 1, verified true
+	// protocol:  when light=2 → light:=0
+}
+
 // ExampleCaseStudy repairs the paper's Byzantine-agreement instance with
 // three non-generals and reports the headline statistics.
 func ExampleCaseStudy() {

@@ -42,6 +42,22 @@ func main() {
 	}
 	fmt.Printf("verified masking fault-tolerant and realizable: %v\n\n", rep.OK())
 
+	// Re-run cost-aware: pricing the finalize actions above the copies makes
+	// the synthesis keep the cheapest recovery that still converges, and the
+	// result reports exact weighted counts. The verdict is identical.
+	costedDef, _ := repro.CaseStudy("ba", *n)
+	cc, cres, err := repro.Repair(context.Background(), costedDef,
+		repro.WithCostModel(repro.CostModel{Default: 1, Actions: map[string]int64{"finalize": 3}}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	crep, err := repro.Verify(context.Background(), cc, cres)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost-aware repair (finalize=3, default=1): achieved %.4g, removed %.4g, verified %v\n\n",
+		cres.AchievedCost, cres.CostRemoved, crep.OK())
+
 	// Show process 0's synthesized decision logic for the d.g = 1 slice.
 	m := s.M
 	p := c.Procs[0]

@@ -102,6 +102,12 @@ type Manager struct {
 	extBits           []uint64  // session-local bitset of externally rooted nodes
 	deadCnt           int       // nodes currently dead (unreachable) in the session
 
+	// ADD terminal interning (see add.go). Weighted terminals are node slots
+	// at terminalLevel, permanently rooted; these maps translate between
+	// values and slots. Nil until the first AddConst.
+	addTerm map[int64]Node // value -> terminal slot
+	addVal  map[Node]int64 // terminal slot -> value
+
 	// Shared-memory parallel mode (see shared.go, sched.go).
 	shared      *Shared    // set on a view while a parallel region is active
 	sharedViews []*Manager // set on the primary for a Shared session's lifetime
@@ -178,6 +184,15 @@ const (
 	opSimplify
 	opCof0 // cofactor w.r.t. the variable at a level (param = level)
 	opCof1
+	// ADD operations (see add.go). The binary ops share the bin cache with
+	// And/Or/Xor; the unary ops share the un cache, with an interned terminal
+	// as the parameter where the operation is parameterized by a weight.
+	opAddPlus
+	opAddMin
+	opAddMax
+	opFromBDD     // param = weight terminal
+	opThreshold   // param = threshold terminal
+	opMinAbstract // param = cube
 )
 
 const (

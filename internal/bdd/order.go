@@ -394,7 +394,10 @@ func (m *Manager) buildReorderLists() {
 	}
 	for i := 2; i < len(m.nodes); i++ {
 		nd := m.nodes[i]
-		if nd.level == freeLevel {
+		if nd.level == freeLevel || nd.level == terminalLevel {
+			// Freed slots and ADD terminals carry no level list entry; a
+			// terminal's self-loop must not count as a parent either (its
+			// permanent ref keeps it alive and externally rooted instead).
 			continue
 		}
 		m.rl[nd.level] = append(m.rl[nd.level], Node(i))

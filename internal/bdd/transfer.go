@@ -36,12 +36,20 @@ package bdd
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 const (
 	transferMagic     = 0xBD
 	transferVersion   = 0x02
 	transferVersionV1 = 0x01
+	// transferVersionV3 extends v2 with a weighted-terminal section for ADDs
+	// (see add.go): after the order section, termCount followed by termCount
+	// signed varint values; node references become 0 (False), 1 (True), 2+i
+	// for the i-th terminal (ascending by value), then termCount+2+k for the
+	// k-th record. Export emits v3 only when the DAG actually contains
+	// weighted terminals, so pure-BDD buffers stay byte-identical to v2.
+	transferVersionV3 = 0x03
 )
 
 // Export serializes the DAG rooted at f into the transfer format. The buffer
@@ -49,9 +57,13 @@ const (
 // node numbering.
 func (m *Manager) Export(f Node) []byte {
 	m.CheckNode(f)
-	// Collect the DAG bottom-up. ref[n] is the reference assigned to node n.
+	// Collect the DAG bottom-up. ref[n] is the reference assigned to node n;
+	// weighted ADD terminals (self-loop records at terminalLevel) go to a
+	// separate section and must not be walked into — their self-loops would
+	// recurse forever.
 	ref := make(map[Node]uint64, 64)
 	var order []Node
+	var terms []Node
 	var walk func(Node)
 	walk = func(g Node) {
 		if g <= True {
@@ -61,15 +73,35 @@ func (m *Manager) Export(f Node) []byte {
 			return
 		}
 		n := m.nodes[g]
+		if n.level == terminalLevel {
+			ref[g] = 0 // placeholder; assigned after terminals are sorted
+			terms = append(terms, g)
+			return
+		}
 		walk(n.low)
 		walk(n.high)
 		ref[g] = uint64(len(order)) + 2
 		order = append(order, g)
 	}
 	walk(f)
+	version := byte(transferVersion)
+	if len(terms) > 0 {
+		version = transferVersionV3
+		// Terminal references are canonical in the values, not the slots, so
+		// two managers export the same weighted function byte-identically.
+		sort.Slice(terms, func(i, j int) bool {
+			return m.addVal[terms[i]] < m.addVal[terms[j]]
+		})
+		for i, t := range terms {
+			ref[t] = uint64(i) + 2
+		}
+		for i, g := range order {
+			ref[g] = uint64(len(terms)) + uint64(i) + 2
+		}
+	}
 
 	buf := make([]byte, 0, 8+10*len(order))
-	buf = append(buf, transferMagic, transferVersion)
+	buf = append(buf, transferMagic, version)
 	buf = binary.AppendUvarint(buf, uint64(m.numVars))
 	if m.orderIsIdentity() {
 		buf = append(buf, 0)
@@ -77,6 +109,12 @@ func (m *Manager) Export(f Node) []byte {
 		buf = append(buf, 1)
 		for _, v := range m.level2var {
 			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	if version == transferVersionV3 {
+		buf = binary.AppendUvarint(buf, uint64(len(terms)))
+		for _, t := range terms {
+			buf = binary.AppendVarint(buf, m.addVal[t])
 		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(order)))
@@ -118,18 +156,26 @@ func Import(m *Manager, buf []byte) Node {
 		return v
 	}
 	if len(buf) < 2 || buf[0] != transferMagic ||
-		(buf[1] != transferVersion && buf[1] != transferVersionV1) {
+		(buf[1] != transferVersion && buf[1] != transferVersionV1 && buf[1] != transferVersionV3) {
 		panic("bdd: Import: bad magic or version")
 	}
 	version := buf[1]
 	buf = buf[2:]
+	readSigned := func() int64 {
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			panic("bdd: Import: truncated buffer")
+		}
+		buf = buf[n:]
+		return v
+	}
 	nv := read()
 	if int(nv) > m.numVars {
 		panic(fmt.Sprintf("bdd: Import: buffer uses %d variables, manager has %d", nv, m.numVars))
 	}
 	// senderVar[l] is the variable id at level l of the sender's order.
 	var senderVar []int32
-	if version == transferVersion {
+	if version == transferVersion || version == transferVersionV3 {
 		if len(buf) < 1 {
 			panic("bdd: Import: truncated buffer")
 		}
@@ -161,9 +207,14 @@ func Import(m *Manager, buf []byte) Node {
 			break
 		}
 	}
+	nodes := []Node{False, True}
+	if version == transferVersionV3 {
+		termCount := read()
+		for i := uint64(0); i < termCount; i++ {
+			nodes = append(nodes, m.addConst(readSigned()))
+		}
+	}
 	count := read()
-	nodes := make([]Node, 2, count+2)
-	nodes[False], nodes[True] = False, True
 	deref := func(r uint64) Node {
 		if r >= uint64(len(nodes)) {
 			panic("bdd: Import: forward or out-of-range node reference")

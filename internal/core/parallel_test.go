@@ -20,26 +20,37 @@ import (
 // owner/worker handoff for data races.
 func TestWorkersDeterministic(t *testing.T) {
 	cases := []struct {
-		name  string
-		n     int
-		alg   Algorithm
-		short bool // keep under -short
+		name   string
+		n      int
+		alg    Algorithm
+		short  bool // keep under -short
+		costed bool // weighted run: cost model + minimization on
 	}{
-		{"ba", 3, LazyRepair, true},
-		{"bafs", 2, LazyRepair, true},
-		{"sc", 8, LazyRepair, true},
-		{"ring", 2, LazyRepair, true},
-		{"tmr", 0, LazyRepair, true},
-		{"sc", 5, CautiousRepair, true},
+		{"ba", 3, LazyRepair, true, false},
+		{"bafs", 2, LazyRepair, true, false},
+		{"sc", 8, LazyRepair, true, false},
+		{"ring", 2, LazyRepair, true, false},
+		{"tmr", 0, LazyRepair, true, false},
+		{"sc", 5, CautiousRepair, true, false},
 		// The deep-diameter instance: the scheduler must fan out (not hide
 		// behind its cost-aware serial path) and still match the serial run.
-		{"sc", 12, LazyRepair, false},
+		{"sc", 12, LazyRepair, false, false},
+		// Weighted runs: the ADD weight layer, cheapest-first cycle breaking,
+		// and recovery thinning must all be worker-count-invariant — Normalized
+		// keeps achieved_cost/cost_removed, so any divergence fails the byte
+		// comparison.
+		{"ba", 3, LazyRepair, true, true},
+		{"bafs", 2, LazyRepair, true, true},
 	}
 	for _, tc := range cases {
 		if testing.Short() && !tc.short {
 			continue
 		}
-		t.Run(fmt.Sprintf("%s/%s%d", tc.alg, tc.name, tc.n), func(t *testing.T) {
+		title := fmt.Sprintf("%s/%s%d", tc.alg, tc.name, tc.n)
+		if tc.costed {
+			title += "/costed"
+		}
+		t.Run(title, func(t *testing.T) {
 			var reports [2][]byte
 			for i, workers := range []int{1, 4} {
 				def, err := CaseStudy(tc.name, tc.n)
@@ -48,6 +59,10 @@ func TestWorkersDeterministic(t *testing.T) {
 				}
 				opts := repair.DefaultOptions()
 				opts.Workers = workers
+				if tc.costed {
+					opts.Costs = &repair.CostModel{Default: 1, Actions: map[string]int64{"copy": 2}}
+					opts.MinimizeCost = true
+				}
 				// Witnesses ride along: extraction must also be byte-identical
 				// across worker counts (Normalized keeps the traces).
 				job := Job{Def: def, Algorithm: tc.alg, Options: opts, Verify: true, Witnesses: 4}
@@ -63,6 +78,9 @@ func TestWorkersDeterministic(t *testing.T) {
 				}
 				if len(out.Result.Witnesses) == 0 {
 					t.Fatalf("workers=%d: no recovery demonstrations extracted", workers)
+				}
+				if tc.costed && !out.Result.Costed {
+					t.Fatalf("workers=%d: costed job produced an uncosted result", workers)
 				}
 				rep := NewRunReport(job, out, tc.name, tc.n).Normalized()
 				if reports[i], err = json.Marshal(rep); err != nil {
@@ -105,26 +123,35 @@ func canonicalExports(out *Outcome) [][]byte {
 // fits CI timeouts.
 func TestSharedDeterministic(t *testing.T) {
 	cases := []struct {
-		name  string
-		n     int
-		alg   Algorithm
-		short bool // keep under -short
+		name   string
+		n      int
+		alg    Algorithm
+		short  bool // keep under -short
+		costed bool // weighted run: cost model + minimization on
 	}{
-		{"ba", 3, LazyRepair, true},
-		{"bafs", 2, LazyRepair, false},
-		{"sc", 8, LazyRepair, false},
-		{"ring", 2, LazyRepair, true},
-		{"tmr", 0, LazyRepair, true},
-		{"sc", 5, CautiousRepair, false},
+		{"ba", 3, LazyRepair, true, false},
+		{"bafs", 2, LazyRepair, false, false},
+		{"sc", 8, LazyRepair, false, false},
+		{"ring", 2, LazyRepair, true, false},
+		{"tmr", 0, LazyRepair, true, false},
+		{"sc", 5, CautiousRepair, false, false},
 		// Deep diameter: fan-out rounds, fork/join under the views, and the
 		// owner-side serial tail all on one instance.
-		{"sc", 12, LazyRepair, false},
+		{"sc", 12, LazyRepair, false, false},
+		// Weighted run: all ADD work happens on the primary manager between
+		// parallel regions, so shared mode must match serial byte-for-byte on
+		// the cost fields too.
+		{"ba", 3, LazyRepair, true, true},
 	}
 	for _, tc := range cases {
 		if testing.Short() && !tc.short {
 			continue
 		}
-		t.Run(fmt.Sprintf("%s/%s%d", tc.alg, tc.name, tc.n), func(t *testing.T) {
+		title := fmt.Sprintf("%s/%s%d", tc.alg, tc.name, tc.n)
+		if tc.costed {
+			title += "/costed"
+		}
+		t.Run(title, func(t *testing.T) {
 			configs := []struct {
 				mode    string
 				workers int
@@ -142,6 +169,10 @@ func TestSharedDeterministic(t *testing.T) {
 				opts := repair.DefaultOptions()
 				opts.Mode = cfg.mode
 				opts.Workers = cfg.workers
+				if tc.costed {
+					opts.Costs = &repair.CostModel{Default: 1, Actions: map[string]int64{"copy": 2}}
+					opts.MinimizeCost = true
+				}
 				job := Job{Def: def, Algorithm: tc.alg, Options: opts, Verify: true, Witnesses: 4}
 				out, err := Run(context.Background(), job)
 				if err != nil {

@@ -80,6 +80,19 @@ type RunReport struct {
 	// asked for them (Job.Witnesses > 0). Deterministic: a function of the
 	// synthesized program alone, so Normalized keeps them.
 	Witnesses []*witness.Trace `json:"witnesses,omitempty"`
+
+	// Cost-aware repair outputs (see internal/repair's cost.go). Costed is
+	// true when the job carried a cost model; MinCost is true when the
+	// synthesis additionally minimized. AchievedCost is the exact weighted
+	// count of the kept transitions leaving the repaired invariant,
+	// CostRemoved the weighted count of original transitions the repair
+	// deleted. Kept by Normalized: both are functions of the synthesized
+	// program and the weight layer, identical across worker counts and
+	// engine modes.
+	Costed       bool    `json:"costed,omitempty"`
+	MinCost      bool    `json:"min_cost,omitempty"`
+	AchievedCost float64 `json:"achieved_cost,omitempty"`
+	CostRemoved  float64 `json:"cost_removed,omitempty"`
 }
 
 // NewRunReport summarizes a finished job. caseName and n may be zero values
@@ -130,6 +143,11 @@ func NewRunReport(job Job, out *Outcome, caseName string, n int) RunReport {
 		WitnessNS: out.WitnessTime.Nanoseconds(),
 
 		Witnesses: res.Witnesses,
+
+		Costed:       res.Costed,
+		MinCost:      res.Costed && job.Options.MinimizeCost,
+		AchievedCost: res.AchievedCost,
+		CostRemoved:  res.CostRemoved,
 	}
 	if out.Report != nil {
 		ok := out.Report.OK()
@@ -172,6 +190,8 @@ func (r RunReport) Normalized() RunReport {
 	// counters above; the verdict they accompany is what must be identical.
 	r.SAT = nil
 	// Witnesses stay: extraction is deterministic, so they are part of the
-	// cross-worker-count identity the determinism tests assert.
+	// cross-worker-count identity the determinism tests assert. The cost
+	// fields stay for the same reason: exact weighted counts over the
+	// synthesized relation, not telemetry.
 	return r
 }

@@ -28,6 +28,14 @@ func FuzzProgram(f *testing.F) {
 	f.Add("program p\nvar x : bool @\n")
 	f.Add("program p\nvar x : 0..999999\n")
 	f.Add("")
+	// Cost-annotation shapes: well-formed, out-of-range, overflowing,
+	// negative (fails at lex — no '-' token), priced fault, truncated rule.
+	f.Add("program p\nvar x : bool\nprocess q\n  read x\n  write x\n  action a : x = 0 -> x := 1 cost 3\ncost 5 : changed(x)\n")
+	f.Add("program p\nvar x : bool\nprocess q\n  read x\n  write x\n  action a : x = 0 -> x := 1 cost 0\n")
+	f.Add("program p\nvar x : bool\ncost 99999999999999999999 : x = 1\n")
+	f.Add("program p\nvar x : bool\ncost -2 : x = 1\n")
+	f.Add("program p\nvar x : bool\nfault f : true -> x := 0 cost 3\n")
+	f.Add("program p\nvar x : bool\ncost 2\n")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		def, err := Program(src)

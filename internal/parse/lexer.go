@@ -9,7 +9,7 @@
 //	process controller
 //	  read  light btn
 //	  write light
-//	  action go   : light = 0 & btn = 1 -> light := 1
+//	  action go   : light = 0 & btn = 1 -> light := 1 cost 3
 //	  action stop : light = 1           -> light := 0
 //
 //	fault glitch : light = 1 -> light := 2
@@ -18,6 +18,7 @@
 //	invariant light < 2
 //	badstate  light = 2 & btn = 0
 //	badtrans  changed(light) & light' = 2
+//	cost 5 : changed(btn)
 //
 // Multiple `invariant` lines are conjoined; multiple `badstate`/`badtrans`
 // lines are disjoined. Expressions support =, !=, <, & (and), | (or),
@@ -25,6 +26,14 @@
 // (x = y), next-state forms (x' = 1, x' = y), and changed(x)/unchanged(x).
 // Assignments support constants (x := 1), copies (x := y), and
 // nondeterministic choice (x := 0 | 2).
+//
+// Cost annotations price transitions for cost-aware repair (see
+// program.CostRule and the repair package's CostModel): an action's trailing
+// `cost N` clause prices that action's transitions, and a top-level
+// `cost N : expr` declaration prices every transition satisfying the
+// (possibly transition-level) predicate. Weights are positive integers up to
+// 2^30; when several sources price one transition the minimum wins, and
+// unpriced transitions default to weight 1. Fault actions carry no cost.
 package parse
 
 import (

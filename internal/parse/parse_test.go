@@ -148,6 +148,12 @@ func TestParseErrors(t *testing.T) {
 		{"undeclared in write", "program p\nvar x : bool\nprocess q\n  read x\n  write y\n", "undeclared"},
 		{"truncated comparison", "program p\nvar x : bool\ninvariant x =", "expected"},
 		{"empty file", "", "must start"},
+		{"zero cost", "program p\nvar x : bool\nprocess q\n  read x\n  write x\n  action a : x = 0 -> x := 1 cost 0\n", "out of range"},
+		{"overflowing cost", "program p\nvar x : bool\nprocess q\n  read x\n  write x\n  action a : x = 0 -> x := 1 cost 99999999999999999999\n", "bad number"},
+		{"over-cap cost", "program p\nvar x : bool\nprocess q\n  read x\n  write x\n  action a : x = 0 -> x := 1 cost 1073741825\n", "out of range"},
+		{"negative cost", "program p\nvar x : bool\ncost -2 : x = 1\n", "unexpected character"},
+		{"fault cost", "program p\nvar x : bool\nfault f : true -> x := 0 cost 3\n", "cannot carry a cost"},
+		{"rule cost missing colon", "program p\nvar x : bool\ncost 2 x = 1\n", "expected"},
 	}
 	for _, tc := range cases {
 		_, err := Program(tc.input)
@@ -158,6 +164,46 @@ func TestParseErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestParseCosts pins the cost-annotation grammar: a trailing `cost N`
+// clause on program actions and top-level `cost N : expr` rules, with
+// unannotated actions carrying the zero value (priced at the default by the
+// weight layer, not the parser).
+func TestParseCosts(t *testing.T) {
+	src := `
+program priced
+var x : 0..2
+
+process p
+  read  x
+  write x
+  action up   : x = 0 -> x := 1 cost 3
+  action down : x = 1 -> x := 0
+
+cost 5 : changed(x)
+cost 2 : x = 2
+`
+	def, err := Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := def.Processes[0].Actions
+	if acts[0].Cost != 3 {
+		t.Fatalf("annotated action cost = %d, want 3", acts[0].Cost)
+	}
+	if acts[1].Cost != 0 {
+		t.Fatalf("unannotated action cost = %d, want 0", acts[1].Cost)
+	}
+	if len(def.CostRules) != 2 || def.CostRules[0].Cost != 5 || def.CostRules[1].Cost != 2 {
+		t.Fatalf("cost rules = %+v", def.CostRules)
+	}
+	if got := def.CostRules[0].Pred.String(); !strings.Contains(got, "changed") {
+		t.Fatalf("rule predicate = %q, want a changed() form", got)
+	}
+	if _, err := def.Compile(); err != nil {
+		t.Fatalf("costed model fails to compile: %v", err)
 	}
 }
 

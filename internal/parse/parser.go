@@ -130,6 +130,20 @@ func (p *parser) program() (*program.Def, error) {
 				return nil, err
 			}
 			badTrans = append(badTrans, e)
+		case "cost":
+			p.pos++
+			w, err := p.costValue()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(":"); err != nil {
+				return nil, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			p.def.CostRules = append(p.def.CostRules, program.CostRule{Cost: w, Pred: e})
 		default:
 			return nil, p.errf("unknown declaration %q", t.text)
 		}
@@ -204,6 +218,29 @@ func (p *parser) number() (int, error) {
 	return v, nil
 }
 
+// maxCost bounds cost annotations. Costs are summed over transition sets in
+// saturating int64 arithmetic during synthesis; capping each literal at 2^30
+// keeps any realistic sum far from the ±∞ sentinels. (Negative literals never
+// reach the parser: '-' is not a token of the language, so the lexer rejects
+// them with a positioned error.)
+const maxCost = 1 << 30
+
+// costValue parses the weight of a `cost` clause: a positive literal in
+// [1, maxCost]. Zero is rejected — a zero-cost transition would make cost
+// minimization vacuous wherever it appears — and so are literals past the
+// cap, with the error positioned at the literal.
+func (p *parser) costValue() (int64, error) {
+	t := p.cur()
+	v, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	if v < 1 || v > maxCost {
+		return 0, fmt.Errorf("line %d: cost %d out of range [1, %d]", t.line, v, maxCost)
+	}
+	return int64(v), nil
+}
+
 // processDecl parses a process block: the header line, then read/write/
 // action clauses until the next top-level keyword.
 func (p *parser) processDecl() error {
@@ -269,9 +306,12 @@ func (p *parser) identList() ([]string, error) {
 	return out, nil
 }
 
-// actionDecl parses: NAME? : guard -> assignments
+// actionDecl parses: NAME? : guard -> assignments [cost N]
 // For faults the name is required to look the same; the leading keyword was
-// already consumed by the caller.
+// already consumed by the caller. The trailing cost clause prices the
+// action's transitions for cost-aware repair; faults are not priced (they
+// are the adversary's moves, not the synthesizer's), so a cost clause on a
+// fault is an error.
 func (p *parser) actionDecl(isFault bool) (*program.Action, error) {
 	act := &program.Action{}
 	if p.cur().kind == tokIdent {
@@ -299,6 +339,17 @@ func (p *parser) actionDecl(isFault bool) (*program.Action, error) {
 			continue
 		}
 		break
+	}
+	if p.keyword("cost") {
+		if isFault {
+			return nil, p.errf("fault actions cannot carry a cost (faults are not priced)")
+		}
+		p.pos++
+		w, err := p.costValue()
+		if err != nil {
+			return nil, err
+		}
+		act.Cost = w
 	}
 	return act, nil
 }

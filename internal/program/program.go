@@ -53,6 +53,11 @@ type Action struct {
 	Name    string
 	Guard   expr.Expr
 	Updates []Update
+	// Cost is the optional weight annotation (.ftr trailing `cost N` clause):
+	// the price cost-aware repair assigns to each transition of this action.
+	// 0 means unannotated — such transitions fall back to cost rules or the
+	// model default (see Compiled.WeightADD). Ignored on fault actions.
+	Cost int64
 }
 
 // Process declares one process of a distributed program: the variables it
@@ -88,6 +93,16 @@ type Def struct {
 	// and recovery by construction; leads-to properties are checked by the
 	// verifier on the repaired program (see verify.Result).
 	Liveness []LeadsTo
+	// CostRules price transitions by predicate (.ftr top-level
+	// `cost N : expr` declarations; transition-level predicates allowed).
+	// When several sources price one transition, the minimum wins.
+	CostRules []CostRule
+}
+
+// CostRule prices every transition satisfying Pred at Cost (Cost ≥ 1).
+type CostRule struct {
+	Cost int64
+	Pred expr.Expr
 }
 
 // LeadsTo is one leads-to property L ↝ T: every computation that visits an
@@ -119,9 +134,21 @@ type CompiledProc struct {
 	// SameUnread is the set of transitions leaving every unreadable
 	// variable unchanged. Since W ⊆ R this is implied by WriteOK.
 	SameUnread bdd.Node
+	// Acts holds each action's compiled transition relation alongside its
+	// declared cost annotation, in declaration order — the per-action
+	// granularity WeightADD prices transitions at (Trans is their union).
+	Acts []CompiledAction
 
 	unreadCube bdd.Node // cube of the unreadable variables' cur+next bits
 	space      *symbolic.Space
+}
+
+// CompiledAction is one action's symbolic transition relation together with
+// its declared cost annotation (0 when unannotated).
+type CompiledAction struct {
+	Name  string
+	Cost  int64
+	Trans bdd.Node
 }
 
 // Compiled is the symbolic form of a Def: everything the repair algorithms
@@ -150,6 +177,15 @@ type Compiled struct {
 	BadStates bdd.Node // Sf_bs
 	BadTrans  bdd.Node // Sf_bt
 	Liveness  []CompiledLeadsTo
+	// CostRules is the symbolic form of Def.CostRules: each rule's predicate
+	// lowered to a transition relation (conjoined with ValidTrans).
+	CostRules []CompiledCostRule
+}
+
+// CompiledCostRule is the symbolic form of one CostRule.
+type CompiledCostRule struct {
+	Cost  int64
+	Trans bdd.Node
 }
 
 // View rebinds the compiled program to a worker view of a shared-memory BDD
@@ -255,6 +291,19 @@ func (d *Def) compileInto(space *symbolic.Space) (*Compiled, error) {
 			To:   m.Ref(m.And(to, space.ValidCur())),
 		})
 	}
+	for i, cr := range d.CostRules {
+		if cr.Cost < 1 {
+			return nil, fmt.Errorf("program %s: cost rule %d: cost %d must be positive", d.Name, i, cr.Cost)
+		}
+		pred, err := compilePred(space, cr.Pred, bdd.False)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: cost rule %d: %w", d.Name, i, err)
+		}
+		c.CostRules = append(c.CostRules, CompiledCostRule{
+			Cost:  cr.Cost,
+			Trans: m.Ref(m.And(pred, space.ValidTrans())),
+		})
+	}
 	return c, nil
 }
 
@@ -324,6 +373,7 @@ func compileProcess(s *symbolic.Space, p *Process) (*CompiledProc, error) {
 		if err != nil {
 			return nil, fmt.Errorf("process %s: action %d (%s): %w", p.Name, i, a.Name, err)
 		}
+		cp.Acts = append(cp.Acts, CompiledAction{Name: a.Name, Cost: a.Cost, Trans: m.Ref(tr)})
 		trans.Set(m.Or(trans.Node(), tr))
 	}
 	cp.Trans = m.Ref(trans.Node())
@@ -475,6 +525,77 @@ func (c *Compiled) Deadlocks(delta bdd.Node) bdd.Node {
 func (c *Compiled) WithStutter(delta bdd.Node) bdd.Node {
 	m := c.Space.M
 	return m.Or(delta, m.And(c.Deadlocks(delta), c.Space.Identity()))
+}
+
+// WeightADD builds the transition-weight ADD of the program: a function
+// assigning every valid transition the minimum weight any source prices it
+// at — an action's cost annotation (possibly overridden by resolve), a cost
+// rule, or dflt for transitions no source covers. resolve, when non-nil,
+// receives each process/action pair with its declared annotation (0 when
+// unannotated) and returns the effective weight, or 0 to fall through to the
+// declared annotation; dflt below 1 means 1.
+//
+// The construction runs on the compiled program's own (primary) manager and
+// must not be called from inside a shared parallel region (see the bdd
+// package's ADD concurrency contract); the caller roots the result.
+func (c *Compiled) WeightADD(resolve func(proc, action string, declared int64) int64, dflt int64) bdd.Node {
+	m := c.Space.M
+	if dflt < 1 {
+		dflt = 1
+	}
+	sc := m.Protect()
+	defer sc.Release()
+	inf := m.AddConst(bdd.AddInf)
+	w := sc.Slot(inf)
+	price := func(rel bdd.Node, weight int64) {
+		if rel == bdd.False || weight <= 0 {
+			return
+		}
+		w.Set(m.AddMin(w.Node(), m.ITE(rel, m.AddConst(weight), inf)))
+	}
+	for _, p := range c.Procs {
+		for _, a := range p.Acts {
+			weight := a.Cost
+			if resolve != nil {
+				if r := resolve(p.Name, a.Name, a.Cost); r > 0 {
+					weight = r
+				}
+			}
+			price(a.Trans, weight)
+		}
+	}
+	for _, r := range c.CostRules {
+		price(r.Trans, r.Cost)
+	}
+	// Transitions no source priced carry the default weight, so the result
+	// is finite on every valid transition.
+	return m.ITE(m.Threshold(w.Node(), bdd.AddInf), m.AddConst(dflt), w.Node())
+}
+
+// GroupMinCost is the weighted refinement of the Step-2 group machinery: the
+// per-group cost projection of delta under the weight ADD w. The result is
+// an ADD over the process's readable variables assigning to each
+// read-restriction group the cheapest weight of any member present in delta,
+// and +∞ where delta contributes no member. Sliced into cost classes with
+// the manager's Threshold (and expanded back to transitions via SameUnread ∧
+// ValidTrans, the Group expansion), it lets cost-aware repair remove or keep
+// whole groups ordered by what their cheapest member costs.
+func (p *CompiledProc) GroupMinCost(delta, w bdd.Node) bdd.Node {
+	m := p.space.M
+	sc := m.Protect()
+	defer sc.Release()
+	core := sc.Keep(m.And(delta, p.SameUnread))
+	priced := sc.Keep(m.ITE(core, w, m.AddConst(bdd.AddInf)))
+	return m.MinAbstract(priced, p.unreadCube)
+}
+
+// GroupExpand maps a predicate over the process's readable variables (such
+// as a cost class of GroupMinCost) back to the full transition sets of the
+// groups it selects — the second half of the Group operator, with the
+// projection supplied by the caller.
+func (p *CompiledProc) GroupExpand(classPred bdd.Node) bdd.Node {
+	m := p.space.M
+	return m.AndN(classPred, p.SameUnread, p.space.ValidTrans())
 }
 
 // ProgramRealizable reports whether delta (without stutter) is realizable by

@@ -268,12 +268,20 @@ func CautiousEngine(ctx context.Context, eng *program.Engine, opts Options) (*Re
 		opts.logf("cautious: converged after %d outer iteration(s)", outer)
 		// The result's relations outlive this call's scope; root them for
 		// the life of the manager.
-		return &Result{
+		res := &Result{
 			Trans:     m.Ref(union),
 			Invariant: m.Ref(invariant.Node()),
 			FaultSpan: m.Ref(span.Node()),
 			Stats:     stats,
-		}, nil
+		}
+		// Cautious repair prices its result but never minimizes: the
+		// algorithm's removals are forced by safety, not chosen by weight.
+		if opts.Costs != nil {
+			wsc := m.Protect()
+			measureCosts(c, res, wsc.Keep(buildWeight(c, opts.Costs)))
+			wsc.Release()
+		}
+		return res, nil
 	}
 	return nil, ErrNoConvergence
 }

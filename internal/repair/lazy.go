@@ -49,6 +49,13 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 	}
 	stats.ReachableStates = s.CountStates(reach)
 
+	// The weight ADD of a costed run, built once on the primary manager
+	// (outside any parallel region — see cost.go). nil slot means uncosted.
+	var weight *bdd.Rooted
+	if opts.Costs != nil {
+		weight = sc.Slot(buildWeight(c, opts.Costs))
+	}
+
 	invariant := sc.Slot(c.Invariant)
 	badTrans := sc.Slot(c.BadTrans)
 
@@ -143,6 +150,15 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 			}
 			core := isc.Keep(program.CyclicCore(c, badParts, region))
 			toRemove := isc.Keep(m.Or(m.AndN(bad.Node(), core, s.Prime(core)), m.And(bad.Node(), remaining.Node())))
+			// Cost-aware refinement: drop only the cheapest weight class per
+			// pass. Ranks are recomputed against the shrunken relation each
+			// pass, so expensive rank-violating transitions often become
+			// rank-decreasing — and survive — once their cheap cycle-mates are
+			// gone. The loop already runs until no pass changes anything, so
+			// the restriction adds passes, never outer iterations.
+			if opts.MinimizeCost && weight != nil {
+				toRemove = isc.Keep(cheapestClass(m, toRemove, weight.Node()))
+			}
 			changed := false
 			for j, p := range c.Procs {
 				pb := m.And(parts[j], toRemove)
@@ -176,17 +192,34 @@ func LazyEngine(ctx context.Context, eng *program.Engine, opts Options) (*Result
 		stats.Step2 += time.Since(t1)
 
 		if dl == bdd.False {
+			// Cost-aware refinement: with the repair converged, thin the
+			// synthesized recovery from the most expensive group class down,
+			// keeping the verdict (removal-only, whole groups) while lowering
+			// AchievedCost. See cost.go.
+			if opts.MinimizeCost && weight != nil {
+				opts.phase("thin")
+				span, terr := thinRecovery(ctx, eng, mask.Invariant, weight.Node(), parts, partSlots, &opts)
+				if terr != nil {
+					return nil, terr
+				}
+				certSpan = sc.Keep(span)
+				realized = realizedS.Set(m.OrN(parts...))
+			}
 			stats.Total = time.Since(start)
 			stats.BDDNodes = m.Size()
 			opts.logf("lazy: converged after %d iteration(s)", iter)
 			// The result's relations outlive this call's scope; root them for
 			// the life of the manager.
-			return &Result{
+			res := &Result{
 				Trans:     m.Ref(realized),
 				Invariant: m.Ref(mask.Invariant),
 				FaultSpan: m.Ref(certSpan),
 				Stats:     stats,
-			}, nil
+			}
+			if weight != nil {
+				measureCosts(c, res, weight.Node())
+			}
+			return res, nil
 		}
 		opts.logf("lazy: iteration %d: %g deadlock state(s); augmenting spec",
 			iter, s.CountStates(dl))

@@ -122,6 +122,18 @@ type Options struct {
 	// collection cannot bring it back under, the run fails with a
 	// *bdd.BudgetError instead of exhausting memory. Zero means unbounded.
 	NodeBudget int64
+	// Costs, when non-nil, prices every transition of the synthesis through
+	// the ADD weight layer (see cost.go): the result gains AchievedCost and
+	// CostRemoved, measured under this model. Pricing alone never changes
+	// the synthesized program — set MinimizeCost to let the weights steer
+	// the synthesis.
+	Costs *CostModel
+	// MinimizeCost enables the cost-aware refinements of lazy repair: the
+	// weighted cycle-elimination order (with DeferCycleBreaking) and the
+	// convergence-time thinning pass that removes expensive redundant
+	// recovery groups. Requires Costs; the repair verdict is identical with
+	// it on or off — only the cost of the synthesized recovery drops.
+	MinimizeCost bool
 	// Reorder arms dynamic variable reordering on the run's managers: a
 	// positive value runs a sifting pass after that many node allocations, a
 	// negative value disables reordering entirely (overriding the
@@ -219,6 +231,18 @@ type Result struct {
 	// traces that leave the invariant via faults and converge back. The
 	// repair algorithms themselves leave it nil.
 	Witnesses []*witness.Trace
+
+	// Costed marks a run priced by a cost model (Options.Costs); the two
+	// sums below are zero otherwise. AchievedCost is the weighted count of
+	// the kept transitions leaving the repaired invariant — the recovery
+	// behavior the repair pays to retain. CostRemoved is the weighted count
+	// of original program transitions the repair deleted. Both are exact
+	// (each valid transition contributes its integer weight once), and both
+	// are functions of the synthesized program and the weights alone, so
+	// they are identical across worker counts and engine modes.
+	Costed       bool
+	AchievedCost float64
+	CostRemoved  float64
 }
 
 // src returns the states with at least one outgoing transition in delta.

@@ -43,13 +43,30 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 	// verification backend in the spec and backend/sat counters in RunReport;
 	// v7: the engine mode in the spec — hashed canonically, so the legacy
 	// flat spelling and the structured engine object alias — and engine_mode
-	// in RunReport).
+	// in RunReport; v8: the cost model in the spec — hashed canonically like
+	// the engine, flat and structured spellings alias — plus per-action cost
+	// annotations and cost rules from the .ftr source, and the cost fields in
+	// RunReport).
 	mode := opts.Mode
 	if mode == "" {
 		mode = string(program.ModePartitioned)
 	}
-	wr("v7\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00mode=%s\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
+	wr("v8\x00alg=%s\x00heur=%t\x00defercyc=%t\x00maxiter=%d\x00mode=%s\x00workers=%d\x00nodebudget=%d\x00reorder=%d\x00",
 		alg, opts.ReachabilityHeuristic, opts.DeferCycleBreaking, opts.MaxOuterIterations, mode, opts.Workers, opts.NodeBudget, opts.Reorder)
+	if opts.Costs != nil {
+		wr("cost:default=%d:minimize=%t\x00", opts.Costs.Default, opts.MinimizeCost)
+		names := make([]string, 0, len(opts.Costs.Actions))
+		for name := range opts.Costs.Actions {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		wr("costactions=%d\x00", len(names))
+		for _, name := range names {
+			wr("%s=%d\x00", name, opts.Costs.Actions[name])
+		}
+	} else {
+		wr("cost=nil\x00")
+	}
 
 	wr("name=%s\x00", def.Name)
 	wr("vars=%d\x00", len(def.Vars))
@@ -71,6 +88,12 @@ func defKey(def *program.Def, alg string, opts repair.Options) string {
 	wr("faults=%d\x00", len(def.Faults))
 	for _, a := range def.Faults {
 		writeAction(h, a)
+	}
+
+	wr("costrules=%d\x00", len(def.CostRules))
+	for _, r := range def.CostRules {
+		wr("costrule:%d\x00", r.Cost)
+		writeExpr(h, "pred", r.Pred)
 	}
 
 	writeExpr(h, "invariant", def.Invariant)
@@ -96,7 +119,7 @@ func writeSorted(w io.Writer, tag string, names []string) {
 }
 
 func writeAction(w io.Writer, a program.Action) {
-	fmt.Fprintf(w, "action:%s\x00", a.Name)
+	fmt.Fprintf(w, "action:%s:cost=%d\x00", a.Name, a.Cost)
 	writeExpr(w, "guard", a.Guard)
 	fmt.Fprintf(w, "updates=%d\x00", len(a.Updates))
 	for _, u := range a.Updates {

@@ -102,6 +102,34 @@ type Spec struct {
 	// spellings canonicalize to the same content address, so a flat spec and
 	// its structured equivalent alias in the cache.
 	Engine *EngineSpec `json:"engine,omitempty"`
+
+	// CostDefault, CostActions and MinimizeCost are the flat spellings of the
+	// cost configuration; like the flat engine fields they are aliases for the
+	// structured Cost object below, which wins field-by-field, and both
+	// spellings canonicalize to the same content address.
+	CostDefault  int64            `json:"cost_default,omitempty"`
+	CostActions  map[string]int64 `json:"cost_actions,omitempty"`
+	MinimizeCost bool             `json:"minimize_cost,omitempty"`
+
+	// Cost is the structured cost configuration — the service-side mirror of
+	// the library's CostModel plus the minimize switch. Any active cost field
+	// (structured or flat) prices the job's transitions and adds
+	// achieved_cost/cost_removed to the report; Minimize additionally turns on
+	// cost-aware synthesis. Part of the content address: a costed report and
+	// an uncosted one never alias.
+	Cost *CostSpec `json:"cost,omitempty"`
+}
+
+// CostSpec is a Spec's structured cost configuration.
+type CostSpec struct {
+	// Default is the weight of transitions no other source prices; 0 means 1.
+	Default int64 `json:"default,omitempty"`
+	// Actions overrides per-action weights by name ("proc.action" or bare
+	// "action"); weights must lie in [1, 2^30].
+	Actions map[string]int64 `json:"actions,omitempty"`
+	// Minimize turns on cost-aware synthesis (cheapest-first cycle breaking
+	// and convergence-time recovery thinning); the verdict is unchanged.
+	Minimize bool `json:"minimize,omitempty"`
 }
 
 // EngineSpec is a Spec's structured engine configuration — the service-side
@@ -190,6 +218,30 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 		return nil, core.Job{}, "", fmt.Errorf("service: %w", err)
 	}
 
+	// Canonicalize the cost configuration the same way: structured wins
+	// field-by-field, the merged result is validated and hashed.
+	cost := CostSpec{}
+	if sp.Cost != nil {
+		cost = *sp.Cost
+	}
+	if cost.Default == 0 {
+		cost.Default = sp.CostDefault
+	}
+	if len(cost.Actions) == 0 {
+		cost.Actions = sp.CostActions
+	}
+	cost.Minimize = cost.Minimize || sp.MinimizeCost
+	if cost.Default < 0 {
+		return nil, core.Job{}, "", fmt.Errorf("service: cost default %d must be non-negative", cost.Default)
+	}
+	const maxCostWeight = 1 << 30
+	for name, w := range cost.Actions {
+		if w < 1 || w > maxCostWeight {
+			return nil, core.Job{}, "", fmt.Errorf("service: cost for action %q is %d, want [1,%d]", name, w, int64(maxCostWeight))
+		}
+	}
+	costed := cost.Default != 0 || len(cost.Actions) > 0 || cost.Minimize
+
 	opts := repair.DefaultOptions()
 	opts.ReachabilityHeuristic = !sp.Pure
 	opts.DeferCycleBreaking = sp.DeferCycles
@@ -203,6 +255,10 @@ func (sp *Spec) resolve() (*program.Def, core.Job, string, error) {
 	}
 	opts.NodeBudget = eng.NodeBudget
 	opts.Reorder = eng.Reorder
+	if costed {
+		opts.Costs = &repair.CostModel{Default: cost.Default, Actions: cost.Actions}
+		opts.MinimizeCost = cost.Minimize
+	}
 
 	job := core.Job{
 		Def:       def,

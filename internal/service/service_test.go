@@ -71,11 +71,14 @@ func TestSpecValidation(t *testing.T) {
 		{Case: "ba", N: 3, Algorithm: "??"}, // unknown algorithm
 		{Model: "var x : bool\n"},           // malformed model
 		{Case: "ba", N: 3, Workers: -1},     // negative engine width
-		{Case: "ba", N: 3, Workers: MaxJobWorkers + 1},                      // over the cap
-		{Case: "ba", N: 3, Engine: &EngineSpec{Mode: "threads"}},            // unknown engine mode
-		{Case: "ba", N: 3, Engine: &EngineSpec{Workers: -1}},                // negative width via engine object
-		{Case: "ba", N: 3, Engine: &EngineSpec{Workers: MaxJobWorkers + 1}}, // over the cap via engine object
-		{Case: "ba", N: 3, Engine: &EngineSpec{Backend: "z3"}},              // unknown backend via engine object
+		{Case: "ba", N: 3, Workers: MaxJobWorkers + 1},                               // over the cap
+		{Case: "ba", N: 3, Engine: &EngineSpec{Mode: "threads"}},                     // unknown engine mode
+		{Case: "ba", N: 3, Engine: &EngineSpec{Workers: -1}},                         // negative width via engine object
+		{Case: "ba", N: 3, Engine: &EngineSpec{Workers: MaxJobWorkers + 1}},          // over the cap via engine object
+		{Case: "ba", N: 3, Engine: &EngineSpec{Backend: "z3"}},                       // unknown backend via engine object
+		{Case: "ba", N: 3, CostDefault: -1},                                          // negative default weight
+		{Case: "ba", N: 3, CostActions: map[string]int64{"a": 0}},                    // zero action weight
+		{Case: "ba", N: 3, Cost: &CostSpec{Actions: map[string]int64{"a": 1 << 31}}}, // over the weight cap
 	}
 	for i, sp := range cases {
 		if _, _, _, err := sp.resolve(); err == nil {
@@ -130,6 +133,78 @@ func TestEngineSpecCanonicalization(t *testing.T) {
 	}
 	if job.Options.Workers != 4 {
 		t.Errorf("resolved workers = %d, want the engine object's 4", job.Options.Workers)
+	}
+}
+
+// TestCostSpecCanonicalization pins the aliasing contract of the structured
+// cost object: a flat spec and its structured spelling share a content
+// address, the structured object wins field-by-field, uncosted and costed
+// jobs never alias, and resolve wires the merged model into the job options.
+func TestCostSpecCanonicalization(t *testing.T) {
+	key := func(sp Spec) string {
+		t.Helper()
+		_, _, k, err := sp.resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	flat := Spec{Case: "ba", N: 3, CostDefault: 2, CostActions: map[string]int64{"copy": 5}, MinimizeCost: true}
+	structured := Spec{Case: "ba", N: 3, Cost: &CostSpec{
+		Default: 2, Actions: map[string]int64{"copy": 5}, Minimize: true,
+	}}
+	if key(flat) != key(structured) {
+		t.Error("flat and structured spellings of the same cost config hash differently")
+	}
+
+	if key(Spec{Case: "ba", N: 3}) == key(structured) {
+		t.Error("cost model not part of the content address")
+	}
+	noMin := structured
+	noMin.Cost = &CostSpec{Default: 2, Actions: map[string]int64{"copy": 5}}
+	if key(noMin) == key(structured) {
+		t.Error("minimize switch not part of the content address")
+	}
+
+	// The structured object wins over the flat twins.
+	mixed := Spec{Case: "ba", N: 3, CostDefault: 7, Cost: &CostSpec{Default: 2}}
+	if key(mixed) != key(Spec{Case: "ba", N: 3, Cost: &CostSpec{Default: 2}}) {
+		t.Error("cost object does not win over flat fields in the content address")
+	}
+
+	_, job, _, err := structured.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Options.Costs == nil || job.Options.Costs.Default != 2 ||
+		job.Options.Costs.Actions["copy"] != 5 || !job.Options.MinimizeCost {
+		t.Errorf("resolved cost options = %+v minimize=%t, want the structured spec's values",
+			job.Options.Costs, job.Options.MinimizeCost)
+	}
+}
+
+// TestCostSpecRuns submits a costed job end to end and checks the report
+// carries the cost fields.
+func TestCostSpecRuns(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	v, err := s.Submit(Spec{Case: "ba", N: 2, Cost: &CostSpec{Default: 1, Minimize: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Wait(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("job did not finish: state=%s err=%q", final.State, final.Error)
+	}
+	if !final.Result.Costed || !final.Result.MinCost {
+		t.Fatalf("report is not costed: %+v", final.Result)
+	}
+	if final.Result.Verified == nil || !*final.Result.Verified {
+		t.Fatal("costed job was not verified")
 	}
 }
 

@@ -76,7 +76,7 @@ type (
 	Stats = repair.Stats
 	// Report is the verifier's outcome.
 	Report = verify.Report
-	// Backend selects the verification engine (see WithBackend).
+	// Backend selects the verification engine (see EngineConfig.Backend).
 	Backend = verify.Backend
 	// Trace is a concrete replayable witness: a recovery demonstration in
 	// Result.Witnesses (see WithWitnesses) or a failure trace attached to a
@@ -86,7 +86,7 @@ type (
 	// deadlock state the repair could not eliminate (use errors.As).
 	DeadlockError = repair.DeadlockError
 	// BudgetError reports that a synthesis exceeded the node budget set with
-	// WithNodeBudget (use errors.As).
+	// EngineConfig.NodeBudget (use errors.As).
 	BudgetError = bdd.BudgetError
 )
 
@@ -100,7 +100,7 @@ var (
 	Choose = program.Choose
 )
 
-// The verification backends (see WithBackend).
+// The verification backends (see EngineConfig.Backend).
 const (
 	// BackendBDD verifies with exact reachability fixpoints on the BDD
 	// engine. The default.

@@ -30,7 +30,7 @@ func TestTrafficRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("repair: %v", err)
 	}
-	rep, err := Verify(context.Background(), c, res, WithWorkers(1))
+	rep, err := Verify(context.Background(), c, res, WithEngine(EngineConfig{Workers: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
